@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build vet test bench repro sweep clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full test log, as recorded in test_output.txt.
+test-log:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+bench-log:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Regenerate every table and figure of the paper (see EXPERIMENTS.md).
+repro:
+	$(GO) run ./cmd/paperrepro -all
+
+# Full design-space sweep as CSV.
+sweep:
+	$(GO) run ./cmd/sweep -design all > sweep.csv
+
+clean:
+	$(GO) clean ./...
+	rm -f sweep.csv

@@ -1,0 +1,76 @@
+// Command heatmap regenerates the paper's Figures 9 and 10: heat maps of
+// normalized NMM runtime and energy as functions of main-memory read/write
+// latency and energy multipliers, generalizing the study to arbitrary
+// future technologies.
+//
+// Usage:
+//
+//	heatmap -kind time                       # Figure 9
+//	heatmap -kind energy                     # Figure 10
+//	heatmap -kind time -mults 1,3,9,27       # custom multiplier axis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hybridmem/internal/design"
+	"hybridmem/internal/exp"
+	"hybridmem/internal/report"
+)
+
+func main() {
+	var (
+		kind      = flag.String("kind", "time", "map kind: time (Figure 9) or energy (Figure 10)")
+		mults     = flag.String("mults", "", "comma-separated multipliers for both axes (default 1,2,5,10,20)")
+		scale     = flag.Uint64("scale", design.DefaultScale, "capacity co-scaling divisor")
+		workloads = flag.String("workloads", "", "comma-separated workload subset")
+		shade     = flag.Bool("shade", true, "also print an ASCII-shaded rendering")
+	)
+	flag.Parse()
+
+	var axis []float64
+	if *mults != "" {
+		for _, f := range strings.Split(*mults, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			exitOn(err)
+			axis = append(axis, v)
+		}
+	}
+
+	cfg := exp.Config{Scale: *scale}
+	if *workloads != "" {
+		cfg.Workloads = strings.Split(*workloads, ",")
+	}
+	fmt.Fprintln(os.Stderr, "profiling workloads...")
+	s, err := exp.NewSuite(cfg)
+	exitOn(err)
+
+	var hm *exp.Heatmap
+	switch *kind {
+	case "time":
+		hm, err = s.LatencyHeatmap(axis, axis)
+	case "energy":
+		hm, err = s.EnergyHeatmap(axis, axis)
+	default:
+		err = fmt.Errorf("unknown kind %q (time or energy)", *kind)
+	}
+	exitOn(err)
+
+	_, err = report.HeatmapTable(hm).WriteTo(os.Stdout)
+	exitOn(err)
+	if *shade {
+		fmt.Println()
+		exitOn(report.HeatmapShade(hm, os.Stdout))
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "heatmap:", err)
+		os.Exit(1)
+	}
+}

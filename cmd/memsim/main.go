@@ -1,0 +1,168 @@
+// Command memsim runs one workload on one memory-hierarchy design point and
+// prints per-level statistics plus the modelled performance and energy.
+//
+// Usage:
+//
+//	memsim -workload CG -design reference
+//	memsim -workload BT -design nmm -config N6 -nvm PCM
+//	memsim -workload Graph500 -design 4lc -config EH1 -llc HMC
+//	memsim -workload Velvet -design 4lcnvm -config EH3 -llc eDRAM -nvm STTRAM
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hybridmem/internal/design"
+	"hybridmem/internal/exp"
+	"hybridmem/internal/model"
+	"hybridmem/internal/report"
+	"hybridmem/internal/tech"
+	"hybridmem/internal/workload"
+	"hybridmem/internal/workload/catalog"
+)
+
+func main() {
+	var (
+		wlName    = flag.String("workload", "CG", "workload name (see -list)")
+		dsgn      = flag.String("design", "reference", "design: reference, 4lc, nmm, 4lcnvm")
+		cfgName   = flag.String("config", "", "configuration name (EH1-EH8 for 4lc/4lcnvm, N1-N9 for nmm)")
+		llcName   = flag.String("llc", "eDRAM", "LLC technology (eDRAM, HMC)")
+		nvmName   = flag.String("nvm", "PCM", "NVM technology (PCM, STTRAM, FeRAM)")
+		scale     = flag.Uint64("scale", design.DefaultScale, "capacity co-scaling divisor")
+		iters     = flag.Int("iters", 0, "workload iterations (0 = default)")
+		dilution  = flag.Int("dilution", 0, "L1-hit dilution factor (0 = default)")
+		list      = flag.Bool("list", false, "list workloads and configurations")
+		breakdown = flag.Bool("breakdown", false, "print the per-level energy/time attribution")
+		rowbuf    = flag.Bool("rowbuffer", false, "use the open-page row-buffer timing model for main memory")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:", catalog.Names)
+		fmt.Print("4LC/4LCNVM configs:")
+		for _, c := range design.EHConfigs {
+			fmt.Printf(" %s", c.Name)
+		}
+		fmt.Print("\nNMM configs:")
+		for _, c := range design.NConfigs {
+			fmt.Printf(" %s", c.Name)
+		}
+		fmt.Println("\ntechnologies:", tech.Names())
+		return
+	}
+
+	llc, err := tech.ByName(*llcName)
+	exitOn(err)
+	nvm, err := tech.ByName(*nvmName)
+	exitOn(err)
+
+	w, err := catalog.New(*wlName, workload.Options{Scale: *scale, Iters: *iters})
+	exitOn(err)
+
+	fmt.Fprintf(os.Stderr, "profiling %s (footprint %.1f MB)...\n", w.Name(), float64(w.Footprint())/(1<<20))
+	if *dilution == 0 {
+		*dilution = exp.DefaultDilution
+	}
+	wp, err := exp.ProfileWorkload(w, *scale, *dilution)
+	exitOn(err)
+
+	var backend design.Backend
+	switch *dsgn {
+	case "reference":
+		backend = design.Reference(wp.Footprint)
+	case "4lc":
+		cfg, err := design.EHByName(defaulted(*cfgName, "EH1"))
+		exitOn(err)
+		backend = design.FourLC(cfg, llc, *scale, wp.Footprint)
+	case "nmm":
+		cfg, err := design.NByName(defaulted(*cfgName, "N6"))
+		exitOn(err)
+		backend = design.NMM(cfg, nvm, *scale, wp.Footprint)
+	case "4lcnvm":
+		cfg, err := design.EHByName(defaulted(*cfgName, "EH1"))
+		exitOn(err)
+		backend = design.FourLCNVM(cfg, llc, nvm, *scale, wp.Footprint)
+	default:
+		exitOn(fmt.Errorf("unknown design %q (reference, 4lc, nmm, 4lcnvm)", *dsgn))
+	}
+	if *rowbuf {
+		backend = backend.WithRowBuffer()
+	}
+
+	ev, err := wp.Evaluate(backend)
+	exitOn(err)
+
+	// Re-run the backend once more to show per-level statistics (the
+	// evaluation consumed its own instance).
+	built, err := backend.Build()
+	exitOn(err)
+	built.Replay(wp.Boundary)
+
+	t := &report.Table{
+		Title:   fmt.Sprintf("%s on %s", wp.Name, backend.Name),
+		Headers: []string{"level", "tech", "capacity", "loads", "stores", "hit rate", "writebacks"},
+	}
+	for _, l := range wp.Prefix {
+		addLevel(t, l.Name, l.Tech.Name, l.Capacity, l.Stats.Loads, l.Stats.Stores, l.Stats.HitRate(), l.Stats.WriteBacks)
+	}
+	for _, l := range built.Snapshot() {
+		addLevel(t, l.Name, l.Tech.Name, l.Capacity, l.Stats.Loads, l.Stats.Stores, l.Stats.HitRate(), l.Stats.WriteBacks)
+	}
+	_, err = t.WriteTo(os.Stdout)
+	exitOn(err)
+
+	fmt.Println()
+	printEval("reference", wp.ReferenceEvaluation())
+	printEval(backend.Name, ev)
+	fmt.Printf("\nnormalized: time %.4f (%s), energy %.4f (%s), EDP %.4f (%s)\n",
+		ev.NormTime, report.Pct(ev.NormTime),
+		ev.NormEnergy, report.Pct(ev.NormEnergy),
+		ev.NormEDP, report.Pct(ev.NormEDP))
+
+	if *breakdown {
+		profile := model.Merge(
+			model.Profile{Levels: wp.Prefix, TotalRefs: wp.TotalRefs},
+			model.Profile{Levels: built.Snapshot()},
+		)
+		bt := &report.Table{
+			Title:   "per-level attribution",
+			Headers: []string{"level", "dynamic J", "static J", "AMAT share (ns)"},
+		}
+		for _, le := range profile.Breakdown(ev.RuntimeSec) {
+			bt.AddRow(le.Name,
+				fmt.Sprintf("%.6f", le.DynamicJ),
+				fmt.Sprintf("%.6f", le.StaticJ),
+				fmt.Sprintf("%.4f", le.TimeShareNS))
+		}
+		fmt.Println()
+		_, err = bt.WriteTo(os.Stdout)
+		exitOn(err)
+	}
+}
+
+func addLevel(t *report.Table, name, techName string, capacity, loads, stores uint64, hitRate float64, wbs uint64) {
+	t.AddRow(name, techName, fmt.Sprintf("%.1f KB", float64(capacity)/1024),
+		fmt.Sprintf("%d", loads), fmt.Sprintf("%d", stores),
+		fmt.Sprintf("%.2f%%", hitRate*100), fmt.Sprintf("%d", wbs))
+}
+
+func printEval(label string, ev model.Evaluation) {
+	fmt.Printf("%-24s AMAT %6.3f ns, runtime %8.3f s, dynamic %8.4f J, static %8.4f J, EDP %10.4f Js\n",
+		label, ev.AMATNanos, ev.RuntimeSec, ev.DynamicJ, ev.StaticJ, ev.EDP)
+}
+
+func defaulted(v, def string) string {
+	if v == "" {
+		return def
+	}
+	return v
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memsim:", err)
+		os.Exit(1)
+	}
+}

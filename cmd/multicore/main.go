@@ -1,0 +1,97 @@
+// Command multicore simulates several cores sharing the reference
+// machine's L3 and measures the contention that justifies the single-core
+// model's per-core L3 slice (design.SharedL3Cores).
+//
+// Usage:
+//
+//	multicore -copies 8 -workload CG        # 8 copies of CG share the L3
+//	multicore -workloads BT,CG,Hashing      # a heterogeneous mix
+//
+// The tool prints per-core private-cache behaviour, the shared L3's hit
+// rate, and the "effective per-core share": the solo L3 capacity that
+// reproduces the contended hit rate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hybridmem/internal/multicore"
+	"hybridmem/internal/report"
+	"hybridmem/internal/workload"
+	"hybridmem/internal/workload/catalog"
+)
+
+func main() {
+	var (
+		wlName  = flag.String("workload", "CG", "workload to replicate with -copies")
+		copies  = flag.Int("copies", 4, "number of identical cores")
+		mix     = flag.String("workloads", "", "comma-separated heterogeneous mix (overrides -copies)")
+		scale   = flag.Uint64("scale", 32, "capacity co-scaling divisor")
+		wlScale = flag.Uint64("wlscale", 0, "workload footprint divisor (default: 8x scale, keeping runs minutes-scale)")
+		batch   = flag.Int("batch", 64, "references per interleaver turn")
+	)
+	flag.Parse()
+
+	if *wlScale == 0 {
+		*wlScale = *scale * 8
+	}
+	mk := func(name string) workload.Workload {
+		w, err := catalog.New(name, workload.Options{Scale: *wlScale})
+		exitOn(err)
+		return w
+	}
+
+	var ws []workload.Workload
+	if *mix != "" {
+		for _, n := range strings.Split(*mix, ",") {
+			ws = append(ws, mk(strings.TrimSpace(n)))
+		}
+	} else {
+		for i := 0; i < *copies; i++ {
+			ws = append(ws, mk(*wlName))
+		}
+	}
+
+	cfg := multicore.Config{Scale: *scale, BatchRefs: *batch}
+	fmt.Fprintf(os.Stderr, "simulating %d cores...\n", len(ws))
+	res, err := multicore.Run(cfg, ws, nil)
+	exitOn(err)
+
+	t := &report.Table{
+		Title:   fmt.Sprintf("%d cores sharing one L3", len(res.Cores)),
+		Headers: []string{"core", "refs", "L1 hit", "L2 hit", "forwarded to L3"},
+	}
+	for _, c := range res.Cores {
+		t.AddRow(c.Name, fmt.Sprint(c.Refs),
+			fmt.Sprintf("%.2f%%", c.L1.HitRate()*100),
+			fmt.Sprintf("%.2f%%", c.L2.HitRate()*100),
+			fmt.Sprint(c.Forwarded))
+	}
+	_, err = t.WriteTo(os.Stdout)
+	exitOn(err)
+
+	fmt.Printf("\nshared L3: %d accesses, %.2f%% hits; memory: %d loads, %d stores\n",
+		res.L3.Accesses(), res.L3HitRate()*100, res.Memory.Loads, res.Memory.Stores)
+
+	// Solo baseline and effective per-core share for the replicated case.
+	if *mix == "" && *copies > 1 {
+		solo, err := multicore.Run(cfg, []workload.Workload{mk(*wlName)}, nil)
+		exitOn(err)
+		fmt.Printf("solo %s L3 hit rate: %.2f%% (contention cost: %.2f points)\n",
+			*wlName, solo.L3HitRate()*100, (solo.L3HitRate()-res.L3HitRate())*100)
+		share, err := multicore.EffectiveShare(cfg, func() workload.Workload { return mk(*wlName) }, res.L3HitRate())
+		exitOn(err)
+		fmt.Printf("effective per-core L3 share: %.0f KB of %.0f KB total (1/%d)\n",
+			float64(share)/1024, float64(20<<20 / *scale)/1024, (20<<20 / *scale)/share)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "multicore:", err)
+		os.Exit(1)
+	}
+}

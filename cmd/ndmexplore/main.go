@@ -1,0 +1,106 @@
+// Command ndmexplore prints the NDM oracle's full placement exploration:
+// for each workload, every candidate address-range placement with its
+// profiled traffic and modelled outcome, marking the placement the figures
+// use. This reproduces the paper's Section V NDM methodology discussion
+// ("typically we found 2 or 3 address ranges in each workload ... we placed
+// an address range to NVM at a time, and the rest to DRAM").
+//
+// Usage:
+//
+//	ndmexplore                       # PCM, all workloads
+//	ndmexplore -nvm STTRAM -workloads BT,Velvet
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hybridmem/internal/design"
+	"hybridmem/internal/exp"
+	"hybridmem/internal/ndm"
+	"hybridmem/internal/report"
+	"hybridmem/internal/tech"
+)
+
+func main() {
+	var (
+		nvmName   = flag.String("nvm", "PCM", "NVM technology (PCM, STTRAM, FeRAM)")
+		scale     = flag.Uint64("scale", design.DefaultScale, "capacity co-scaling divisor")
+		workloads = flag.String("workloads", "", "comma-separated workload subset")
+		dynamic   = flag.Bool("dynamic", false, "also run the epoch-based dynamic partitioning (the paper's future work)")
+	)
+	flag.Parse()
+
+	nvm, err := tech.ByName(*nvmName)
+	exitOn(err)
+
+	cfg := exp.Config{Scale: *scale}
+	if *workloads != "" {
+		cfg.Workloads = strings.Split(*workloads, ",")
+	}
+	fmt.Fprintln(os.Stderr, "profiling workloads...")
+	s, err := exp.NewSuite(cfg)
+	exitOn(err)
+
+	results, row, err := s.NDM(nvm)
+	exitOn(err)
+
+	for _, res := range results {
+		t := &report.Table{
+			Title:   fmt.Sprintf("%s: NDM placements on %s", res.Workload, nvm.Name),
+			Headers: []string{"placement", "NVM bytes", "NVM loads", "NVM stores", "norm time", "norm energy", "norm EDP", ""},
+		}
+		for i, p := range res.Placements {
+			loads, stores, _, _ := p.Traffic()
+			mark := ""
+			if i == res.Chosen {
+				mark = "<= figure"
+			}
+			ev := res.Evals[i]
+			t.AddRow(p.Label,
+				fmt.Sprintf("%.1f MB", float64(p.NVMBytes())/(1<<20)),
+				fmt.Sprintf("%d", loads), fmt.Sprintf("%d", stores),
+				fmt.Sprintf("%.4f", ev.NormTime),
+				fmt.Sprintf("%.4f", ev.NormEnergy),
+				fmt.Sprintf("%.4f", ev.NormEDP),
+				mark)
+		}
+		_, err = t.WriteTo(os.Stdout)
+		exitOn(err)
+		fmt.Println()
+	}
+	fmt.Printf("figure row (%s): avg norm time %.4f, avg norm energy %.4f\n",
+		row.Label, row.Avg.NormTime, row.Avg.NormEnergy)
+
+	if *dynamic {
+		dyn, err := s.DynamicNDM(nvm, ndm.DynamicConfig{})
+		exitOn(err)
+		fmt.Println()
+		t := &report.Table{
+			Title:   fmt.Sprintf("dynamic partitioning on %s (epoch-based, hotness-ranked)", nvm.Name),
+			Headers: []string{"workload", "norm time", "norm energy", "NVM share", "epochs", "migrated"},
+		}
+		for i, ev := range dyn.PerWorkload {
+			res := dyn.Results[i]
+			t.AddRow(ev.Workload,
+				fmt.Sprintf("%.4f", ev.NormTime),
+				fmt.Sprintf("%.4f", ev.NormEnergy),
+				fmt.Sprintf("%.1f%%", res.NVMShare*100),
+				fmt.Sprint(res.Epochs),
+				fmt.Sprintf("%.1f MB", float64(res.MigratedBytes)/(1<<20)))
+		}
+		_, err = t.WriteTo(os.Stdout)
+		exitOn(err)
+		fmt.Printf("dynamic avg: time %.4f, energy %.4f (static oracle: %.4f, %.4f)\n",
+			dyn.Avg.NormTime, dyn.Avg.NormEnergy, row.Avg.NormTime, row.Avg.NormEnergy)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ndmexplore:", err)
+		os.Exit(1)
+	}
+}

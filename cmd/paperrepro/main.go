@@ -1,0 +1,289 @@
+// Command paperrepro regenerates every table and figure of "Evaluation of
+// emerging memory technologies for HPC, data intensive applications"
+// (CLUSTER 2014).
+//
+// Usage:
+//
+//	paperrepro -all                 # every table and figure
+//	paperrepro -table 1             # one table (1-4)
+//	paperrepro -figure 2            # one figure (1-10)
+//	paperrepro -figure 5 -llc HMC   # 4LCNVM with HMC instead of eDRAM
+//	paperrepro -scale 16            # finer co-scaling (slower, more exact)
+//	paperrepro -workloads BT,CG     # workload subset
+//	paperrepro -csv                 # CSV instead of aligned tables
+//
+// Figures that share simulation runs (1&2, 3&4, 5&6, 7&8, 9&10) are
+// computed from the same sweep; requesting either regenerates the pair's
+// data and prints the requested metric.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hybridmem/internal/design"
+	"hybridmem/internal/exp"
+	"hybridmem/internal/model"
+	"hybridmem/internal/report"
+	"hybridmem/internal/tech"
+	"hybridmem/internal/workload"
+	"hybridmem/internal/workload/catalog"
+)
+
+func main() {
+	var (
+		all       = flag.Bool("all", false, "regenerate every table and figure")
+		table     = flag.Int("table", 0, "regenerate one table (1-4)")
+		figure    = flag.Int("figure", 0, "regenerate one figure (1-10)")
+		scale     = flag.Uint64("scale", design.DefaultScale, "capacity co-scaling divisor (power of two, 1-64)")
+		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all)")
+		llcName   = flag.String("llc", "eDRAM", "LLC technology for figures 3-6 (eDRAM or HMC)")
+		nvmName   = flag.String("nvm", "PCM", "NVM technology for figures 1-2 and 5-6 (PCM, STTRAM, FeRAM)")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		dilution  = flag.Int("dilution", 0, "L1-hit dilution factor (0 = default)")
+	)
+	flag.Parse()
+
+	if !*all && *table == 0 && *figure == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	llc, err := tech.ByName(*llcName)
+	exitOn(err)
+	nvm, err := tech.ByName(*nvmName)
+	exitOn(err)
+
+	cfg := exp.Config{Scale: *scale, Dilution: *dilution}
+	if *workloads != "" {
+		cfg.Workloads = strings.Split(*workloads, ",")
+	}
+
+	r := &runner{cfg: cfg, llc: llc, nvm: nvm, csv: *csv}
+
+	switch {
+	case *all:
+		for t := 1; t <= 4; t++ {
+			exitOn(r.table(t))
+		}
+		for f := 1; f <= 10; f++ {
+			exitOn(r.figure(f))
+		}
+	case *table != 0:
+		exitOn(r.table(*table))
+	default:
+		exitOn(r.figure(*figure))
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperrepro:", err)
+		os.Exit(1)
+	}
+}
+
+// runner caches the profiled suite across multiple tables/figures.
+type runner struct {
+	cfg   exp.Config
+	llc   tech.Tech
+	nvm   tech.Tech
+	csv   bool
+	suite *exp.Suite
+
+	// cached sweep results, keyed by design family.
+	nmm    []exp.Row
+	flc    []exp.Row
+	flcnvm []exp.Row
+}
+
+// Suite lazily profiles the workloads.
+func (r *runner) Suite() (*exp.Suite, error) {
+	if r.suite == nil {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "profiling workloads (scale %d)...\n", r.cfg.Scale)
+		s, err := exp.NewSuite(r.cfg)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "profiled %d workloads in %s\n", len(s.Profiles), time.Since(start).Round(time.Millisecond))
+		r.suite = s
+	}
+	return r.suite, nil
+}
+
+// emit renders a table as text or CSV.
+func (r *runner) emit(t *report.Table) error {
+	if r.csv {
+		return t.WriteCSV(os.Stdout)
+	}
+	_, err := t.WriteTo(os.Stdout)
+	fmt.Println()
+	return err
+}
+
+// table regenerates Tables 1-4.
+func (r *runner) table(n int) error {
+	switch n {
+	case 1:
+		t := &report.Table{
+			Title:   "Table 1: Characteristics of different memory technologies",
+			Headers: []string{"Memory Technology", "Read delay (ns)", "Write delay (ns)", "Read energy (pJ/bit)", "Write energy (pJ/bit)", "Static power (W/GB)"},
+		}
+		for _, tc := range []tech.Tech{tech.DRAM, tech.PCM, tech.STTRAM, tech.FeRAM, tech.EDRAM, tech.HMC} {
+			t.AddRow(tc.Name,
+				fmt.Sprintf("%g", tc.ReadNS), fmt.Sprintf("%g", tc.WriteNS),
+				fmt.Sprintf("%g", tc.ReadPJPerBit), fmt.Sprintf("%g", tc.WritePJPerBit),
+				fmt.Sprintf("%g", tc.StaticWPerGB))
+		}
+		return r.emit(t)
+	case 2:
+		t := &report.Table{
+			Title:   "Table 2: eDRAM/HMC configurations (capacity per core)",
+			Headers: []string{"Design name", "eDRAM capacity (MB)", "Page size (B)"},
+		}
+		for _, c := range design.EHConfigs {
+			t.AddRow(c.Name, fmt.Sprintf("%d", c.Capacity>>20), fmt.Sprintf("%d", c.PageSize))
+		}
+		return r.emit(t)
+	case 3:
+		t := &report.Table{
+			Title:   "Table 3: NMM configurations (capacity per core)",
+			Headers: []string{"Design name", "DRAM capacity (MB)", "Page size (B)"},
+		}
+		for _, c := range design.NConfigs {
+			t.AddRow(c.Name, fmt.Sprintf("%d", c.Capacity>>20), fmt.Sprintf("%d", c.PageSize))
+		}
+		return r.emit(t)
+	case 4:
+		t := &report.Table{
+			Title:   "Table 4: Characteristics of the benchmarks",
+			Headers: []string{"Suite", "Benchmark", "Footprint/core (scaled)", "Ref time (s)", "Simulated refs", "Boundary refs"},
+		}
+		s, err := r.Suite()
+		if err != nil {
+			return err
+		}
+		byName := map[string]workload.Workload{}
+		for _, name := range r.suiteNames() {
+			w, err := catalog.New(name, workload.Options{Scale: r.cfg.WorkloadScale})
+			if err != nil {
+				return err
+			}
+			byName[name] = w
+		}
+		for _, wp := range s.Profiles {
+			w := byName[wp.Name]
+			t.AddRow(w.Suite(), wp.Name,
+				fmt.Sprintf("%.1f MB", float64(wp.Footprint)/(1<<20)),
+				fmt.Sprintf("%.1f", wp.RefTime.Seconds()),
+				fmt.Sprintf("%d", wp.TotalRefs),
+				fmt.Sprintf("%d", len(wp.Boundary)))
+		}
+		return r.emit(t)
+	default:
+		return fmt.Errorf("unknown table %d (1-4)", n)
+	}
+}
+
+// suiteNames returns the configured workload names.
+func (r *runner) suiteNames() []string {
+	if len(r.cfg.Workloads) > 0 {
+		return r.cfg.Workloads
+	}
+	return catalog.Names
+}
+
+// metric selectors for the paired figures.
+func normTime(e model.Evaluation) float64   { return e.NormTime }
+func normEnergy(e model.Evaluation) float64 { return e.NormEnergy }
+
+// figure regenerates Figures 1-10.
+func (r *runner) figure(n int) error {
+	s, err := r.Suite()
+	if err != nil {
+		return err
+	}
+	names := r.suiteNames()
+	switch n {
+	case 1, 2:
+		if r.nmm == nil {
+			if r.nmm, err = s.NMM(r.nvm); err != nil {
+				return err
+			}
+		}
+		if n == 1 {
+			return r.emit(report.FigureTable(
+				fmt.Sprintf("Figure 1: normalized run time, NMM (%s)", r.nvm.Name), r.nmm, names, normTime))
+		}
+		return r.emit(report.FigureTable(
+			fmt.Sprintf("Figure 2: normalized energy, NMM (%s)", r.nvm.Name), r.nmm, names, normEnergy))
+	case 3, 4:
+		if r.flc == nil {
+			if r.flc, err = s.FourLC(r.llc); err != nil {
+				return err
+			}
+		}
+		if n == 3 {
+			return r.emit(report.FigureTable(
+				fmt.Sprintf("Figure 3: normalized run time, 4LC (%s)", r.llc.Name), r.flc, names, normTime))
+		}
+		return r.emit(report.FigureTable(
+			fmt.Sprintf("Figure 4: normalized energy, 4LC (%s)", r.llc.Name), r.flc, names, normEnergy))
+	case 5, 6:
+		if r.flcnvm == nil {
+			if r.flcnvm, err = s.FourLCNVM(r.llc, r.nvm); err != nil {
+				return err
+			}
+		}
+		if n == 5 {
+			return r.emit(report.FigureTable(
+				fmt.Sprintf("Figure 5: normalized run time, 4LCNVM (%s+%s)", r.llc.Name, r.nvm.Name), r.flcnvm, names, normTime))
+		}
+		return r.emit(report.FigureTable(
+			fmt.Sprintf("Figure 6: normalized energy, 4LCNVM (%s+%s)", r.llc.Name, r.nvm.Name), r.flcnvm, names, normEnergy))
+	case 7, 8:
+		var rows []exp.Row
+		for _, nvm := range tech.NVMs() {
+			_, row, err := s.NDM(nvm)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row)
+		}
+		metric, title := normTime, "Figure 7: normalized run time, NDM (oracle placement)"
+		if n == 8 {
+			metric, title = normEnergy, "Figure 8: normalized energy, NDM (oracle placement)"
+		}
+		return r.emit(report.FigureTable(title, rows, names, metric))
+	case 9:
+		hm, err := s.LatencyHeatmap(nil, nil)
+		if err != nil {
+			return err
+		}
+		if err := r.emit(report.HeatmapTable(hm)); err != nil {
+			return err
+		}
+		if !r.csv {
+			return report.HeatmapShade(hm, os.Stdout)
+		}
+		return nil
+	case 10:
+		hm, err := s.EnergyHeatmap(nil, nil)
+		if err != nil {
+			return err
+		}
+		if err := r.emit(report.HeatmapTable(hm)); err != nil {
+			return err
+		}
+		if !r.csv {
+			return report.HeatmapShade(hm, os.Stdout)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown figure %d (1-10)", n)
+	}
+}

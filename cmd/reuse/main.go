@@ -1,0 +1,127 @@
+// Command reuse computes LRU reuse-distance histograms for workloads or
+// captured traces, and prints the predicted fully-associative hit-rate
+// curve — the quantity that justifies the repository's capacity co-scaling
+// (DESIGN.md).
+//
+// Usage:
+//
+//	reuse -workload CG                  # profile a workload's full stream
+//	reuse -workload CG -boundary        # profile its post-L3 stream
+//	reuse -trace cg.hmtr                # profile a captured trace file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hybridmem/internal/design"
+	"hybridmem/internal/exp"
+	"hybridmem/internal/report"
+	"hybridmem/internal/reuse"
+	"hybridmem/internal/trace"
+	"hybridmem/internal/workload"
+	"hybridmem/internal/workload/catalog"
+)
+
+func main() {
+	var (
+		wlName    = flag.String("workload", "", "workload to profile")
+		traceFile = flag.String("trace", "", "captured .hmtr trace to profile")
+		boundary  = flag.Bool("boundary", false, "profile the post-L3 boundary stream instead of the full stream")
+		lineSize  = flag.Uint64("line", 64, "line granularity in bytes (power of two)")
+		scale     = flag.Uint64("scale", design.DefaultScale, "workload co-scaling divisor")
+	)
+	flag.Parse()
+
+	p, err := reuse.New(*lineSize)
+	exitOn(err)
+
+	var label string
+	switch {
+	case *traceFile != "":
+		label = *traceFile
+		f, err := os.Open(*traceFile)
+		exitOn(err)
+		defer f.Close()
+		tr, err := trace.NewReader(f)
+		exitOn(err)
+		_, err = tr.CopyTo(p)
+		exitOn(err)
+	case *wlName != "":
+		label = *wlName
+		w, err := catalog.New(*wlName, workload.Options{Scale: *scale})
+		exitOn(err)
+		if *boundary {
+			label += " (post-L3)"
+			fmt.Fprintf(os.Stderr, "profiling %s...\n", *wlName)
+			wp, err := exp.ProfileWorkload(w, *scale, exp.NoDilution)
+			exitOn(err)
+			for _, r := range wp.Boundary {
+				p.Access(r)
+			}
+		} else {
+			w.Run(p)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	h := p.Histogram()
+	fmt.Printf("%s: %d line-accesses over %d distinct %dB lines (%.1f MB footprint)\n",
+		label, h.Total, h.Lines, *lineSize, float64(h.Lines**lineSize)/(1<<20))
+	fmt.Printf("cold (first-touch): %d (%.2f%%); mean finite reuse distance: %.0f lines\n\n",
+		h.Cold, 100*float64(h.Cold)/float64(h.Total), h.MeanDistance())
+
+	t := &report.Table{
+		Title:   "reuse-distance histogram",
+		Headers: []string{"distance", "accesses", "share", "cum. hit rate at this cache size"},
+	}
+	var cum uint64
+	for k, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		lo := uint64(1) << uint(k)
+		if k == 0 {
+			lo = 0
+		}
+		t.AddRow(
+			fmt.Sprintf("[%d, %d)", lo, uint64(1)<<uint(k+1)),
+			fmt.Sprint(n),
+			fmt.Sprintf("%.2f%%", 100*float64(n)/float64(h.Total)),
+			fmt.Sprintf("%.2f%%", 100*h.HitRate(uint64(1)<<uint(k+1))),
+		)
+	}
+	_, err = t.WriteTo(os.Stdout)
+	exitOn(err)
+
+	fmt.Println()
+	curve := &report.Table{
+		Title:   "predicted fully-associative LRU hit rate",
+		Headers: []string{"cache size", "hit rate"},
+	}
+	for k := 10; k <= 26; k += 2 {
+		lines := (uint64(1) << uint(k)) / *lineSize
+		if lines == 0 {
+			continue
+		}
+		curve.AddRow(fmt.Sprintf("%d KB", (uint64(1)<<uint(k))/1024),
+			fmt.Sprintf("%.2f%%", 100*h.HitRate(lines)))
+	}
+	_, err = curve.WriteTo(os.Stdout)
+	exitOn(err)
+
+	if ws := h.WorkingSet(0.9); ws > 0 {
+		fmt.Printf("\n90%% working set: %d lines (%.1f MB)\n", ws, float64(ws**lineSize)/(1<<20))
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reuse:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,114 @@
+// Command sweep runs full design-space sweeps (every Table 2/3
+// configuration across every workload and technology choice) and emits the
+// results as CSV for downstream plotting.
+//
+// Usage:
+//
+//	sweep -design nmm                 # N1-N9 x {PCM,STTRAM,FeRAM}
+//	sweep -design 4lc                 # EH1-EH8 x {eDRAM,HMC}
+//	sweep -design 4lcnvm              # EH1-EH8 x {eDRAM,HMC} x {PCM,...}
+//	sweep -design ndm                 # oracle placements x {PCM,...}
+//	sweep -design all                 # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hybridmem/internal/design"
+	"hybridmem/internal/exp"
+	"hybridmem/internal/model"
+	"hybridmem/internal/tech"
+)
+
+func main() {
+	var (
+		dsgn      = flag.String("design", "all", "design family: nmm, 4lc, 4lcnvm, ndm, all")
+		scale     = flag.Uint64("scale", design.DefaultScale, "capacity co-scaling divisor")
+		workloads = flag.String("workloads", "", "comma-separated workload subset")
+	)
+	flag.Parse()
+
+	cfg := exp.Config{Scale: *scale}
+	if *workloads != "" {
+		cfg.Workloads = strings.Split(*workloads, ",")
+	}
+	fmt.Fprintln(os.Stderr, "profiling workloads...")
+	s, err := exp.NewSuite(cfg)
+	exitOn(err)
+
+	fmt.Println("design,config,tech,workload,norm_time,norm_energy,norm_edp,amat_ns,dynamic_j,static_j")
+
+	run := func(family string) {
+		switch family {
+		case "nmm":
+			for _, nvm := range tech.NVMs() {
+				rows, err := s.NMM(nvm)
+				exitOn(err)
+				emit("NMM", nvm.Name, s, rows)
+			}
+		case "4lc":
+			for _, llc := range tech.LLCs() {
+				rows, err := s.FourLC(llc)
+				exitOn(err)
+				emit("4LC", llc.Name, s, rows)
+			}
+		case "4lcnvm":
+			for _, llc := range tech.LLCs() {
+				for _, nvm := range tech.NVMs() {
+					rows, err := s.FourLCNVM(llc, nvm)
+					exitOn(err)
+					emit("4LCNVM", llc.Name+"+"+nvm.Name, s, rows)
+				}
+			}
+		case "ndm":
+			for _, nvm := range tech.NVMs() {
+				results, _, err := s.NDM(nvm)
+				exitOn(err)
+				for _, res := range results {
+					for i, ev := range res.Evals {
+						label := res.Placements[i].Label
+						if i == res.Chosen {
+							label += "*"
+						}
+						emitOne("NDM", label, nvm.Name, res.Workload, ev)
+					}
+				}
+			}
+		default:
+			exitOn(fmt.Errorf("unknown design family %q", family))
+		}
+	}
+
+	if *dsgn == "all" {
+		for _, f := range []string{"nmm", "4lc", "4lcnvm", "ndm"} {
+			run(f)
+		}
+	} else {
+		run(*dsgn)
+	}
+}
+
+func emit(family, techName string, s *exp.Suite, rows []exp.Row) {
+	for _, row := range rows {
+		for i, ev := range row.PerWorkload {
+			emitOne(family, row.Label, techName, s.Profiles[i].Name, ev)
+		}
+		emitOne(family, row.Label, techName, "AVERAGE", row.Avg)
+	}
+}
+
+func emitOne(family, config, techName, workload string, ev model.Evaluation) {
+	fmt.Printf("%s,%s,%s,%s,%.6f,%.6f,%.6f,%.4f,%.6f,%.6f\n",
+		family, config, techName, workload,
+		ev.NormTime, ev.NormEnergy, ev.NormEDP, ev.AMATNanos, ev.DynamicJ, ev.StaticJ)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}

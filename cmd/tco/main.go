@@ -1,0 +1,99 @@
+// Command tco compares designs on total cost of ownership — the dimension
+// the paper defers ("We have not factored in the cost (e.g. total cost of
+// ownership)"). Capital cost covers every memory module; energy cost runs
+// the modelled average power over a deployment lifetime.
+//
+// Usage:
+//
+//	tco -workload Hashing
+//	tco -workload CG -years 3 -kwh 0.20
+//
+// Capacities are evaluated at the co-scaled sizes; capital costs therefore
+// compare designs relatively rather than pricing a production node.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hybridmem/internal/core"
+	"hybridmem/internal/cost"
+	"hybridmem/internal/design"
+	"hybridmem/internal/exp"
+	"hybridmem/internal/model"
+	"hybridmem/internal/report"
+	"hybridmem/internal/tech"
+	"hybridmem/internal/workload"
+	"hybridmem/internal/workload/catalog"
+)
+
+func main() {
+	var (
+		wlName = flag.String("workload", "Hashing", "workload name")
+		scale  = flag.Uint64("scale", design.DefaultScale, "capacity co-scaling divisor")
+		years  = flag.Float64("years", 5, "deployment lifetime in years")
+		kwh    = flag.Float64("kwh", 0.12, "electricity price, $/kWh")
+		duty   = flag.Float64("duty", 0.7, "duty cycle (fraction of lifetime under load)")
+	)
+	flag.Parse()
+
+	w, err := catalog.New(*wlName, workload.Options{Scale: *scale})
+	exitOn(err)
+	fmt.Fprintf(os.Stderr, "profiling %s...\n", *wlName)
+	wp, err := exp.ProfileWorkload(w, *scale, exp.DefaultDilution)
+	exitOn(err)
+
+	params := cost.DefaultParams()
+	params.LifetimeYears = *years
+	params.EnergyDollarsPerKWh = *kwh
+	params.DutyCycle = *duty
+
+	backends := []design.Backend{
+		design.Reference(wp.Footprint),
+		design.NMM(design.NConfigs[5], tech.PCM, *scale, wp.Footprint),
+		design.NMM(design.NConfigs[5], tech.STTRAM, *scale, wp.Footprint),
+		design.FourLC(design.EHConfigs[0], tech.EDRAM, *scale, wp.Footprint),
+		design.FourLCNVM(design.EHConfigs[2], tech.EDRAM, tech.PCM, *scale, wp.Footprint),
+	}
+
+	var labelled []cost.Labelled
+	var evals []model.Evaluation
+	for _, b := range backends {
+		ev, err := wp.Evaluate(b)
+		exitOn(err)
+		built, err := b.Build()
+		exitOn(err)
+		// Module inventory: the shared SRAM prefix plus the back end.
+		all := append(append([]core.LevelStats(nil), wp.Prefix...), built.Snapshot()...)
+		labelled = append(labelled, cost.Labelled{Label: b.Name, Modules: all, Eval: ev})
+		evals = append(evals, ev)
+	}
+
+	tcos, err := cost.CompareAll(params, labelled)
+	exitOn(err)
+
+	t := &report.Table{
+		Title:   fmt.Sprintf("%s: TCO over %.0f years at $%.2f/kWh (duty %.0f%%)", *wlName, *years, *kwh, *duty*100),
+		Headers: []string{"design", "norm time", "norm energy", "capex $", "energy $", "total $", "vs reference"},
+	}
+	base := tcos[0].TotalUSD()
+	for i, l := range labelled {
+		t.AddRow(l.Label,
+			fmt.Sprintf("%.4f", evals[i].NormTime),
+			fmt.Sprintf("%.4f", evals[i].NormEnergy),
+			fmt.Sprintf("%.2f", tcos[i].CapexUSD),
+			fmt.Sprintf("%.4f", tcos[i].EnergyUSD),
+			fmt.Sprintf("%.2f", tcos[i].TotalUSD()),
+			report.Pct(tcos[i].TotalUSD()/base))
+	}
+	_, err = t.WriteTo(os.Stdout)
+	exitOn(err)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tco:", err)
+		os.Exit(1)
+	}
+}

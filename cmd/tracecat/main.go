@@ -1,0 +1,162 @@
+// Command tracecat captures, inspects, and replays binary reference
+// traces (the .hmtr format of internal/trace).
+//
+// Capture a workload's post-L3 boundary stream once, then replay it into
+// design points offline without re-running the workload:
+//
+//	tracecat -capture CG -out cg.hmtr            # capture boundary stream
+//	tracecat -stat cg.hmtr                       # summarize a trace
+//	tracecat -replay cg.hmtr -design nmm -config N6 -nvm PCM
+//
+// Replayed statistics are per-backend only (the SRAM prefix behaviour is
+// baked into the captured stream), so replays report raw hit rates and
+// traffic rather than paper-normalized metrics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hybridmem/internal/design"
+	"hybridmem/internal/exp"
+	"hybridmem/internal/report"
+	"hybridmem/internal/tech"
+	"hybridmem/internal/trace"
+	"hybridmem/internal/workload"
+	"hybridmem/internal/workload/catalog"
+)
+
+func main() {
+	var (
+		capture = flag.String("capture", "", "workload whose boundary stream to capture")
+		out     = flag.String("out", "trace.hmtr", "output path for -capture")
+		stat    = flag.String("stat", "", "trace file to summarize")
+		replay  = flag.String("replay", "", "trace file to replay into a design back end")
+		dsgn    = flag.String("design", "nmm", "replay design: reference, 4lc, nmm, 4lcnvm")
+		cfgName = flag.String("config", "N6", "replay configuration")
+		llcName = flag.String("llc", "eDRAM", "LLC technology for 4lc/4lcnvm")
+		nvmName = flag.String("nvm", "PCM", "NVM technology for nmm/4lcnvm")
+		scale   = flag.Uint64("scale", design.DefaultScale, "capacity co-scaling divisor")
+	)
+	flag.Parse()
+
+	switch {
+	case *capture != "":
+		doCapture(*capture, *out, *scale)
+	case *stat != "":
+		doStat(*stat)
+	case *replay != "":
+		doReplay(*replay, *dsgn, *cfgName, *llcName, *nvmName, *scale)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func doCapture(name, out string, scale uint64) {
+	w, err := catalog.New(name, workload.Options{Scale: scale})
+	exitOn(err)
+	fmt.Fprintf(os.Stderr, "profiling %s...\n", name)
+	wp, err := exp.ProfileWorkload(w, scale, exp.NoDilution)
+	exitOn(err)
+
+	f, err := os.Create(out)
+	exitOn(err)
+	defer f.Close()
+	tw, err := trace.NewWriter(f)
+	exitOn(err)
+	for _, r := range wp.Boundary {
+		tw.Access(r)
+	}
+	exitOn(tw.Flush())
+	info, err := f.Stat()
+	exitOn(err)
+	fmt.Printf("captured %d boundary refs (%d total refs) to %s (%.2f bytes/ref)\n",
+		tw.Count(), wp.TotalRefs, out, float64(info.Size())/float64(tw.Count()))
+}
+
+func doStat(path string) {
+	f, err := os.Open(path)
+	exitOn(err)
+	defer f.Close()
+	tr, err := trace.NewReader(f)
+	exitOn(err)
+	var c trace.Counter
+	var minAddr, maxAddr uint64 = ^uint64(0), 0
+	n, err := tr.CopyTo(trace.NewTee(&c, trace.SinkFunc(func(r trace.Ref) {
+		if r.Addr < minAddr {
+			minAddr = r.Addr
+		}
+		if end := r.Addr + uint64(r.Size); end > maxAddr {
+			maxAddr = end
+		}
+	})))
+	exitOn(err)
+	fmt.Printf("%s: %d refs (%d loads, %d stores), %d load bytes, %d store bytes\n",
+		path, n, c.Loads, c.Stores, c.LoadBytes, c.StoreBytes)
+	if n > 0 {
+		fmt.Printf("address span: [%#x, %#x) = %.1f MB\n", minAddr, maxAddr, float64(maxAddr-minAddr)/(1<<20))
+	}
+}
+
+func doReplay(path, dsgn, cfgName, llcName, nvmName string, scale uint64) {
+	llc, err := tech.ByName(llcName)
+	exitOn(err)
+	nvm, err := tech.ByName(nvmName)
+	exitOn(err)
+
+	f, err := os.Open(path)
+	exitOn(err)
+	defer f.Close()
+	tr, err := trace.NewReader(f)
+	exitOn(err)
+
+	// Memory capacity (static power only, not printed here): assume the
+	// largest Table 4 footprint at this scale.
+	var backend design.Backend
+	cap64 := uint64(4) << 30 / scale
+	switch dsgn {
+	case "reference":
+		backend = design.Reference(cap64)
+	case "4lc":
+		cfg, err := design.EHByName(cfgName)
+		exitOn(err)
+		backend = design.FourLC(cfg, llc, scale, cap64)
+	case "nmm":
+		cfg, err := design.NByName(cfgName)
+		exitOn(err)
+		backend = design.NMM(cfg, nvm, scale, cap64)
+	case "4lcnvm":
+		cfg, err := design.EHByName(cfgName)
+		exitOn(err)
+		backend = design.FourLCNVM(cfg, llc, nvm, scale, cap64)
+	default:
+		exitOn(fmt.Errorf("unknown design %q", dsgn))
+	}
+
+	built, err := backend.Build()
+	exitOn(err)
+	n, err := tr.CopyTo(trace.SinkFunc(built.Access))
+	exitOn(err)
+	built.Flush()
+
+	t := &report.Table{
+		Title:   fmt.Sprintf("%s: %d refs replayed into %s", path, n, backend.Name),
+		Headers: []string{"level", "tech", "loads", "stores", "hit rate", "writebacks"},
+	}
+	for _, l := range built.Snapshot() {
+		t.AddRow(l.Name, l.Tech.Name,
+			fmt.Sprint(l.Stats.Loads), fmt.Sprint(l.Stats.Stores),
+			fmt.Sprintf("%.2f%%", l.Stats.HitRate()*100), fmt.Sprint(l.Stats.WriteBacks))
+	}
+	_, err = t.WriteTo(os.Stdout)
+	exitOn(err)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecat:", err)
+		os.Exit(1)
+	}
+}

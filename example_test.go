@@ -1,0 +1,61 @@
+package hybridmem_test
+
+import (
+	"fmt"
+	"sort"
+
+	"hybridmem"
+)
+
+// ExampleTechByName shows technology lookup and Table 1 parameters.
+func ExampleTechByName() {
+	pcm, _ := hybridmem.TechByName("PCM")
+	fmt.Printf("%s: read %gns, write %gns, write energy %g pJ/bit\n",
+		pcm.Name, pcm.ReadNS, pcm.WriteNS, pcm.WritePJPerBit)
+	// Output:
+	// PCM: read 21ns, write 100ns, write energy 210.3 pJ/bit
+}
+
+// ExampleWorkloadNames lists the paper's Table 4 benchmark suite.
+func ExampleWorkloadNames() {
+	names := hybridmem.WorkloadNames()
+	sort.Strings(names)
+	fmt.Println(names)
+	// Output:
+	// [AMG2013 BT CG Graph500 Hashing SP Velvet]
+}
+
+// ExampleNConfigs walks Table 3's NMM configuration space.
+func ExampleNConfigs() {
+	for _, c := range hybridmem.NConfigs[:3] {
+		fmt.Printf("%s: %d MB DRAM cache, %d B pages\n", c.Name, c.Capacity>>20, c.PageSize)
+	}
+	// Output:
+	// N1: 128 MB DRAM cache, 4096 B pages
+	// N2: 256 MB DRAM cache, 4096 B pages
+	// N3: 512 MB DRAM cache, 4096 B pages
+}
+
+// ExampleTech_WithLatencyScale demonstrates the Figure 9 generalization
+// mechanism: scaling a base technology to stand in for a future device.
+func ExampleTech_WithLatencyScale() {
+	future := hybridmem.DRAM.WithLatencyScale(5, 2)
+	fmt.Printf("read %gns, write %gns\n", future.ReadNS, future.WriteNS)
+	// Output:
+	// read 50ns, write 20ns
+}
+
+// ExampleNewWorkload runs a workload against a custom reference-counting
+// sink — the extension point for user-defined analyses.
+func ExampleNewWorkload() {
+	w, err := hybridmem.NewWorkload("STREAM", hybridmem.WorkloadOptions{Scale: 8192, Iters: 1})
+	if err != nil {
+		panic(err)
+	}
+	var c hybridmem.Counter
+	w.Run(&c)
+	// STREAM issues 6 loads and 4 stores per element per iteration.
+	fmt.Printf("loads = 1.5x stores: %v\n", c.Loads*2 == c.Stores*3)
+	// Output:
+	// loads = 1.5x stores: true
+}

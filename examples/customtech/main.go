@@ -1,0 +1,64 @@
+// Custom technology: evaluate a hypothetical future memory device.
+//
+// The paper generalizes its results with latency/energy heat maps so that
+// technologies beyond Table 1 can be assessed. This example does the same
+// programmatically: it defines a hypothetical ReRAM-class device, validates
+// it, runs it as NVM main memory next to PCM, and then sweeps latency
+// multipliers to find its break-even envelope.
+//
+// Run with: go run ./examples/customtech
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridmem"
+)
+
+func main() {
+	// A hypothetical ReRAM-class device: reads nearly as fast as DRAM,
+	// writes 3x slower, moderate write energy, no refresh.
+	reram := hybridmem.Tech{
+		Name:          "ReRAM-2020",
+		ReadNS:        15,
+		WriteNS:       30,
+		ReadPJPerBit:  8,
+		WritePJPerBit: 45,
+		NonVolatile:   true,
+	}
+	if err := reram.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	suite, err := hybridmem.NewSuite(hybridmem.Config{
+		Workloads: []string{"AMG2013"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile := suite.Profiles[0]
+	scale := suite.Cfg.Scale
+	cfg := hybridmem.NConfigs[5] // N6
+
+	fmt.Printf("%-12s  %10s  %12s  %10s\n", "NVM", "norm time", "norm energy", "norm EDP")
+	for _, nvm := range []hybridmem.Tech{hybridmem.PCM, hybridmem.STTRAM, reram} {
+		ev, err := profile.Evaluate(hybridmem.NMM(cfg, nvm, scale, profile.Footprint))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s  %10.4f  %12.4f  %10.4f\n", nvm.Name, ev.NormTime, ev.NormEnergy, ev.NormEDP)
+	}
+
+	// How much slower could the device get before runtime parity breaks?
+	// Scale its latencies the way the paper's Figure 9 scales DRAM's.
+	fmt.Println("\nlatency envelope (read multiplier sweep on ReRAM-2020):")
+	for _, mult := range []float64{1, 2, 4, 8} {
+		scaled := reram.WithLatencyScale(mult, mult)
+		ev, err := profile.Evaluate(hybridmem.NMM(cfg, scaled, scale, profile.Footprint))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %3gx -> norm time %.4f, norm energy %.4f\n", mult, ev.NormTime, ev.NormEnergy)
+	}
+}

@@ -1,0 +1,51 @@
+// Quickstart: evaluate one hybrid-memory design point on one workload.
+//
+// This example profiles the NPB CG solver once through the reference
+// system's SRAM cache hierarchy, then asks: what happens to runtime and
+// energy if main memory becomes PCM with a 512MB DRAM cache in front of it
+// (the paper's NMM design, configuration N6)?
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridmem"
+)
+
+func main() {
+	// Profile the CG workload suite once. Scale co-divides the paper's
+	// capacities and footprints to keep the run laptop-sized.
+	suite, err := hybridmem.NewSuite(hybridmem.Config{
+		Workloads: []string{"CG"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Evaluate the NMM design (DRAM cache over PCM) across Table 3's
+	// nine configurations; rows[5] is N6, the paper's EDP sweet spot.
+	rows, err := suite.NMM(hybridmem.PCM)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("CG on NVM-as-main-memory (PCM behind a DRAM cache):")
+	fmt.Printf("%-6s  %10s  %12s  %10s\n", "config", "norm time", "norm energy", "norm EDP")
+	for _, row := range rows {
+		ev := row.PerWorkload[0]
+		fmt.Printf("%-6s  %10.4f  %12.4f  %10.4f\n", row.Label, ev.NormTime, ev.NormEnergy, ev.NormEDP)
+	}
+
+	best := rows[0]
+	for _, row := range rows[1:] {
+		if row.PerWorkload[0].NormEDP < best.PerWorkload[0].NormEDP {
+			best = row
+		}
+	}
+	ev := best.PerWorkload[0]
+	fmt.Printf("\nbest EDP: %s — %.1f%% runtime, %.1f%% energy vs. the DRAM baseline\n",
+		best.Label, (ev.NormTime-1)*100, (ev.NormEnergy-1)*100)
+}

@@ -1,0 +1,118 @@
+package hybridmem_test
+
+import (
+	"testing"
+
+	"hybridmem"
+)
+
+// tinyConfig keeps the public-API test fast.
+var tinyConfig = hybridmem.Config{
+	Scale:         64,
+	WorkloadScale: 4096,
+	Workloads:     []string{"CG"},
+}
+
+// TestPublicAPIEndToEnd exercises the full public surface: suite
+// construction, design-point evaluation, figure sweeps, NDM oracle, heat
+// maps, and reporting.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	suite, err := hybridmem.NewSuite(tinyConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite.Profiles) != 1 || suite.Profiles[0].Name != "CG" {
+		t.Fatalf("profiles = %v", suite.Profiles)
+	}
+
+	rows, err := suite.NMM(hybridmem.PCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(hybridmem.NConfigs) {
+		t.Fatalf("NMM rows = %d", len(rows))
+	}
+
+	profile := suite.Profiles[0]
+	ev, err := profile.Evaluate(hybridmem.FourLC(hybridmem.EHConfigs[0], hybridmem.EDRAM, tinyConfig.Scale, profile.Footprint))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.NormTime <= 0 || ev.NormEnergy <= 0 {
+		t.Fatalf("evaluation = %+v", ev)
+	}
+
+	if _, _, err := suite.NDM(hybridmem.STTRAM); err != nil {
+		t.Fatal(err)
+	}
+
+	hm, err := suite.LatencyHeatmap([]float64{1, 2}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := hybridmem.HeatmapTable(hm)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("heatmap table rows = %d", len(tab.Rows))
+	}
+}
+
+func TestPublicTechAccess(t *testing.T) {
+	pcm, err := hybridmem.TechByName("PCM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pcm.WriteNS != 100 {
+		t.Fatalf("PCM write latency = %g", pcm.WriteNS)
+	}
+	if got := len(hybridmem.NVMs()); got != 3 {
+		t.Fatalf("NVMs = %d", got)
+	}
+	if got := len(hybridmem.LLCs()); got != 2 {
+		t.Fatalf("LLCs = %d", got)
+	}
+	if got := len(hybridmem.WorkloadNames()); got != 7 {
+		t.Fatalf("workloads = %d", got)
+	}
+}
+
+// TestCustomWorkloadSink verifies the public trace types support custom
+// analysis: a user-provided Sink counting a workload's stream.
+func TestCustomWorkloadSink(t *testing.T) {
+	w, err := hybridmem.NewWorkload("Hashing", hybridmem.WorkloadOptions{Scale: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c hybridmem.Counter
+	w.Run(&c)
+	if c.Total() == 0 {
+		t.Fatal("no references")
+	}
+	if c.Stores == 0 {
+		t.Fatal("hash workload must store")
+	}
+}
+
+func TestCustomTechnology(t *testing.T) {
+	custom := hybridmem.Tech{
+		Name: "Custom", ReadNS: 12, WriteNS: 24,
+		ReadPJPerBit: 5, WritePJPerBit: 15, NonVolatile: true,
+	}
+	if err := custom.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w, err := hybridmem.NewWorkload("CG", hybridmem.WorkloadOptions{Scale: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, err := hybridmem.ProfileWorkload(w, 64, hybridmem.DefaultDilution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := profile.Evaluate(hybridmem.NMM(hybridmem.NConfigs[5], custom, 64, profile.Footprint))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.NormTime <= 0 {
+		t.Fatalf("evaluation = %+v", ev)
+	}
+}

@@ -1,0 +1,371 @@
+// Package cache implements the set-associative cache simulator at the core
+// of the paper's data-movement framework.
+//
+// Every level of the simulated hierarchies (on-chip SRAM L1/L2/L3, eDRAM or
+// HMC fourth-level caches, and the DRAM cache in front of NVM main memory)
+// is an instance of Cache. Following Section III.B of the paper, the
+// simulator differentiates loads from stores, tracks dirty lines under a
+// write-back/write-allocate policy, ignores clean evictions, and reports
+// dirty evictions so they can be counted as stores to the next level.
+//
+// The "line size" of a level doubles as the paper's "page size" for the
+// page-organized levels (the eDRAM/HMC L4 and the DRAM cache of the NMM
+// design, Tables 2 and 3).
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Config describes one cache level.
+type Config struct {
+	// Name labels the level in statistics (e.g. "L1", "eDRAM-L4").
+	Name string
+	// Size is the total capacity in bytes. Must be a multiple of
+	// LineSize*Assoc.
+	Size uint64
+	// LineSize is the allocation/transfer granularity in bytes (cache
+	// line for SRAM levels, page for eDRAM/HMC/DRAM-cache levels). Must
+	// be a power of two.
+	LineSize uint64
+	// Assoc is the number of ways per set. If Assoc <= 0 the cache is
+	// fully associative.
+	Assoc int
+	// WriteThrough selects a write-through, no-write-allocate policy
+	// instead of the default write-back/write-allocate: store hits
+	// update the line and propagate downstream immediately; store
+	// misses bypass the cache entirely. Lines are never dirty, so
+	// evictions are free — at the price of full store traffic below.
+	// The paper assumes write-back ("Assuming a write-back policy...");
+	// this option exists for the ablation of that design choice.
+	WriteThrough bool
+}
+
+// Validate reports an error for inconsistent configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.Size == 0:
+		return fmt.Errorf("cache %s: zero size", c.Name)
+	case c.LineSize == 0 || c.LineSize&(c.LineSize-1) != 0:
+		return fmt.Errorf("cache %s: line size %d is not a power of two", c.Name, c.LineSize)
+	case c.Size%c.LineSize != 0:
+		return fmt.Errorf("cache %s: size %d not a multiple of line size %d", c.Name, c.Size, c.LineSize)
+	}
+	lines := c.Size / c.LineSize
+	assoc := uint64(c.Assoc)
+	if c.Assoc <= 0 {
+		assoc = lines // fully associative
+	}
+	if lines%assoc != 0 {
+		return fmt.Errorf("cache %s: %d lines not divisible by associativity %d", c.Name, lines, assoc)
+	}
+	sets := lines / assoc
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d is not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// Lines returns the number of lines the configuration holds.
+func (c Config) Lines() uint64 { return c.Size / c.LineSize }
+
+// Stats accumulates per-level reference statistics. Loads and Stores count
+// requests arriving at the level (the quantities of the paper's equation 2);
+// LoadBits and StoreBits count the bits those requests transferred; FillBits
+// counts bits written into the level by line fills after misses (used for
+// dynamic energy, equation 3).
+type Stats struct {
+	Loads       uint64 // read requests (hit or miss)
+	Stores      uint64 // write requests (hit or miss)
+	LoadHits    uint64
+	StoreHits   uint64
+	LoadBits    uint64 // bits read out to serve load requests
+	StoreBits   uint64 // bits written by store requests
+	FillBits    uint64 // bits written by line fills
+	WriteBacks  uint64 // dirty lines evicted (become stores downstream)
+	Evictions   uint64 // total lines evicted (clean + dirty)
+	FlushedDirt uint64 // dirty lines drained by Flush
+	Prefetches  uint64 // lines installed by prefetch rather than demand
+}
+
+// Accesses returns the total number of requests.
+func (s Stats) Accesses() uint64 { return s.Loads + s.Stores }
+
+// Hits returns the total number of hits.
+func (s Stats) Hits() uint64 { return s.LoadHits + s.StoreHits }
+
+// Misses returns the total number of misses.
+func (s Stats) Misses() uint64 { return s.Accesses() - s.Hits() }
+
+// HitRate returns hits/accesses, or 0 for an untouched cache.
+func (s Stats) HitRate() float64 {
+	a := s.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.Hits()) / float64(a)
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Loads += o.Loads
+	s.Stores += o.Stores
+	s.LoadHits += o.LoadHits
+	s.StoreHits += o.StoreHits
+	s.LoadBits += o.LoadBits
+	s.StoreBits += o.StoreBits
+	s.FillBits += o.FillBits
+	s.WriteBacks += o.WriteBacks
+	s.Evictions += o.Evictions
+	s.FlushedDirt += o.FlushedDirt
+	s.Prefetches += o.Prefetches
+}
+
+// line is one cache line. tag is the full line address (addr >> lineShift),
+// so victim addresses can be reconstructed exactly. dirty is a bitmask of
+// dirty sectors (see Cache.sectorSize): page-organized levels track which
+// 64B sectors of a page were actually written, so an evicted page writes
+// back only its dirty sectors — essential for honest NVM write-energy
+// accounting, where a full 4KB page write costs 64x a sector write.
+type line struct {
+	tag   uint64
+	valid bool
+	dirty uint64
+}
+
+// Cache is a set-associative, write-back, write-allocate cache with LRU
+// replacement. It is not safe for concurrent use; the experiment harness
+// gives each worker its own hierarchy.
+type Cache struct {
+	cfg       Config
+	lineShift uint
+	setMask   uint64
+	assoc     int
+	// sectorSize is the dirty-tracking granularity in bytes: 64B for
+	// lines up to 4KB, larger for bigger pages (the mask has 64 bits).
+	sectorSize uint64
+	// ways[s*assoc : (s+1)*assoc] are the lines of set s, ordered most
+	// recently used first. Eviction takes the last valid entry.
+	ways  []line
+	stats Stats
+}
+
+// New builds a cache from cfg. It panics if cfg is invalid; configurations
+// come from static tables or validated user input, so an invalid one is a
+// programming error.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	lines := cfg.Lines()
+	assoc := cfg.Assoc
+	if assoc <= 0 {
+		assoc = int(lines)
+	}
+	sets := lines / uint64(assoc)
+	sector := uint64(64)
+	if cfg.LineSize < sector {
+		sector = cfg.LineSize
+	}
+	for cfg.LineSize/sector > 64 {
+		sector *= 2
+	}
+	return &Cache{
+		cfg:        cfg,
+		lineShift:  uint(bits.TrailingZeros64(cfg.LineSize)),
+		setMask:    sets - 1,
+		assoc:      assoc,
+		sectorSize: sector,
+		ways:       make([]line, lines),
+	}
+}
+
+// SectorSize returns the dirty-tracking granularity in bytes.
+func (c *Cache) SectorSize() uint64 { return c.sectorSize }
+
+// dirtyMask returns the sector bitmask covering [addr, addr+size) within
+// the line containing addr.
+func (c *Cache) dirtyMask(addr, size uint64) uint64 {
+	off := addr & (c.cfg.LineSize - 1)
+	first := off / c.sectorSize
+	last := (off + size - 1) / c.sectorSize
+	n := last - first + 1
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return ((uint64(1) << n) - 1) << first
+}
+
+// dirtyBytes converts a sector bitmask to written-back bytes.
+func (c *Cache) dirtyBytes(mask uint64) uint64 {
+	return uint64(bits.OnesCount64(mask)) * c.sectorSize
+}
+
+// Config returns the configuration the cache was built with.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the statistics without touching cache contents, so a
+// warm-up phase can be excluded from measurement.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// LineSize returns the line (page) size in bytes.
+func (c *Cache) LineSize() uint64 { return c.cfg.LineSize }
+
+// LineAddr returns the line-aligned base address containing addr.
+func (c *Cache) LineAddr(addr uint64) uint64 {
+	return addr &^ (c.cfg.LineSize - 1)
+}
+
+// Victim describes a line evicted by an access.
+type Victim struct {
+	// Addr is the base address of the evicted line.
+	Addr uint64
+	// DirtyBytes is the number of bytes that must be written back
+	// downstream (dirty sectors x sector size); zero for a clean line.
+	DirtyBytes uint64
+	// Valid reports whether an eviction happened at all.
+	Valid bool
+}
+
+// Dirty reports whether the victim carries write-back data.
+func (v Victim) Dirty() bool { return v.DirtyBytes > 0 }
+
+// Access performs one request against the cache and returns whether it hit
+// and, on a miss that evicted a line, the victim. The request must not cross
+// a line boundary (the hierarchy splits straddling references); bits counts
+// the payload size of the request for energy accounting.
+//
+// Semantics follow the paper's framework: both loads and stores allocate on
+// miss (write-allocate); stores mark the line dirty; a miss fills the line
+// (FillBits accumulates the full line) and may evict an LRU victim whose
+// dirtiness the caller turns into a downstream store.
+func (c *Cache) Access(addr uint64, sizeBytes uint64, write bool) (hit bool, victim Victim) {
+	bitsMoved := sizeBytes * 8
+	if write {
+		c.stats.Stores++
+		c.stats.StoreBits += bitsMoved
+	} else {
+		c.stats.Loads++
+		c.stats.LoadBits += bitsMoved
+	}
+
+	tag := addr >> c.lineShift
+	set := int(tag & c.setMask)
+	base := set * c.assoc
+	ways := c.ways[base : base+c.assoc]
+
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			// Hit: move to MRU position.
+			l := ways[i]
+			copy(ways[1:i+1], ways[:i])
+			if write {
+				if !c.cfg.WriteThrough {
+					l.dirty |= c.dirtyMask(addr, sizeBytes)
+				}
+				c.stats.StoreHits++
+			} else {
+				c.stats.LoadHits++
+			}
+			ways[0] = l
+			return true, Victim{}
+		}
+	}
+
+	// Write-through caches do not allocate on store misses.
+	if write && c.cfg.WriteThrough {
+		return false, Victim{}
+	}
+
+	// Miss: evict the LRU way (last slot) and install the new line at MRU.
+	last := ways[c.assoc-1]
+	if last.valid {
+		c.stats.Evictions++
+		victim = Victim{Addr: last.tag << c.lineShift, DirtyBytes: c.dirtyBytes(last.dirty), Valid: true}
+		if last.dirty != 0 {
+			c.stats.WriteBacks++
+		}
+	}
+	var dirty uint64
+	if write {
+		dirty = c.dirtyMask(addr, sizeBytes)
+	}
+	copy(ways[1:], ways[:c.assoc-1])
+	ways[0] = line{tag: tag, valid: true, dirty: dirty}
+	c.stats.FillBits += c.cfg.LineSize * 8
+	return false, victim
+}
+
+// Prefetch installs the line holding addr if it is absent, without counting
+// a demand access. It returns whether the line was already present and any
+// victim the installation evicted. Fill bits are charged as for a demand
+// fill; the Prefetches statistic counts installations.
+func (c *Cache) Prefetch(addr uint64) (present bool, victim Victim) {
+	tag := addr >> c.lineShift
+	set := int(tag & c.setMask)
+	base := set * c.assoc
+	ways := c.ways[base : base+c.assoc]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			return true, Victim{}
+		}
+	}
+	last := ways[c.assoc-1]
+	if last.valid {
+		c.stats.Evictions++
+		victim = Victim{Addr: last.tag << c.lineShift, DirtyBytes: c.dirtyBytes(last.dirty), Valid: true}
+		if last.dirty != 0 {
+			c.stats.WriteBacks++
+		}
+	}
+	copy(ways[1:], ways[:c.assoc-1])
+	ways[0] = line{tag: tag, valid: true}
+	c.stats.FillBits += c.cfg.LineSize * 8
+	c.stats.Prefetches++
+	return false, victim
+}
+
+// Contains reports whether the line holding addr is present. It does not
+// update LRU state or statistics; it exists for tests and invariants.
+func (c *Cache) Contains(addr uint64) bool {
+	tag := addr >> c.lineShift
+	set := int(tag & c.setMask)
+	base := set * c.assoc
+	for _, l := range c.ways[base : base+c.assoc] {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// DirtyLines calls fn with the base address and dirty byte count of every
+// dirty line and marks each clean. The hierarchy uses it to drain residual
+// dirty state to the next level at the end of a measurement epoch,
+// completing the paper's "dirty lines eventually make their way to main
+// memory" accounting.
+func (c *Cache) DirtyLines(fn func(addr, dirtyBytes uint64)) {
+	for i := range c.ways {
+		if c.ways[i].valid && c.ways[i].dirty != 0 {
+			db := c.dirtyBytes(c.ways[i].dirty)
+			c.ways[i].dirty = 0
+			c.stats.FlushedDirt++
+			fn(c.ways[i].tag<<c.lineShift, db)
+		}
+	}
+}
+
+// ValidLines returns the number of valid lines currently resident.
+func (c *Cache) ValidLines() uint64 {
+	var n uint64
+	for i := range c.ways {
+		if c.ways[i].valid {
+			n++
+		}
+	}
+	return n
+}

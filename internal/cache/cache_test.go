@@ -1,0 +1,419 @@
+package cache
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{
+		{Name: "a", Size: 1024, LineSize: 64, Assoc: 4},
+		{Name: "b", Size: 1 << 20, LineSize: 4096, Assoc: 16},
+		{Name: "fully", Size: 8192, LineSize: 64, Assoc: 0},
+		{Name: "l3", Size: 20 << 20, LineSize: 64, Assoc: 20},
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s should validate: %v", c.Name, err)
+		}
+	}
+	bad := []Config{
+		{Name: "zero", Size: 0, LineSize: 64, Assoc: 4},
+		{Name: "npot-line", Size: 1024, LineSize: 48, Assoc: 4},
+		{Name: "zero-line", Size: 1024, LineSize: 0, Assoc: 4},
+		{Name: "indivisible", Size: 1000, LineSize: 64, Assoc: 4},
+		{Name: "bad-assoc", Size: 1024, LineSize: 64, Assoc: 5},    // 16 lines not divisible by 5
+		{Name: "npot-sets", Size: 64 * 24, LineSize: 64, Assoc: 2}, // 12 sets
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s should fail validation", c.Name)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with invalid config should panic")
+		}
+	}()
+	New(Config{Name: "bad", Size: 0, LineSize: 64, Assoc: 1})
+}
+
+func TestBasicHitMiss(t *testing.T) {
+	c := New(Config{Name: "t", Size: 1024, LineSize: 64, Assoc: 4})
+	hit, v := c.Access(0, 8, false)
+	if hit || v.Valid {
+		t.Fatalf("first access: hit=%v victim=%v, want miss/no victim", hit, v)
+	}
+	hit, _ = c.Access(8, 8, false) // same line
+	if !hit {
+		t.Fatal("same-line access should hit")
+	}
+	hit, _ = c.Access(64, 8, false) // next line
+	if hit {
+		t.Fatal("new line should miss")
+	}
+	s := c.Stats()
+	if s.Loads != 3 || s.LoadHits != 1 {
+		t.Fatalf("stats = %+v, want 3 loads, 1 hit", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Fully associative, 4 lines of 64B = 256B.
+	c := New(Config{Name: "t", Size: 256, LineSize: 64, Assoc: 0})
+	for i := uint64(0); i < 4; i++ {
+		c.Access(i*64, 8, false)
+	}
+	// Touch line 0 to make line 1 the LRU.
+	c.Access(0, 8, false)
+	// Insert a 5th line; victim must be line 1.
+	_, v := c.Access(4*64, 8, false)
+	if !v.Valid || v.Addr != 64 {
+		t.Fatalf("victim = %+v, want line at 64", v)
+	}
+	if v.Dirty() {
+		t.Fatal("clean victim reported dirty")
+	}
+	if !c.Contains(0) || c.Contains(64) || !c.Contains(4*64) {
+		t.Fatal("cache contents wrong after eviction")
+	}
+}
+
+func TestDirtyWriteBack(t *testing.T) {
+	c := New(Config{Name: "t", Size: 128, LineSize: 64, Assoc: 0})
+	c.Access(0, 8, true)   // store: dirty line 0
+	c.Access(64, 8, false) // load line 1
+	// Evict line 0 (LRU): dirty.
+	_, v := c.Access(128, 8, false)
+	if !v.Valid || v.Addr != 0 || !v.Dirty() {
+		t.Fatalf("victim = %+v, want dirty line at 0", v)
+	}
+	if v.DirtyBytes != 64 {
+		t.Fatalf("DirtyBytes = %d, want 64 (whole 64B line, one sector)", v.DirtyBytes)
+	}
+	if c.Stats().WriteBacks != 1 {
+		t.Fatalf("WriteBacks = %d, want 1", c.Stats().WriteBacks)
+	}
+}
+
+func TestSectorDirtyTracking(t *testing.T) {
+	// A 4KB-page cache with two pages.
+	c := New(Config{Name: "page", Size: 8192, LineSize: 4096, Assoc: 0})
+	if got := c.SectorSize(); got != 64 {
+		t.Fatalf("SectorSize = %d, want 64", got)
+	}
+	// Dirty two distinct 64B sectors of page 0.
+	c.Access(0, 8, true)
+	c.Access(512, 8, true)
+	// And a store spanning sectors 16..17 (offset 1020..1092... use 1024+60, size 8 crossing 1088).
+	c.Access(1084, 8, true) // crosses sectors 16 and 17
+	c.Access(4096, 8, false)
+	// Evict page 0.
+	_, v := c.Access(8192, 8, false)
+	if !v.Valid || v.Addr != 0 {
+		t.Fatalf("victim = %+v, want page 0", v)
+	}
+	if v.DirtyBytes != 4*64 {
+		t.Fatalf("DirtyBytes = %d, want 256 (4 dirty sectors)", v.DirtyBytes)
+	}
+}
+
+func TestSectorSizeForHugePages(t *testing.T) {
+	// Pages bigger than 64x64B need larger sectors to fit the mask.
+	c := New(Config{Name: "huge", Size: 64 << 10, LineSize: 16 << 10, Assoc: 0})
+	if got := c.SectorSize(); got != 256 {
+		t.Fatalf("SectorSize = %d, want 256", got)
+	}
+	c.Access(0, 8, true)
+	_, v := c.Access(16<<10, 8, false)
+	_, v2 := c.Access(32<<10, 8, false)
+	_, v3 := c.Access(48<<10, 8, false)
+	_, v4 := c.Access(1<<20, 8, false)
+	_ = v
+	_ = v2
+	_ = v3
+	if !v4.Valid || v4.DirtyBytes != 256 {
+		t.Fatalf("huge-page victim = %+v, want 256 dirty bytes", v4)
+	}
+}
+
+func TestWriteAllocateDirtyOnMiss(t *testing.T) {
+	c := New(Config{Name: "t", Size: 64, LineSize: 64, Assoc: 0})
+	c.Access(0, 8, true) // store miss: allocate + dirty
+	_, v := c.Access(64, 8, false)
+	if !v.Dirty() {
+		t.Fatal("store-allocated line should be dirty on eviction")
+	}
+}
+
+func TestDirtyLines(t *testing.T) {
+	c := New(Config{Name: "t", Size: 256, LineSize: 64, Assoc: 0})
+	c.Access(0, 8, true)
+	c.Access(64, 8, false)
+	c.Access(128, 8, true)
+	var got []uint64
+	var bytes uint64
+	c.DirtyLines(func(addr, db uint64) {
+		got = append(got, addr)
+		bytes += db
+	})
+	if len(got) != 2 {
+		t.Fatalf("DirtyLines visited %v, want 2 lines", got)
+	}
+	if bytes != 128 {
+		t.Fatalf("flushed %d dirty bytes, want 128", bytes)
+	}
+	if c.Stats().FlushedDirt != 2 {
+		t.Fatalf("FlushedDirt = %d, want 2", c.Stats().FlushedDirt)
+	}
+	// Second flush finds nothing.
+	c.DirtyLines(func(addr, db uint64) { t.Errorf("unexpected dirty line %#x", addr) })
+}
+
+func TestStatsBitsAccounting(t *testing.T) {
+	c := New(Config{Name: "t", Size: 1024, LineSize: 64, Assoc: 0})
+	c.Access(0, 8, false)  // miss: 64 load bits + fill 512
+	c.Access(0, 16, true)  // hit: 128 store bits
+	c.Access(64, 4, false) // miss: 32 load bits + fill 512
+	s := c.Stats()
+	if s.LoadBits != 64+32 {
+		t.Errorf("LoadBits = %d, want 96", s.LoadBits)
+	}
+	if s.StoreBits != 128 {
+		t.Errorf("StoreBits = %d, want 128", s.StoreBits)
+	}
+	if s.FillBits != 2*512 {
+		t.Errorf("FillBits = %d, want 1024", s.FillBits)
+	}
+}
+
+func TestResetStatsKeepsContents(t *testing.T) {
+	c := New(Config{Name: "t", Size: 1024, LineSize: 64, Assoc: 0})
+	c.Access(0, 8, false)
+	c.ResetStats()
+	if c.Stats().Accesses() != 0 {
+		t.Fatal("ResetStats did not zero stats")
+	}
+	if hit, _ := c.Access(0, 8, false); !hit {
+		t.Fatal("ResetStats must not evict contents")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Loads: 1, Stores: 2, LoadHits: 3, StoreHits: 4, LoadBits: 5, StoreBits: 6, FillBits: 7, WriteBacks: 8, Evictions: 9, FlushedDirt: 10}
+	b := a
+	b.Add(a)
+	if b.Loads != 2 || b.FlushedDirt != 20 || b.FillBits != 14 {
+		t.Fatalf("Add wrong: %+v", b)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	var s Stats
+	if s.HitRate() != 0 {
+		t.Error("empty stats hit rate should be 0")
+	}
+	s = Stats{Loads: 8, LoadHits: 4, Stores: 2, StoreHits: 2}
+	if got := s.HitRate(); got != 0.6 {
+		t.Errorf("HitRate = %g, want 0.6", got)
+	}
+	if s.Misses() != 4 {
+		t.Errorf("Misses = %d, want 4", s.Misses())
+	}
+}
+
+// refModel is an oracle: a per-set LRU cache implemented with explicit
+// slices, for differential testing against the production implementation.
+type refModel struct {
+	lineSize uint64
+	sets     int
+	assoc    int
+	sets_    [][]uint64 // line addresses, MRU first
+}
+
+func newRefModel(size, lineSize uint64, assoc int) *refModel {
+	lines := int(size / lineSize)
+	if assoc <= 0 {
+		assoc = lines
+	}
+	m := &refModel{lineSize: lineSize, sets: lines / assoc, assoc: assoc}
+	m.sets_ = make([][]uint64, m.sets)
+	return m
+}
+
+func (m *refModel) access(addr uint64) bool {
+	la := addr &^ (m.lineSize - 1)
+	set := int((la / m.lineSize) % uint64(m.sets))
+	s := m.sets_[set]
+	for i, a := range s {
+		if a == la {
+			copy(s[1:i+1], s[:i])
+			s[0] = la
+			return true
+		}
+	}
+	s = append([]uint64{la}, s...)
+	if len(s) > m.assoc {
+		s = s[:m.assoc]
+	}
+	m.sets_[set] = s
+	return false
+}
+
+// TestDifferentialLRU compares hit/miss decisions against the oracle over
+// random streams for several geometries.
+func TestDifferentialLRU(t *testing.T) {
+	geoms := []struct {
+		size, line uint64
+		assoc      int
+	}{
+		{1024, 64, 4},
+		{4096, 64, 0}, // fully associative
+		{8192, 256, 8},
+		{32768, 64, 8},
+		{16384, 4096, 2},
+	}
+	for _, g := range geoms {
+		c := New(Config{Name: "dut", Size: g.size, LineSize: g.line, Assoc: g.assoc})
+		m := newRefModel(g.size, g.line, g.assoc)
+		rng := rand.New(rand.NewPCG(1, 2))
+		for i := 0; i < 20000; i++ {
+			addr := rng.Uint64N(g.size * 8)
+			write := rng.Uint64N(4) == 0
+			gotHit, _ := c.Access(addr, 1, write)
+			wantHit := m.access(addr)
+			if gotHit != wantHit {
+				t.Fatalf("geom %+v, access %d (addr %#x): hit=%v, oracle=%v", g, i, addr, gotHit, wantHit)
+			}
+		}
+	}
+}
+
+// TestStatsInvariants is a property test over random streams: structural
+// identities that must always hold.
+func TestStatsInvariants(t *testing.T) {
+	f := func(seed uint64, nOps uint16) bool {
+		c := New(Config{Name: "p", Size: 2048, LineSize: 64, Assoc: 4})
+		rng := rand.New(rand.NewPCG(seed, 99))
+		var loads, stores uint64
+		for i := 0; i < int(nOps); i++ {
+			write := rng.Uint64N(2) == 0
+			c.Access(rng.Uint64N(1<<14)&^7, 8, write)
+			if write {
+				stores++
+			} else {
+				loads++
+			}
+		}
+		s := c.Stats()
+		switch {
+		case s.Loads != loads || s.Stores != stores:
+			return false
+		case s.Hits() > s.Accesses():
+			return false
+		case s.WriteBacks > s.Evictions:
+			return false
+		case s.Evictions > s.Misses():
+			return false
+		}
+		// Resident lines = misses - evictions (each miss installs one,
+		// each eviction removes one).
+		return c.ValidLines() == s.Misses()-s.Evictions
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	c := New(Config{Name: "t", Size: 1024, LineSize: 256, Assoc: 0})
+	if got := c.LineAddr(0x1234); got != 0x1200 {
+		t.Errorf("LineAddr(0x1234) = %#x, want 0x1200", got)
+	}
+}
+
+func TestConfigLines(t *testing.T) {
+	c := Config{Size: 1 << 20, LineSize: 64}
+	if got := c.Lines(); got != 16384 {
+		t.Errorf("Lines() = %d, want 16384", got)
+	}
+}
+
+// TestVictimAddressReconstruction verifies evicted addresses are exact even
+// for high address bits (full-tag storage).
+func TestVictimAddressReconstruction(t *testing.T) {
+	c := New(Config{Name: "t", Size: 64, LineSize: 64, Assoc: 0})
+	high := uint64(0xdeadbeef000)
+	c.Access(high+32, 8, true)
+	_, v := c.Access(0, 8, false)
+	if v.Addr != high {
+		t.Fatalf("victim addr = %#x, want %#x", v.Addr, high)
+	}
+}
+
+func TestWriteThroughPolicy(t *testing.T) {
+	c := New(Config{Name: "wt", Size: 256, LineSize: 64, Assoc: 0, WriteThrough: true})
+	// Store miss: no allocation.
+	hit, v := c.Access(0, 8, true)
+	if hit || v.Valid {
+		t.Fatalf("WT store miss: hit=%v victim=%v", hit, v)
+	}
+	if c.Contains(0) {
+		t.Fatal("WT store miss must not allocate")
+	}
+	// Load miss allocates; subsequent store hit never dirties.
+	c.Access(0, 8, false)
+	c.Access(0, 8, true)
+	var dirty int
+	c.DirtyLines(func(addr, db uint64) { dirty++ })
+	if dirty != 0 {
+		t.Fatal("WT cache must never hold dirty lines")
+	}
+	// Evictions of WT lines are clean.
+	for i := uint64(1); i <= 4; i++ {
+		_, v := c.Access(i*64, 8, false)
+		if v.Dirty() {
+			t.Fatal("WT eviction reported dirty")
+		}
+	}
+	if c.Stats().WriteBacks != 0 {
+		t.Fatalf("WT writebacks = %d", c.Stats().WriteBacks)
+	}
+}
+
+func TestPrefetchInstall(t *testing.T) {
+	c := New(Config{Name: "pf", Size: 256, LineSize: 64, Assoc: 0})
+	present, v := c.Prefetch(128)
+	if present || v.Valid {
+		t.Fatalf("cold prefetch: present=%v victim=%v", present, v)
+	}
+	if !c.Contains(128) {
+		t.Fatal("prefetch did not install")
+	}
+	if present, _ := c.Prefetch(128); !present {
+		t.Fatal("second prefetch should find the line")
+	}
+	s := c.Stats()
+	if s.Prefetches != 1 {
+		t.Fatalf("Prefetches = %d, want 1", s.Prefetches)
+	}
+	if s.Loads != 0 || s.Stores != 0 {
+		t.Fatal("prefetch must not count demand accesses")
+	}
+	if s.FillBits != 512 {
+		t.Fatalf("prefetch fill bits = %d", s.FillBits)
+	}
+}
+
+func TestPrefetchEvictsDirty(t *testing.T) {
+	c := New(Config{Name: "pf", Size: 64, LineSize: 64, Assoc: 0})
+	c.Access(0, 8, true) // dirty resident line
+	_, v := c.Prefetch(64)
+	if !v.Valid || !v.Dirty() {
+		t.Fatalf("prefetch eviction victim = %+v", v)
+	}
+}

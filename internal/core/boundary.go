@@ -1,0 +1,94 @@
+package core
+
+import (
+	"hybridmem/internal/cache"
+	"hybridmem/internal/tech"
+	"hybridmem/internal/trace"
+)
+
+// RecordingMemory is a Memory terminal that records the reference stream
+// reaching it. Placed below the shared L1/L2/L3 SRAM prefix, it captures
+// exactly the stream that any back end (an eDRAM/HMC L4, a DRAM cache over
+// NVM, a bare or partitioned main memory) would observe, so one expensive
+// full-stream simulation per workload serves every design point.
+//
+// The recorded stream preserves load/store distinction: loads are L3 line
+// fetches; stores are dirty L3 evictions — the two traffic classes of the
+// paper's Section III.B accounting.
+type RecordingMemory struct {
+	Recorder trace.Recorder
+	lineSize uint32
+	ms       memStats
+}
+
+// NewRecordingMemory returns a recorder expecting requests of the given
+// transfer size (the line size of the level directly above it).
+func NewRecordingMemory(lineSize uint64) *RecordingMemory {
+	return &RecordingMemory{lineSize: uint32(lineSize)}
+}
+
+// Load records a read reference.
+func (m *RecordingMemory) Load(addr, sizeBytes uint64) {
+	m.ms.load(sizeBytes)
+	m.Recorder.Access(trace.Ref{Addr: addr, Size: uint32(sizeBytes), Kind: trace.Load})
+}
+
+// Store records a write reference.
+func (m *RecordingMemory) Store(addr, sizeBytes uint64) {
+	m.ms.store(sizeBytes)
+	m.Recorder.Access(trace.Ref{Addr: addr, Size: uint32(sizeBytes), Kind: trace.Store})
+}
+
+// Modules reports the stream the recorder absorbed, attributed to a
+// placeholder technology; callers normally discard it and replay
+// Recorder.Refs into real back ends.
+func (m *RecordingMemory) Modules() []LevelStats {
+	return []LevelStats{{Name: "boundary", Tech: tech.DRAM, Stats: m.ms.stats}}
+}
+
+// Refs returns the recorded boundary stream.
+func (m *RecordingMemory) Refs() []trace.Ref { return m.Recorder.Refs }
+
+// Backend is a partial hierarchy: the levels below the shared SRAM prefix
+// plus the memory terminal. Replaying a recorded boundary stream into a
+// Backend reproduces exactly what a full simulation of prefix+backend would
+// have produced for these levels.
+type Backend struct {
+	h *Hierarchy
+}
+
+// NewBackend builds a backend from levels (possibly empty) and a terminal.
+func NewBackend(levels []Level, mem Memory) (*Backend, error) {
+	h, err := NewHierarchy(levels, mem)
+	if err != nil {
+		return nil, err
+	}
+	return &Backend{h: h}, nil
+}
+
+// Replay streams refs through the backend and flushes residual dirty state.
+func (b *Backend) Replay(refs []trace.Ref) {
+	for _, r := range refs {
+		b.h.Access(r)
+	}
+	b.h.Flush()
+}
+
+// Access feeds one reference (for online use without recording).
+func (b *Backend) Access(r trace.Ref) { b.h.Access(r) }
+
+// Flush drains dirty lines downward.
+func (b *Backend) Flush() { b.h.Flush() }
+
+// Snapshot returns the backend's level and memory statistics.
+func (b *Backend) Snapshot() []LevelStats { return b.h.Snapshot() }
+
+// CacheStats returns statistics of the backend's cache levels only.
+func (b *Backend) CacheStats() []cache.Stats {
+	ls := b.h.Levels()
+	out := make([]cache.Stats, len(ls))
+	for i, l := range ls {
+		out[i] = l.Stats
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+// Package core assembles cache levels and a main-memory terminal into the
+// multi-level hierarchy simulator that is the paper's primary instrument.
+//
+// A Hierarchy is a trace.Sink: workloads stream references into it online,
+// exactly as the paper's PEBIL-instrumented binaries stream into its cache
+// simulator, and no trace is ever materialized. Misses propagate downward,
+// write-allocate fetches count as loads on the level below, and dirty
+// evictions count as stores on the level below (Section III.B).
+//
+// The package also provides the boundary-recording optimization used by the
+// experiment harness: because every design in the paper shares the same
+// L1/L2/L3 SRAM prefix, the post-L3 reference stream can be captured once
+// per workload and replayed into each candidate back end (eDRAM/HMC L4,
+// DRAM cache, NVM, partitioned memory) at a fraction of the cost.
+package core
+
+import (
+	"fmt"
+
+	"hybridmem/internal/cache"
+	"hybridmem/internal/tech"
+	"hybridmem/internal/trace"
+)
+
+// Level is one cache level paired with the technology that implements it.
+type Level struct {
+	Cache *cache.Cache
+	Tech  tech.Tech
+	// StaticCapacity overrides the capacity used for static-power
+	// accounting (zero means the cache's configured size).
+	StaticCapacity uint64
+	// PrefetchNext enables a next-line prefetcher at this level: on a
+	// demand load miss, the following N lines are fetched from below and
+	// installed (if absent), trading extra downstream traffic for
+	// spatial-locality hits.
+	PrefetchNext int
+}
+
+// LevelStats is a snapshot of one level's configuration, technology, and
+// accumulated statistics, in the form the performance model consumes.
+type LevelStats struct {
+	Name     string
+	Tech     tech.Tech
+	Capacity uint64
+	Stats    cache.Stats
+}
+
+// Memory is the terminal of a hierarchy: it absorbs every load that missed
+// all cache levels and every dirty write-back that reached the bottom.
+type Memory interface {
+	// Load records a read of sizeBytes at addr.
+	Load(addr, sizeBytes uint64)
+	// Store records a write of sizeBytes at addr.
+	Store(addr, sizeBytes uint64)
+	// Modules returns per-module statistics (one module for a uniform
+	// memory, two for the NDM partitioned memory).
+	Modules() []LevelStats
+}
+
+// Hierarchy chains cache levels over a Memory terminal and implements
+// trace.Sink.
+type Hierarchy struct {
+	levels []Level
+	mem    Memory
+	refs   uint64 // total references accepted (denominator of AMAT, eq. 2)
+}
+
+// NewHierarchy builds a hierarchy from the given levels (ordered from the
+// level closest to the CPU) and terminal memory. Line sizes must not shrink
+// going down the hierarchy: each level's line must fit in one line of the
+// level below, preserving inclusion-free simplicity of the transfer model.
+func NewHierarchy(levels []Level, mem Memory) (*Hierarchy, error) {
+	if mem == nil {
+		return nil, fmt.Errorf("core: nil memory terminal")
+	}
+	for i := 1; i < len(levels); i++ {
+		if levels[i].Cache.LineSize() < levels[i-1].Cache.LineSize() {
+			return nil, fmt.Errorf("core: level %d line size %d smaller than level %d line size %d",
+				i, levels[i].Cache.LineSize(), i-1, levels[i-1].Cache.LineSize())
+		}
+	}
+	for i, l := range levels {
+		if err := l.Tech.Validate(); err != nil {
+			return nil, fmt.Errorf("core: level %d: %w", i, err)
+		}
+	}
+	return &Hierarchy{levels: levels, mem: mem}, nil
+}
+
+// MustHierarchy is NewHierarchy that panics on error, for static design
+// tables whose validity is a program invariant.
+func MustHierarchy(levels []Level, mem Memory) *Hierarchy {
+	h, err := NewHierarchy(levels, mem)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Access feeds one reference into the top of the hierarchy. References that
+// straddle a top-level line boundary are split, as hardware would.
+func (h *Hierarchy) Access(r trace.Ref) {
+	h.refs++
+	size := uint64(r.Size)
+	if size == 0 {
+		size = 1
+	}
+	write := r.Kind == trace.Store
+	if len(h.levels) == 0 {
+		if write {
+			h.mem.Store(r.Addr, size)
+		} else {
+			h.mem.Load(r.Addr, size)
+		}
+		return
+	}
+	lineSize := h.levels[0].Cache.LineSize()
+	addr := r.Addr
+	for size > 0 {
+		lineEnd := (addr &^ (lineSize - 1)) + lineSize
+		chunk := lineEnd - addr
+		if chunk > size {
+			chunk = size
+		}
+		h.request(0, addr, chunk, write)
+		addr += chunk
+		size -= chunk
+	}
+}
+
+// request delivers a request of sizeBytes at addr to the given level,
+// recursing downward on misses and dirty evictions. A request never crosses
+// a line boundary of the level it targets (callers guarantee it for level 0;
+// recursion guarantees it below because line sizes are non-decreasing and
+// aligned).
+func (h *Hierarchy) request(level int, addr, sizeBytes uint64, write bool) {
+	if level == len(h.levels) {
+		if write {
+			h.mem.Store(addr, sizeBytes)
+		} else {
+			h.mem.Load(addr, sizeBytes)
+		}
+		return
+	}
+	lv := &h.levels[level]
+	c := lv.Cache
+	hit, victim := c.Access(addr, sizeBytes, write)
+	if write && c.Config().WriteThrough {
+		// Write-through: the store always propagates downstream, and
+		// store misses did not allocate.
+		h.request(level+1, addr, sizeBytes, true)
+		return
+	}
+	if hit {
+		return
+	}
+	// Write-allocate: fetch the full line from below. The fetch is a load
+	// on the level below regardless of whether this request is a store.
+	h.request(level+1, c.LineAddr(addr), c.LineSize(), false)
+	if victim.Valid && victim.Dirty() {
+		// Dirty eviction becomes a store to the level below, sized by
+		// the sectors actually dirtied.
+		h.request(level+1, victim.Addr, victim.DirtyBytes, true)
+	}
+	if !write && lv.PrefetchNext > 0 {
+		base := c.LineAddr(addr)
+		for k := 1; k <= lv.PrefetchNext; k++ {
+			pa := base + uint64(k)*c.LineSize()
+			present, pv := c.Prefetch(pa)
+			if present {
+				continue
+			}
+			h.request(level+1, pa, c.LineSize(), false)
+			if pv.Valid && pv.Dirty() {
+				h.request(level+1, pv.Addr, pv.DirtyBytes, true)
+			}
+		}
+	}
+}
+
+// Flush drains dirty lines from every level downward, so that residual dirty
+// state is charged as main-memory stores ("dirty cache lines eventually make
+// their way to the main memory"). Call it once at the end of a workload.
+func (h *Hierarchy) Flush() {
+	for i := range h.levels {
+		c := h.levels[i].Cache
+		c.DirtyLines(func(addr, dirtyBytes uint64) {
+			h.request(i+1, addr, dirtyBytes, true)
+		})
+	}
+}
+
+// Refs returns the total number of references accepted by Access.
+func (h *Hierarchy) Refs() uint64 { return h.refs }
+
+// Levels returns per-level snapshots ordered from the CPU outward, excluding
+// the memory terminal.
+func (h *Hierarchy) Levels() []LevelStats {
+	out := make([]LevelStats, len(h.levels))
+	for i, l := range h.levels {
+		capacity := l.Cache.Config().Size
+		if l.StaticCapacity != 0 {
+			capacity = l.StaticCapacity
+		}
+		out[i] = LevelStats{
+			Name:     l.Cache.Config().Name,
+			Tech:     l.Tech,
+			Capacity: capacity,
+			Stats:    l.Cache.Stats(),
+		}
+	}
+	return out
+}
+
+// Memory returns the terminal.
+func (h *Hierarchy) Memory() Memory { return h.mem }
+
+// Snapshot returns all level snapshots — caches followed by memory modules.
+func (h *Hierarchy) Snapshot() []LevelStats {
+	return append(h.Levels(), h.mem.Modules()...)
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hybridmem/internal/cache"
+	"hybridmem/internal/tech"
+)
+
+// memStats accumulates terminal-memory statistics in cache.Stats form so the
+// model can treat caches and memory modules uniformly. For memory, every
+// access "hits" (there is nothing below), and there are no fills.
+type memStats struct {
+	stats cache.Stats
+}
+
+func (m *memStats) load(sizeBytes uint64) {
+	m.stats.Loads++
+	m.stats.LoadHits++
+	m.stats.LoadBits += sizeBytes * 8
+}
+
+func (m *memStats) store(sizeBytes uint64) {
+	m.stats.Stores++
+	m.stats.StoreHits++
+	m.stats.StoreBits += sizeBytes * 8
+}
+
+// SimpleMemory is a uniform main memory built from a single technology
+// (DRAM in the reference and 4LC designs; PCM, STT-RAM, or FeRAM in the NMM
+// and 4LCNVM designs).
+type SimpleMemory struct {
+	Name     string
+	Tech     tech.Tech
+	Capacity uint64
+	ms       memStats
+}
+
+// NewSimpleMemory returns a memory of the given technology and capacity.
+// Capacity only influences static power, mirroring the paper's "DRAM large
+// enough for the footprint" assumption.
+func NewSimpleMemory(name string, t tech.Tech, capacity uint64) *SimpleMemory {
+	return &SimpleMemory{Name: name, Tech: t, Capacity: capacity}
+}
+
+// Load records a read.
+func (m *SimpleMemory) Load(addr, sizeBytes uint64) { m.ms.load(sizeBytes) }
+
+// Store records a write.
+func (m *SimpleMemory) Store(addr, sizeBytes uint64) { m.ms.store(sizeBytes) }
+
+// Modules returns the single module's statistics.
+func (m *SimpleMemory) Modules() []LevelStats {
+	return []LevelStats{{Name: m.Name, Tech: m.Tech, Capacity: m.Capacity, Stats: m.ms.stats}}
+}
+
+// Stats returns the accumulated statistics.
+func (m *SimpleMemory) Stats() cache.Stats { return m.ms.stats }
+
+// AddrRange is a half-open address interval [Start, End).
+type AddrRange struct {
+	Start uint64
+	End   uint64
+}
+
+// Contains reports whether addr falls in the range.
+func (r AddrRange) Contains(addr uint64) bool { return addr >= r.Start && addr < r.End }
+
+// Size returns the range length in bytes.
+func (r AddrRange) Size() uint64 {
+	if r.End < r.Start {
+		return 0
+	}
+	return r.End - r.Start
+}
+
+// Overlaps reports whether two ranges intersect.
+func (r AddrRange) Overlaps(o AddrRange) bool { return r.Start < o.End && o.Start < r.End }
+
+// String formats the range.
+func (r AddrRange) String() string { return fmt.Sprintf("[%#x,%#x)", r.Start, r.End) }
+
+// PartitionedMemory is the NDM design's main memory: a statically
+// partitioned address space in which the listed ranges live on one
+// technology (typically NVM) and everything else on the other (typically
+// DRAM). The paper's oracle placement decides the ranges.
+type PartitionedMemory struct {
+	ranges []AddrRange // sorted by Start; addresses here go to rangeTech
+
+	rangeName string
+	rangeTech tech.Tech
+	rangeCap  uint64
+	rangeMS   memStats
+
+	otherName string
+	otherTech tech.Tech
+	otherCap  uint64
+	otherMS   memStats
+}
+
+// NewPartitionedMemory builds an NDM memory. Ranges must be non-overlapping;
+// they are sorted internally. rangeTech/rangeCap describe the module holding
+// the ranges, otherTech/otherCap the module holding everything else.
+func NewPartitionedMemory(ranges []AddrRange,
+	rangeName string, rangeTech tech.Tech, rangeCap uint64,
+	otherName string, otherTech tech.Tech, otherCap uint64) (*PartitionedMemory, error) {
+	rs := append([]AddrRange(nil), ranges...)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Start < rs[j].Start })
+	for i := 1; i < len(rs); i++ {
+		if rs[i-1].Overlaps(rs[i]) {
+			return nil, fmt.Errorf("core: overlapping partition ranges %v and %v", rs[i-1], rs[i])
+		}
+	}
+	return &PartitionedMemory{
+		ranges:    rs,
+		rangeName: rangeName, rangeTech: rangeTech, rangeCap: rangeCap,
+		otherName: otherName, otherTech: otherTech, otherCap: otherCap,
+	}, nil
+}
+
+// inRange reports whether addr belongs to the range-side module, by binary
+// search over the sorted ranges.
+func (m *PartitionedMemory) inRange(addr uint64) bool {
+	lo, hi := 0, len(m.ranges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case addr < m.ranges[mid].Start:
+			hi = mid
+		case addr >= m.ranges[mid].End:
+			lo = mid + 1
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Load records a read against the module owning addr.
+func (m *PartitionedMemory) Load(addr, sizeBytes uint64) {
+	if m.inRange(addr) {
+		m.rangeMS.load(sizeBytes)
+	} else {
+		m.otherMS.load(sizeBytes)
+	}
+}
+
+// Store records a write against the module owning addr.
+func (m *PartitionedMemory) Store(addr, sizeBytes uint64) {
+	if m.inRange(addr) {
+		m.rangeMS.store(sizeBytes)
+	} else {
+		m.otherMS.store(sizeBytes)
+	}
+}
+
+// Modules returns both modules' statistics: the range-side module first.
+func (m *PartitionedMemory) Modules() []LevelStats {
+	return []LevelStats{
+		{Name: m.rangeName, Tech: m.rangeTech, Capacity: m.rangeCap, Stats: m.rangeMS.stats},
+		{Name: m.otherName, Tech: m.otherTech, Capacity: m.otherCap, Stats: m.otherMS.stats},
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"hybridmem/internal/tech"
+)
+
+func newRB(t *testing.T, rowSize, banks uint64) *RowBufferMemory {
+	t.Helper()
+	m, err := NewRowBufferMemory("m", tech.DRAM, 1<<30, rowSize, banks, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRowBufferValidation(t *testing.T) {
+	if _, err := NewRowBufferMemory("m", tech.DRAM, 1<<30, 3000, 4, 0.5); err == nil {
+		t.Error("non-power-of-two row size should fail")
+	}
+	m, err := NewRowBufferMemory("m", tech.DRAM, 1<<30, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.rowSize != DefaultRowSize || m.banks != DefaultBanks || m.hitFraction != DefaultRowHitFraction {
+		t.Fatal("defaults not applied")
+	}
+}
+
+func TestRowBufferHitAndMiss(t *testing.T) {
+	m := newRB(t, 4096, 4)
+	m.Load(0, 64)    // cold: miss, opens row 0 of bank 0
+	m.Load(512, 64)  // same row: hit
+	m.Store(100, 64) // same row: hit
+	m.Load(4096, 64) // row 1 -> bank 1: miss
+	m.Load(0, 64)    // bank 0 row still open: hit
+	mods := m.Modules()
+	hit, miss := mods[0].Stats, mods[1].Stats
+	if hit.Accesses() != 3 || miss.Accesses() != 2 {
+		t.Fatalf("hits %d, misses %d; want 3/2", hit.Accesses(), miss.Accesses())
+	}
+	if hit.Stores != 1 {
+		t.Fatalf("hit stores = %d", hit.Stores)
+	}
+	if got := m.RowHitRate(); got != 0.6 {
+		t.Fatalf("hit rate = %g", got)
+	}
+}
+
+func TestRowBufferConflict(t *testing.T) {
+	m := newRB(t, 4096, 4)
+	// Rows 0 and 4 both map to bank 0: alternating accesses always miss.
+	for i := 0; i < 10; i++ {
+		m.Load(0, 64)
+		m.Load(4*4096, 64)
+	}
+	if m.RowHitRate() != 0 {
+		t.Fatalf("conflict pattern hit rate = %g, want 0", m.RowHitRate())
+	}
+}
+
+func TestRowBufferStreamingHits(t *testing.T) {
+	m := newRB(t, 4096, 4)
+	// Sequential 64B reads: 64 accesses per row, 1 miss each.
+	for addr := uint64(0); addr < 16*4096; addr += 64 {
+		m.Load(addr, 64)
+	}
+	want := 1.0 - 1.0/64.0
+	if got := m.RowHitRate(); got != want {
+		t.Fatalf("streaming hit rate = %g, want %g", got, want)
+	}
+}
+
+func TestRowBufferModulesShape(t *testing.T) {
+	m := newRB(t, 4096, 4)
+	m.Load(0, 64)
+	mods := m.Modules()
+	if len(mods) != 2 {
+		t.Fatalf("modules = %d", len(mods))
+	}
+	hitT, missT := mods[0].Tech, mods[1].Tech
+	if hitT.ReadNS >= missT.ReadNS {
+		t.Fatal("row-hit latency must be below row-miss latency")
+	}
+	if hitT.StaticPowerW(1<<30) != 0 {
+		t.Fatal("row-hit pseudo-module must not double-charge static power")
+	}
+	if mods[0].Capacity != 0 || mods[1].Capacity != 1<<30 {
+		t.Fatal("capacity must live on the miss module only")
+	}
+}
+
+// TestRowBufferConservation: hits + misses always equals total accesses,
+// and bits are conserved, over random traffic.
+func TestRowBufferConservation(t *testing.T) {
+	m := newRB(t, 4096, 16)
+	rng := rand.New(rand.NewPCG(5, 6))
+	var accesses, bits uint64
+	for i := 0; i < 50000; i++ {
+		addr := rng.Uint64N(1 << 28)
+		size := uint64(8) << rng.Uint64N(4)
+		if rng.Uint64N(2) == 0 {
+			m.Load(addr, size)
+		} else {
+			m.Store(addr, size)
+		}
+		accesses++
+		bits += size * 8
+	}
+	mods := m.Modules()
+	gotAcc := mods[0].Stats.Accesses() + mods[1].Stats.Accesses()
+	gotBits := mods[0].Stats.LoadBits + mods[0].Stats.StoreBits +
+		mods[1].Stats.LoadBits + mods[1].Stats.StoreBits
+	if gotAcc != accesses || gotBits != bits {
+		t.Fatalf("conservation broken: %d/%d accesses, %d/%d bits", gotAcc, accesses, gotBits, bits)
+	}
+}

@@ -1,0 +1,126 @@
+// Package cost estimates total cost of ownership for memory-hierarchy
+// designs — the consideration the paper explicitly leaves out ("We have not
+// factored in the cost (e.g. total cost of ownership)").
+//
+// TCO = capital cost of every memory module (capacity x $/GB) plus the
+// electricity to run the hierarchy at its modelled average power for a
+// deployment lifetime. Per-GB prices are rough, documented assumptions in
+// the spirit of the paper's Table 1 sourcing: the point is relative
+// comparisons between designs, and the price table is a parameter.
+package cost
+
+import (
+	"fmt"
+
+	"hybridmem/internal/core"
+	"hybridmem/internal/model"
+)
+
+// Params parameterizes a TCO estimate.
+type Params struct {
+	// DollarsPerGB maps technology names to capital cost. Technologies
+	// missing from the map use Default.
+	DollarsPerGB map[string]float64
+	// DefaultDollarsPerGB applies to unlisted technologies.
+	DefaultDollarsPerGB float64
+	// EnergyDollarsPerKWh is the electricity price.
+	EnergyDollarsPerKWh float64
+	// LifetimeYears is the deployment period.
+	LifetimeYears float64
+	// DutyCycle is the fraction of the lifetime spent running the
+	// modelled workload mix.
+	DutyCycle float64
+}
+
+// DefaultParams returns a plausible 2014-era parameter set: DRAM at
+// commodity DDR3 pricing, PCM cheaper per bit (its density argument),
+// STT-RAM and FeRAM at early-volume premiums, on-package eDRAM and stacked
+// HMC expensive, SRAM (counted via its cache capacities) very expensive.
+func DefaultParams() Params {
+	return Params{
+		DollarsPerGB: map[string]float64{
+			"DRAM":    8,
+			"PCM":     2,
+			"STTRAM":  25,
+			"FeRAM":   30,
+			"eDRAM":   80,
+			"HMC":     40,
+			"SRAM-L1": 1000,
+			"SRAM-L2": 800,
+			"SRAM-L3": 400,
+		},
+		DefaultDollarsPerGB: 10,
+		EnergyDollarsPerKWh: 0.12,
+		LifetimeYears:       5,
+		DutyCycle:           0.7,
+	}
+}
+
+// TCO is one design's cost breakdown.
+type TCO struct {
+	// CapexUSD is the purchase cost of all memory modules.
+	CapexUSD float64
+	// EnergyUSD is the lifetime electricity cost at the modelled
+	// average power.
+	EnergyUSD float64
+	// AvgPowerW is the power used for the energy term.
+	AvgPowerW float64
+}
+
+// TotalUSD returns capital plus energy cost.
+func (t TCO) TotalUSD() float64 { return t.CapexUSD + t.EnergyUSD }
+
+// String formats the estimate.
+func (t TCO) String() string {
+	return fmt.Sprintf("$%.2f capex + $%.2f energy (%.3f W avg) = $%.2f",
+		t.CapexUSD, t.EnergyUSD, t.AvgPowerW, t.TotalUSD())
+}
+
+// priceFor resolves a technology's $/GB.
+func (p Params) priceFor(techName string) float64 {
+	if v, ok := p.DollarsPerGB[techName]; ok {
+		return v
+	}
+	return p.DefaultDollarsPerGB
+}
+
+// Estimate computes TCO for a design whose memory levels are described by
+// modules (capacities and technologies) and whose modelled run is ev (the
+// average power is ev's total energy over its runtime).
+func Estimate(p Params, modules []core.LevelStats, ev model.Evaluation) (TCO, error) {
+	if p.LifetimeYears <= 0 || p.DutyCycle < 0 || p.DutyCycle > 1 {
+		return TCO{}, fmt.Errorf("cost: invalid lifetime %g years / duty %g", p.LifetimeYears, p.DutyCycle)
+	}
+	var t TCO
+	const bytesPerGB = 1 << 30
+	for _, m := range modules {
+		t.CapexUSD += p.priceFor(m.Tech.Name) * float64(m.Capacity) / bytesPerGB
+	}
+	if ev.RuntimeSec > 0 {
+		t.AvgPowerW = ev.TotalJ / ev.RuntimeSec
+	}
+	hours := p.LifetimeYears * 365.25 * 24 * p.DutyCycle
+	t.EnergyUSD = t.AvgPowerW / 1000 * hours * p.EnergyDollarsPerKWh
+	return t, nil
+}
+
+// Compare estimates a set of labelled designs and returns the results in
+// input order.
+type Labelled struct {
+	Label   string
+	Modules []core.LevelStats
+	Eval    model.Evaluation
+}
+
+// CompareAll estimates TCO for each labelled design.
+func CompareAll(p Params, designs []Labelled) ([]TCO, error) {
+	out := make([]TCO, len(designs))
+	for i, d := range designs {
+		t, err := Estimate(p, d.Modules, d.Eval)
+		if err != nil {
+			return nil, fmt.Errorf("cost: %s: %w", d.Label, err)
+		}
+		out[i] = t
+	}
+	return out, nil
+}

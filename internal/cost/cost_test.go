@@ -1,0 +1,108 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"hybridmem/internal/core"
+	"hybridmem/internal/model"
+	"hybridmem/internal/tech"
+)
+
+func modules() []core.LevelStats {
+	return []core.LevelStats{
+		{Name: "DRAM", Tech: tech.DRAM, Capacity: 4 << 30},
+		{Name: "NVM", Tech: tech.PCM, Capacity: 8 << 30},
+	}
+}
+
+func TestEstimateCapex(t *testing.T) {
+	p := DefaultParams()
+	tco, err := Estimate(p, modules(), model.Evaluation{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4GB DRAM @ $8 + 8GB PCM @ $2 = $48.
+	if math.Abs(tco.CapexUSD-48) > 1e-9 {
+		t.Fatalf("capex = %g, want 48", tco.CapexUSD)
+	}
+	if tco.EnergyUSD != 0 {
+		t.Fatalf("energy cost with no runtime = %g", tco.EnergyUSD)
+	}
+}
+
+func TestEstimateEnergy(t *testing.T) {
+	p := Params{
+		DefaultDollarsPerGB: 0,
+		EnergyDollarsPerKWh: 0.10,
+		LifetimeYears:       1,
+		DutyCycle:           1,
+	}
+	// 100 J over 10 s = 10 W sustained for a year.
+	ev := model.Evaluation{TotalJ: 100, RuntimeSec: 10}
+	tco, err := Estimate(p, nil, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKWh := 10.0 / 1000 * 365.25 * 24
+	if math.Abs(tco.EnergyUSD-wantKWh*0.10) > 1e-9 {
+		t.Fatalf("energy = %g, want %g", tco.EnergyUSD, wantKWh*0.10)
+	}
+	if tco.AvgPowerW != 10 {
+		t.Fatalf("power = %g", tco.AvgPowerW)
+	}
+	if tco.TotalUSD() != tco.CapexUSD+tco.EnergyUSD {
+		t.Fatal("total mismatch")
+	}
+	if tco.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	if _, err := Estimate(Params{LifetimeYears: 0}, nil, model.Evaluation{}); err == nil {
+		t.Error("zero lifetime should fail")
+	}
+	if _, err := Estimate(Params{LifetimeYears: 1, DutyCycle: 2}, nil, model.Evaluation{}); err == nil {
+		t.Error("duty > 1 should fail")
+	}
+}
+
+func TestUnknownTechUsesDefault(t *testing.T) {
+	p := Params{DefaultDollarsPerGB: 5, LifetimeYears: 1, DutyCycle: 0.5}
+	mods := []core.LevelStats{{Tech: tech.Tech{Name: "Mystery"}, Capacity: 2 << 30}}
+	tco, err := Estimate(p, mods, model.Evaluation{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tco.CapexUSD != 10 {
+		t.Fatalf("capex = %g, want 10", tco.CapexUSD)
+	}
+}
+
+// TestNVMCapacityEconomics encodes the paper-adjacent argument: at equal
+// capacity, a PCM main memory is cheaper to buy and (with zero static
+// power) cheaper to run than DRAM.
+func TestNVMCapacityEconomics(t *testing.T) {
+	p := DefaultParams()
+	dram := Labelled{
+		Label:   "reference",
+		Modules: []core.LevelStats{{Tech: tech.DRAM, Capacity: 8 << 30}},
+		Eval:    model.Evaluation{TotalJ: 5000, RuntimeSec: 100},
+	}
+	pcm := Labelled{
+		Label:   "nmm",
+		Modules: []core.LevelStats{{Tech: tech.DRAM, Capacity: 512 << 20}, {Tech: tech.PCM, Capacity: 8 << 30}},
+		Eval:    model.Evaluation{TotalJ: 4000, RuntimeSec: 105},
+	}
+	out, err := CompareAll(p, []Labelled{dram, pcm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[1].CapexUSD >= out[0].CapexUSD {
+		t.Fatalf("PCM design capex %g should undercut DRAM %g", out[1].CapexUSD, out[0].CapexUSD)
+	}
+	if out[1].EnergyUSD >= out[0].EnergyUSD {
+		t.Fatalf("PCM design energy %g should undercut DRAM %g", out[1].EnergyUSD, out[0].EnergyUSD)
+	}
+}

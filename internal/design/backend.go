@@ -1,0 +1,168 @@
+package design
+
+import (
+	"fmt"
+
+	"hybridmem/internal/core"
+	"hybridmem/internal/tech"
+)
+
+// Backend describes everything below the shared SRAM prefix for one design
+// point: zero or more page-organized cache levels and a main memory. Build
+// instantiates it; the experiment harness replays each workload's recorded
+// post-L3 stream into a fresh instance per design point.
+type Backend struct {
+	// Name identifies the design point (e.g. "NMM/N6/PCM").
+	Name string
+	// Caches are the levels between L3 and main memory.
+	Caches []LevelSpec
+	// Memory describes the terminal.
+	Memory MemorySpec
+}
+
+// MemorySpec describes a main-memory terminal: either a single uniform
+// module, or (for NDM) a partitioned module pair routed by address range.
+type MemorySpec struct {
+	// Name labels the module (uniform case).
+	Name string
+	// Tech is the uniform module's technology.
+	Tech tech.Tech
+	// Capacity is the uniform module's capacity in bytes.
+	Capacity uint64
+
+	// Partitioned selects the NDM terminal; the remaining fields apply.
+	Partitioned bool
+	// NVMRanges are the address ranges placed on NVM (everything else
+	// goes to the DRAM partition).
+	NVMRanges []core.AddrRange
+	// NVMTech and NVMCapacity describe the NVM side.
+	NVMTech     tech.Tech
+	NVMCapacity uint64
+	// DRAMCapacity is the DRAM partition size.
+	DRAMCapacity uint64
+
+	// RowBuffer selects the open-page row-buffer timing refinement for
+	// the (uniform) terminal instead of the paper's flat latency; see
+	// core.RowBufferMemory. Ignored for partitioned terminals.
+	RowBuffer bool
+	// RowSize, Banks, and RowHitFraction configure the row-buffer model
+	// (zeros select core's defaults).
+	RowSize        uint64
+	Banks          uint64
+	RowHitFraction float64
+}
+
+// Build instantiates the backend.
+func (b Backend) Build() (*core.Backend, error) {
+	levels := make([]core.Level, 0, len(b.Caches))
+	for _, s := range b.Caches {
+		l, err := s.build()
+		if err != nil {
+			return nil, fmt.Errorf("design %s: %w", b.Name, err)
+		}
+		levels = append(levels, l)
+	}
+	var mem core.Memory
+	switch {
+	case b.Memory.Partitioned:
+		pm, err := core.NewPartitionedMemory(b.Memory.NVMRanges,
+			"NVM("+b.Memory.NVMTech.Name+")", b.Memory.NVMTech, b.Memory.NVMCapacity,
+			"DRAM-part", tech.DRAM, b.Memory.DRAMCapacity)
+		if err != nil {
+			return nil, fmt.Errorf("design %s: %w", b.Name, err)
+		}
+		mem = pm
+	case b.Memory.RowBuffer:
+		rb, err := core.NewRowBufferMemory(b.Memory.Name, b.Memory.Tech, b.Memory.Capacity,
+			b.Memory.RowSize, b.Memory.Banks, b.Memory.RowHitFraction)
+		if err != nil {
+			return nil, fmt.Errorf("design %s: %w", b.Name, err)
+		}
+		mem = rb
+	default:
+		mem = core.NewSimpleMemory(b.Memory.Name, b.Memory.Tech, b.Memory.Capacity)
+	}
+	return core.NewBackend(levels, mem)
+}
+
+// WithRowBuffer returns a copy of the backend whose (uniform) terminal uses
+// the open-page row-buffer timing model with default geometry.
+func (b Backend) WithRowBuffer() Backend {
+	b.Name += "+rowbuf"
+	b.Memory.RowBuffer = true
+	return b
+}
+
+// Reference returns the baseline back end: DRAM large enough to hold the
+// workload footprint, directly below L3 ("3 on chip SRAM caches followed by
+// a DRAM big enough to support necessary memory footprint").
+func Reference(footprint uint64) Backend {
+	return Backend{
+		Name:   "reference",
+		Memory: MemorySpec{Name: "DRAM", Tech: tech.DRAM, Capacity: footprint},
+	}
+}
+
+// FourLC returns a 4-Level Cache design point: an eDRAM or HMC fourth-level
+// cache (Table 2 configuration cfg, capacities divided by scale) in front of
+// footprint-sized DRAM.
+func FourLC(cfg EHConfig, llc tech.Tech, scale, footprint uint64) Backend {
+	return Backend{
+		Name: fmt.Sprintf("4LC/%s/%s", cfg.Name, llc.Name),
+		Caches: []LevelSpec{{
+			Name: llc.Name + "-L4", Tech: llc,
+			Size: cfg.Capacity / scale, Line: cfg.PageSize, Assoc: pageCacheAssoc,
+		}},
+		Memory: MemorySpec{Name: "DRAM", Tech: tech.DRAM, Capacity: footprint},
+	}
+}
+
+// NMM returns an NVM-as-Main-Memory design point: a DRAM cache (Table 3
+// configuration cfg, capacity divided by scale) in front of footprint-sized
+// NVM.
+func NMM(cfg NConfig, nvm tech.Tech, scale, footprint uint64) Backend {
+	return Backend{
+		Name: fmt.Sprintf("NMM/%s/%s", cfg.Name, nvm.Name),
+		Caches: []LevelSpec{{
+			Name: "DRAM$", Tech: tech.DRAM,
+			Size: cfg.Capacity / scale, Line: cfg.PageSize, Assoc: pageCacheAssoc,
+		}},
+		Memory: MemorySpec{Name: "NVM(" + nvm.Name + ")", Tech: nvm, Capacity: footprint},
+	}
+}
+
+// FourLCNVM returns the combined design point: an eDRAM or HMC cache in
+// front of footprint-sized NVM, with no DRAM at all.
+func FourLCNVM(cfg EHConfig, llc, nvm tech.Tech, scale, footprint uint64) Backend {
+	return Backend{
+		Name: fmt.Sprintf("4LCNVM/%s/%s/%s", cfg.Name, llc.Name, nvm.Name),
+		Caches: []LevelSpec{{
+			Name: llc.Name + "-L4", Tech: llc,
+			Size: cfg.Capacity / scale, Line: cfg.PageSize, Assoc: pageCacheAssoc,
+		}},
+		Memory: MemorySpec{Name: "NVM(" + nvm.Name + ")", Tech: nvm, Capacity: footprint},
+	}
+}
+
+// NDM returns an NVM+DRAM partitioned design point. nvmRanges are the
+// address ranges placed on NVM (the oracle's choice); nvmBytes is the total
+// footprint they cover. The DRAM partition holds the rest of the footprint,
+// so its capacity — and therefore its static power — shrinks by exactly the
+// bytes migrated to NVM, which is the mechanism behind the paper's NDM
+// energy savings.
+func NDM(nvm tech.Tech, nvmRanges []core.AddrRange, nvmBytes, footprint uint64, label string) Backend {
+	dramCap := uint64(0)
+	if footprint > nvmBytes {
+		dramCap = footprint - nvmBytes
+	}
+	return Backend{
+		Name: fmt.Sprintf("NDM/%s/%s", nvm.Name, label),
+		Memory: MemorySpec{
+			Partitioned:  true,
+			NVMRanges:    nvmRanges,
+			NVMTech:      nvm,
+			NVMCapacity:  nvmBytes,
+			DRAMCapacity: dramCap,
+		},
+	}
+}

@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"fmt"
+
+	"hybridmem/internal/cache"
+	"hybridmem/internal/core"
+	"hybridmem/internal/design"
+	"hybridmem/internal/model"
+	"hybridmem/internal/ndm"
+	"hybridmem/internal/tech"
+)
+
+// DynamicNDMRow extends a figure row with the dynamic policy's telemetry.
+type DynamicNDMRow struct {
+	Row
+	// Results holds each workload's dynamic simulation summary.
+	Results []ndm.DynamicResult
+}
+
+// DynamicNDM evaluates the epoch-based dynamic DRAM/NVM partitioning (the
+// paper's future-work proposal) across the suite. The DRAM budget defaults
+// to the paper's NDM DRAM size (512MB, co-scaled); pass zero cfg fields to
+// accept defaults.
+func (s *Suite) DynamicNDM(nvm tech.Tech, cfg ndm.DynamicConfig) (DynamicNDMRow, error) {
+	label := "NDMdyn/" + nvm.Name
+	out := DynamicNDMRow{Row: Row{Label: label}}
+	for _, wp := range s.Profiles {
+		c := cfg
+		if c.DRAMBudget == 0 {
+			c.DRAMBudget = design.NDMDRAMCapacity / s.Cfg.Scale
+		}
+		res, err := ndm.SimulateDynamic(wp.Boundary, c)
+		if err != nil {
+			return DynamicNDMRow{}, fmt.Errorf("exp: dynamic NDM on %s: %w", wp.Name, err)
+		}
+		modules := dynamicModules(res, nvm, c.DRAMBudget, wp.Footprint)
+		ev, err := wp.EvaluateProfile(fmt.Sprintf("%s/%s", label, wp.Name), modules)
+		if err != nil {
+			return DynamicNDMRow{}, err
+		}
+		out.Results = append(out.Results, res)
+		out.PerWorkload = append(out.PerWorkload, ev)
+	}
+	out.Avg = model.Average(label, out.PerWorkload)
+	return out, nil
+}
+
+// dynamicModules converts a dynamic simulation's traffic split into the two
+// memory-module snapshots the model consumes. The DRAM partition is sized
+// at its budget; the NVM holds the remainder of the footprint.
+func dynamicModules(res ndm.DynamicResult, nvm tech.Tech, dramBudget, footprint uint64) []core.LevelStats {
+	nvmCap := uint64(0)
+	if footprint > res.ResidentDRAMBytes {
+		nvmCap = footprint - res.ResidentDRAMBytes
+	}
+	mk := func(name string, t tech.Tech, capacity uint64, tr ndm.ModuleTraffic) core.LevelStats {
+		ls := core.LevelStats{Name: name, Tech: t, Capacity: capacity}
+		ls.Stats = cache.Stats{
+			Loads: tr.Loads, LoadHits: tr.Loads, LoadBits: tr.LoadBits,
+			Stores: tr.Stores, StoreHits: tr.Stores, StoreBits: tr.StoreBits,
+		}
+		return ls
+	}
+	return []core.LevelStats{
+		mk("NVM("+nvm.Name+")", nvm, nvmCap, res.NVM),
+		mk("DRAM-part", tech.DRAM, dramBudget, res.DRAM),
+	}
+}

@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"sync"
+
+	"hybridmem/internal/design"
+	"hybridmem/internal/model"
+)
+
+// Job pairs a profiled workload with one design back end to evaluate.
+type Job struct {
+	WP *WorkloadProfile
+	B  design.Backend
+}
+
+// RunJobs evaluates jobs on a bounded worker pool and returns the
+// evaluations in job order. Each worker builds its own back-end instances,
+// so no simulator state is shared; the recorded boundary streams are only
+// read. The first error cancels the run.
+func RunJobs(jobs []Job, workers int) ([]model.Evaluation, error) {
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]model.Evaluation, len(jobs))
+	idxCh := make(chan int)
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				ev, err := jobs[i].WP.Evaluate(jobs[i].B)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				results[i] = ev
+			}
+		}()
+	}
+
+feed:
+	for i := range jobs {
+		select {
+		case err := <-errCh:
+			errCh <- err
+			break feed
+		case idxCh <- i:
+		}
+	}
+	close(idxCh)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	return results, nil
+}

@@ -1,0 +1,212 @@
+// Package exp is the experiment harness: it reproduces every table and
+// figure of the paper's evaluation (Section V) on top of the simulator,
+// model, design-space, and workload packages.
+//
+// The harness exploits the fact that all of the paper's designs share the
+// same L1/L2/L3 SRAM prefix: each workload is simulated through the prefix
+// once, recording the post-L3 boundary stream, and every design point is
+// then evaluated by replaying that recorded stream into just the design's
+// back end. Replays of independent design points run on a bounded worker
+// pool.
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"hybridmem/internal/core"
+	"hybridmem/internal/design"
+	"hybridmem/internal/model"
+	"hybridmem/internal/trace"
+	"hybridmem/internal/workload"
+	"hybridmem/internal/workload/catalog"
+)
+
+// Config sizes an experiment run.
+type Config struct {
+	// Scale is the design-space capacity divisor (see package design).
+	// Zero means design.DefaultScale.
+	Scale uint64
+	// WorkloadScale is the workload footprint divisor. Zero means Scale.
+	// Experiments meant to match the paper keep the two equal (the
+	// co-scaling argument); tests may shrink workloads further.
+	WorkloadScale uint64
+	// Iters overrides workload iteration counts (0 = defaults).
+	Iters int
+	// Workers bounds replay parallelism. Zero means GOMAXPROCS.
+	Workers int
+	// Workloads selects a subset of catalog.Names. Empty means all.
+	Workloads []string
+	// Dilution is the number of synthetic L1-hit references accounted per
+	// traced reference. The paper's PEBIL framework instruments every
+	// memory operand of every instruction — including stack, scalar, and
+	// loop-control references that virtually always hit L1 — whereas our
+	// kernels emit only their data-structure references. Dilution restores
+	// the paper's full-stream AMAT weighting analytically (the synthetic
+	// references are pure L1 hits, so they never change routing below L1).
+	// Zero means DefaultDilution; use NoDilution to disable.
+	Dilution int
+}
+
+// DefaultDilution is the default ratio of untraced (always-L1-hit)
+// references to traced data references.
+const DefaultDilution = 12
+
+// NoDilution disables dilution.
+const NoDilution = -1
+
+// withDefaults resolves zero fields.
+func (c Config) withDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = design.DefaultScale
+	}
+	if c.WorkloadScale == 0 {
+		c.WorkloadScale = c.Scale
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if len(c.Workloads) == 0 {
+		c.Workloads = catalog.Names
+	}
+	if c.Dilution == 0 {
+		c.Dilution = DefaultDilution
+	}
+	if c.Dilution < 0 {
+		c.Dilution = 0
+	}
+	return c
+}
+
+// WorkloadProfile is one workload's reusable simulation state: its shared
+// SRAM-prefix statistics, the recorded post-L3 boundary stream, and the
+// cached reference-system evaluation.
+type WorkloadProfile struct {
+	Name      string
+	Footprint uint64
+	// RefTime is the paper's Table 4 reference runtime: T_ref of
+	// equation (1), and the time over which static power is integrated.
+	// Note this reproduces the paper's accounting faithfully: static
+	// energy covers the full application runtime while dynamic energy
+	// comes from the reduced-iteration simulated stream (EXPERIMENTS.md
+	// discusses the implications).
+	RefTime time.Duration
+	Regions []workload.Region
+
+	// Prefix holds L1/L2/L3 statistics from the full-stream simulation.
+	Prefix []core.LevelStats
+	// Boundary is the recorded post-L3 stream (loads = L3 fetches,
+	// stores = dirty L3 evictions).
+	Boundary []trace.Ref
+	// TotalRefs is the workload's reference count (AMAT denominator).
+	TotalRefs uint64
+
+	// refProfile is the reference system's full profile (prefix +
+	// footprint-sized DRAM), computed once.
+	refProfile model.Profile
+}
+
+// ProfileWorkload runs w once through the shared SRAM prefix, recording the
+// boundary stream, and evaluates the reference back end. dilution adds that
+// many synthetic always-L1-hit references per traced reference (see
+// Config.Dilution); pass 0 for none.
+func ProfileWorkload(w workload.Workload, scale uint64, dilution int) (*WorkloadProfile, error) {
+	prefix, err := design.BuildPrefix(scale)
+	if err != nil {
+		return nil, err
+	}
+	rec := core.NewRecordingMemory(design.CacheLine)
+	h, err := core.NewHierarchy(prefix, rec)
+	if err != nil {
+		return nil, err
+	}
+	w.Run(h)
+	h.Flush()
+
+	wp := &WorkloadProfile{
+		Name:      w.Name(),
+		Footprint: w.Footprint(),
+		RefTime:   w.RefTime(),
+		Regions:   w.Regions(),
+		Prefix:    h.Levels(),
+		Boundary:  rec.Refs(),
+		TotalRefs: h.Refs(),
+	}
+	if dilution > 0 {
+		extra := wp.TotalRefs * uint64(dilution)
+		l1 := &wp.Prefix[0].Stats
+		l1.Loads += extra
+		l1.LoadHits += extra
+		l1.LoadBits += extra * 64 // 8-byte scalar loads
+		wp.TotalRefs += extra
+	}
+
+	refBackend, err := design.Reference(wp.Footprint).Build()
+	if err != nil {
+		return nil, err
+	}
+	refBackend.Replay(wp.Boundary)
+	wp.refProfile = wp.profileWith(refBackend.Snapshot())
+	return wp, nil
+}
+
+// profileWith merges the prefix statistics with a back end's snapshot.
+func (wp *WorkloadProfile) profileWith(backend []core.LevelStats) model.Profile {
+	return model.Profile{
+		Levels:    append(append([]core.LevelStats(nil), wp.Prefix...), backend...),
+		TotalRefs: wp.TotalRefs,
+	}
+}
+
+// ReferenceProfile returns the cached reference-system profile.
+func (wp *WorkloadProfile) ReferenceProfile() model.Profile { return wp.refProfile }
+
+// ReferenceEvaluation returns the reference system's absolute metrics.
+func (wp *WorkloadProfile) ReferenceEvaluation() model.Evaluation {
+	return model.EvaluateReference(wp.Name, wp.refProfile, wp.RefTime)
+}
+
+// Evaluate replays the boundary stream into a fresh instance of the given
+// back end and applies the full model against the reference.
+func (wp *WorkloadProfile) Evaluate(b design.Backend) (model.Evaluation, error) {
+	built, err := b.Build()
+	if err != nil {
+		return model.Evaluation{}, err
+	}
+	built.Replay(wp.Boundary)
+	p := wp.profileWith(built.Snapshot())
+	return model.Evaluate(b.Name, wp.Name, wp.refProfile, wp.RefTime, p)
+}
+
+// EvaluateProfile applies the model to an analytically constructed back-end
+// snapshot (used by the NDM oracle and the heat maps, which do not need a
+// replay).
+func (wp *WorkloadProfile) EvaluateProfile(name string, backend []core.LevelStats) (model.Evaluation, error) {
+	p := wp.profileWith(backend)
+	return model.Evaluate(name, wp.Name, wp.refProfile, wp.RefTime, p)
+}
+
+// Suite is a profiled workload set ready to evaluate design points.
+type Suite struct {
+	Cfg      Config
+	Profiles []*WorkloadProfile
+}
+
+// NewSuite builds and profiles the configured workloads.
+func NewSuite(cfg Config) (*Suite, error) {
+	cfg = cfg.withDefaults()
+	s := &Suite{Cfg: cfg}
+	for _, name := range cfg.Workloads {
+		w, err := catalog.New(name, workload.Options{Scale: cfg.WorkloadScale, Iters: cfg.Iters})
+		if err != nil {
+			return nil, err
+		}
+		wp, err := ProfileWorkload(w, cfg.Scale, cfg.Dilution)
+		if err != nil {
+			return nil, fmt.Errorf("exp: profiling %s: %w", name, err)
+		}
+		s.Profiles = append(s.Profiles, wp)
+	}
+	return s, nil
+}

@@ -1,0 +1,151 @@
+// Package kron generates Kronecker (R-MAT) graphs with the Graph500
+// reference parameters, the substrate of the paper's Graph500 workload
+// ("scalable breadth-first search on undirected Kronecker graphs").
+package kron
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Graph500 initiator-matrix probabilities (A, B, C; D = 1-A-B-C).
+const (
+	ParamA = 0.57
+	ParamB = 0.19
+	ParamC = 0.19
+)
+
+// Edge is one undirected edge.
+type Edge struct {
+	U, V int64
+}
+
+// Edges generates 2^scale vertices' worth of R-MAT edges with the given edge
+// factor (edges = edgeFactor × 2^scale), deterministically from seed.
+// Self-loops are kept, as in the Graph500 generator; BFS ignores them
+// naturally.
+func Edges(scale, edgeFactor int, seed uint64) []Edge {
+	n := int64(1) << uint(scale)
+	m := int64(edgeFactor) * n
+	rng := rand.New(rand.NewPCG(seed, 0xda3e39cb94b95bdb))
+	edges := make([]Edge, m)
+	for i := range edges {
+		edges[i] = rmatEdge(scale, rng)
+	}
+	return edges
+}
+
+// rmatEdge draws one edge by recursive quadrant descent.
+func rmatEdge(scale int, rng *rand.Rand) Edge {
+	var u, v int64
+	for bit := 0; bit < scale; bit++ {
+		r := rng.Float64()
+		switch {
+		case r < ParamA:
+			// top-left: no bits set
+		case r < ParamA+ParamB:
+			v |= 1 << uint(bit)
+		case r < ParamA+ParamB+ParamC:
+			u |= 1 << uint(bit)
+		default:
+			u |= 1 << uint(bit)
+			v |= 1 << uint(bit)
+		}
+	}
+	return Edge{U: u, V: v}
+}
+
+// Graph is an undirected graph in CSR adjacency form.
+type Graph struct {
+	N    int64   // vertex count
+	XAdj []int64 // length N+1
+	Adj  []int32 // neighbor lists, both directions of every edge
+}
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int64) int64 { return g.XAdj[v+1] - g.XAdj[v] }
+
+// NumEdges returns the number of stored directed arcs (2× undirected edges,
+// self-loops stored once per endpoint pair).
+func (g *Graph) NumEdges() int64 { return int64(len(g.Adj)) }
+
+// Validate checks CSR invariants.
+func (g *Graph) Validate() error {
+	if int64(len(g.XAdj)) != g.N+1 {
+		return fmt.Errorf("kron: XAdj length %d != N+1 (%d)", len(g.XAdj), g.N+1)
+	}
+	if g.XAdj[0] != 0 || g.XAdj[g.N] != int64(len(g.Adj)) {
+		return fmt.Errorf("kron: XAdj endpoints do not span adjacency array")
+	}
+	for v := int64(0); v < g.N; v++ {
+		if g.XAdj[v] > g.XAdj[v+1] {
+			return fmt.Errorf("kron: XAdj not monotone at vertex %d", v)
+		}
+	}
+	for _, w := range g.Adj {
+		if w < 0 || int64(w) >= g.N {
+			return fmt.Errorf("kron: neighbor %d out of range", w)
+		}
+	}
+	return nil
+}
+
+// Build converts an edge list over 2^scale vertices into CSR form, storing
+// each undirected edge in both directions (self-loops once).
+func Build(scale int, edges []Edge) *Graph {
+	n := int64(1) << uint(scale)
+	g := &Graph{N: n, XAdj: make([]int64, n+1)}
+	// Count degrees.
+	for _, e := range edges {
+		g.XAdj[e.U+1]++
+		if e.U != e.V {
+			g.XAdj[e.V+1]++
+		}
+	}
+	for v := int64(0); v < n; v++ {
+		g.XAdj[v+1] += g.XAdj[v]
+	}
+	g.Adj = make([]int32, g.XAdj[n])
+	cursor := make([]int64, n)
+	copy(cursor, g.XAdj[:n])
+	for _, e := range edges {
+		g.Adj[cursor[e.U]] = int32(e.V)
+		cursor[e.U]++
+		if e.U != e.V {
+			g.Adj[cursor[e.V]] = int32(e.U)
+			cursor[e.V]++
+		}
+	}
+	return g
+}
+
+// Generate produces a Graph500-style graph in one call.
+func Generate(scale, edgeFactor int, seed uint64) *Graph {
+	return Build(scale, Edges(scale, edgeFactor, seed))
+}
+
+// BFS performs a breadth-first search from root and returns the parent
+// array (-1 for unreached vertices) and the number of visited vertices. It
+// is the pure-math twin of the traced Graph500 workload kernel.
+func (g *Graph) BFS(root int64) (parent []int64, visited int64) {
+	parent = make([]int64, g.N)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[root] = root
+	queue := make([]int64, 0, g.N)
+	queue = append(queue, root)
+	visited = 1
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for k := g.XAdj[u]; k < g.XAdj[u+1]; k++ {
+			w := int64(g.Adj[k])
+			if parent[w] < 0 {
+				parent[w] = u
+				queue = append(queue, w)
+				visited++
+			}
+		}
+	}
+	return parent, visited
+}

@@ -1,0 +1,178 @@
+package kron
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEdgesCountAndRange(t *testing.T) {
+	const scale, ef = 8, 4
+	edges := Edges(scale, ef, 1)
+	if len(edges) != ef<<scale {
+		t.Fatalf("got %d edges, want %d", len(edges), ef<<scale)
+	}
+	n := int64(1) << scale
+	for _, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			t.Fatalf("edge %v out of range", e)
+		}
+	}
+}
+
+func TestEdgesDeterministic(t *testing.T) {
+	a := Edges(8, 4, 7)
+	b := Edges(8, 4, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different edges")
+		}
+	}
+	c := Edges(8, 4, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical edges")
+	}
+}
+
+// TestRMATSkew verifies the R-MAT property: with A=0.57, low-numbered
+// vertices accumulate far more than their uniform share of endpoints.
+func TestRMATSkew(t *testing.T) {
+	const scale = 12
+	g := Generate(scale, 8, 3)
+	n := g.N
+	var lowHalf int64
+	for v := int64(0); v < n/2; v++ {
+		lowHalf += g.Degree(v)
+	}
+	frac := float64(lowHalf) / float64(g.NumEdges())
+	// Uniform would give 0.5; R-MAT with A+B=0.76 should exceed 0.7.
+	if frac < 0.65 {
+		t.Fatalf("low-half degree fraction = %.3f, want skew > 0.65", frac)
+	}
+}
+
+func TestBuildCSRInvariants(t *testing.T) {
+	edges := Edges(9, 4, 11)
+	g := Build(9, edges)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Arc count: 2 per non-self-loop edge, 1 per self-loop.
+	var want int64
+	for _, e := range edges {
+		if e.U == e.V {
+			want++
+		} else {
+			want += 2
+		}
+	}
+	if g.NumEdges() != want {
+		t.Fatalf("arcs = %d, want %d", g.NumEdges(), want)
+	}
+	// Symmetry: every arc has its reverse.
+	type arc struct{ u, v int64 }
+	count := map[arc]int{}
+	for u := int64(0); u < g.N; u++ {
+		for k := g.XAdj[u]; k < g.XAdj[u+1]; k++ {
+			count[arc{u, int64(g.Adj[k])}]++
+		}
+	}
+	for a, c := range count {
+		if a.u == a.v {
+			continue
+		}
+		if count[arc{a.v, a.u}] != c {
+			t.Fatalf("arc %v appears %d times but reverse %d", a, c, count[arc{a.v, a.u}])
+		}
+	}
+}
+
+func TestBFSOnPath(t *testing.T) {
+	// Path graph 0-1-2-3 built via explicit edges over 4 vertices
+	// (scale 2).
+	g := Build(2, []Edge{{0, 1}, {1, 2}, {2, 3}})
+	parent, visited := g.BFS(0)
+	if visited != 4 {
+		t.Fatalf("visited %d, want 4", visited)
+	}
+	if parent[0] != 0 || parent[1] != 0 || parent[2] != 1 || parent[3] != 2 {
+		t.Fatalf("parents = %v", parent)
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	// Two components: 0-1 and 2-3.
+	g := Build(2, []Edge{{0, 1}, {2, 3}})
+	parent, visited := g.BFS(0)
+	if visited != 2 {
+		t.Fatalf("visited %d, want 2", visited)
+	}
+	if parent[2] != -1 || parent[3] != -1 {
+		t.Fatal("unreached vertices must have parent -1")
+	}
+}
+
+// TestBFSParentValidity is a property test: every reached vertex's parent
+// is itself reached, adjacent to it (or the root), and BFS levels differ by
+// exactly one.
+func TestBFSParentValidity(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := Generate(8, 4, seed)
+		root := int64(seed % uint64(g.N))
+		if g.Degree(root) == 0 {
+			root = 0
+		}
+		parent, visited := g.BFS(root)
+		var reached int64
+		for v := int64(0); v < g.N; v++ {
+			p := parent[v]
+			if p < 0 {
+				continue
+			}
+			reached++
+			if v == root {
+				if p != root {
+					return false
+				}
+				continue
+			}
+			// p must be adjacent to v.
+			adjacent := false
+			for k := g.XAdj[v]; k < g.XAdj[v+1]; k++ {
+				if int64(g.Adj[k]) == p {
+					adjacent = true
+					break
+				}
+			}
+			if !adjacent {
+				return false
+			}
+		}
+		return reached == visited
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := Generate(6, 4, 1)
+	bad := *g
+	bad.XAdj = append([]int64(nil), g.XAdj...)
+	bad.XAdj[3] = bad.XAdj[4] + 1
+	if err := bad.Validate(); err == nil {
+		t.Error("non-monotone XAdj not caught")
+	}
+	bad2 := *g
+	bad2.Adj = append([]int32(nil), g.Adj...)
+	bad2.Adj[0] = int32(g.N)
+	if err := bad2.Validate(); err == nil {
+		t.Error("out-of-range neighbor not caught")
+	}
+}

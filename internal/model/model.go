@@ -1,0 +1,233 @@
+// Package model implements the paper's performance and energy models
+// (Section III.C):
+//
+//	(1) T_design = T_ref × AMAT_design / AMAT_ref
+//	(2) AMAT     = Σ_levels (loadTime·loads + storeTime·stores) / totalRefs
+//	(3) E_dyn    = Σ_levels (loadEnergy·loadBits + storeEnergy·storeBits)
+//	(4) E_static = T × Σ_levels staticPower(capacity)
+//
+// plus the energy-delay product (EDP = E_total × T) used to rank
+// configurations. The inputs are per-level statistics collected by the
+// hierarchy simulator and per-technology parameters from package tech.
+package model
+
+import (
+	"fmt"
+	"time"
+
+	"hybridmem/internal/core"
+)
+
+// Profile is everything the model needs about one simulated run: the
+// per-level snapshots (caches first, then memory modules) and the total
+// number of references issued by the workload.
+type Profile struct {
+	Levels    []core.LevelStats
+	TotalRefs uint64
+}
+
+// Merge concatenates the levels of several partial profiles (e.g. the shared
+// SRAM prefix and a design-specific back end) into one. TotalRefs is taken
+// from the first profile, which must be the one facing the CPU.
+func Merge(parts ...Profile) Profile {
+	if len(parts) == 0 {
+		return Profile{}
+	}
+	out := Profile{TotalRefs: parts[0].TotalRefs}
+	for _, p := range parts {
+		out.Levels = append(out.Levels, p.Levels...)
+	}
+	return out
+}
+
+// AMATNanos evaluates equation (2): the average memory access time in
+// nanoseconds. Each level contributes its technology's read latency per
+// load request and write latency per store request.
+func (p Profile) AMATNanos() float64 {
+	if p.TotalRefs == 0 {
+		return 0
+	}
+	var total float64
+	for _, l := range p.Levels {
+		total += l.Tech.ReadNS*float64(l.Stats.Loads) + l.Tech.WriteNS*float64(l.Stats.Stores)
+	}
+	return total / float64(p.TotalRefs)
+}
+
+// DynamicEnergyJ evaluates equation (3): total dynamic energy in joules.
+// Line fills are writes into the level being filled, so fill bits are
+// charged at the write energy alongside store bits.
+func (p Profile) DynamicEnergyJ() float64 {
+	var pj float64
+	for _, l := range p.Levels {
+		pj += l.Tech.ReadPJPerBit * float64(l.Stats.LoadBits)
+		pj += l.Tech.WritePJPerBit * float64(l.Stats.StoreBits+l.Stats.FillBits)
+	}
+	return pj * 1e-12
+}
+
+// StaticPowerW sums the static power of every level, equation (4)'s
+// Σ staticPower term.
+func (p Profile) StaticPowerW() float64 {
+	var w float64
+	for _, l := range p.Levels {
+		w += l.Tech.StaticPowerW(l.Capacity)
+	}
+	return w
+}
+
+// LevelEnergy is one level's share of the energy budget.
+type LevelEnergy struct {
+	Name string
+	// DynamicJ is the level's dynamic energy (equation 3 contribution).
+	DynamicJ float64
+	// StaticJ is the level's static energy over the given runtime.
+	StaticJ float64
+	// TimeShareNS is the level's contribution to AMAT in nanoseconds.
+	TimeShareNS float64
+}
+
+// TotalJ returns the level's total energy.
+func (e LevelEnergy) TotalJ() float64 { return e.DynamicJ + e.StaticJ }
+
+// Breakdown attributes dynamic energy, static energy, and AMAT contribution
+// to each level for a run of the given duration — the drill-down behind the
+// aggregate metrics, used by diagnostic tools.
+func (p Profile) Breakdown(runtimeSec float64) []LevelEnergy {
+	out := make([]LevelEnergy, len(p.Levels))
+	for i, l := range p.Levels {
+		dynPJ := l.Tech.ReadPJPerBit*float64(l.Stats.LoadBits) +
+			l.Tech.WritePJPerBit*float64(l.Stats.StoreBits+l.Stats.FillBits)
+		var amat float64
+		if p.TotalRefs > 0 {
+			amat = (l.Tech.ReadNS*float64(l.Stats.Loads) + l.Tech.WriteNS*float64(l.Stats.Stores)) /
+				float64(p.TotalRefs)
+		}
+		out[i] = LevelEnergy{
+			Name:        l.Name,
+			DynamicJ:    dynPJ * 1e-12,
+			StaticJ:     l.Tech.StaticPowerW(l.Capacity) * runtimeSec,
+			TimeShareNS: amat,
+		}
+	}
+	return out
+}
+
+// Evaluation holds the modelled outcome of running one workload on one
+// design, both in absolute terms and normalized to the reference system.
+type Evaluation struct {
+	Design   string
+	Workload string
+
+	// RuntimeSec is T_design from equation (1).
+	RuntimeSec float64
+	// AMATNanos is the design's average memory access time.
+	AMATNanos float64
+	// DynamicJ, StaticJ, and TotalJ are equation (3), equation (4), and
+	// their sum, in joules.
+	DynamicJ float64
+	StaticJ  float64
+	TotalJ   float64
+	// EDP is the energy-delay product TotalJ × RuntimeSec.
+	EDP float64
+
+	// NormTime, NormEnergy, and NormEDP are the values the paper's
+	// figures plot: design divided by reference (1.0 = parity, <1 =
+	// improvement).
+	NormTime   float64
+	NormEnergy float64
+	NormEDP    float64
+}
+
+// Evaluate applies the full model. refProfile and refRuntime describe the
+// reference system's simulated statistics and measured (or assumed) wall
+// clock time; designProfile describes the candidate hierarchy running the
+// same reference stream.
+func Evaluate(design, workload string, refProfile Profile, refRuntime time.Duration, designProfile Profile) (Evaluation, error) {
+	refAMAT := refProfile.AMATNanos()
+	if refAMAT <= 0 {
+		return Evaluation{}, fmt.Errorf("model: reference AMAT is %g; reference profile empty?", refAMAT)
+	}
+	if designProfile.TotalRefs != refProfile.TotalRefs {
+		return Evaluation{}, fmt.Errorf("model: design saw %d refs but reference saw %d; profiles are not from the same stream",
+			designProfile.TotalRefs, refProfile.TotalRefs)
+	}
+
+	refEval := evaluateAbsolute(refProfile, refRuntime.Seconds())
+
+	amat := designProfile.AMATNanos()
+	runtime := refRuntime.Seconds() * amat / refAMAT // equation (1)
+	e := evaluateAbsolute(designProfile, runtime)
+	e.Design, e.Workload = design, workload
+	e.NormTime = safeDiv(e.RuntimeSec, refEval.RuntimeSec)
+	e.NormEnergy = safeDiv(e.TotalJ, refEval.TotalJ)
+	e.NormEDP = safeDiv(e.EDP, refEval.EDP)
+	return e, nil
+}
+
+// evaluateAbsolute computes the absolute metrics for a profile that runs for
+// the given wall-clock time.
+func evaluateAbsolute(p Profile, runtimeSec float64) Evaluation {
+	dyn := p.DynamicEnergyJ()
+	static := p.StaticPowerW() * runtimeSec
+	total := dyn + static
+	return Evaluation{
+		RuntimeSec: runtimeSec,
+		AMATNanos:  p.AMATNanos(),
+		DynamicJ:   dyn,
+		StaticJ:    static,
+		TotalJ:     total,
+		EDP:        total * runtimeSec,
+	}
+}
+
+// EvaluateReference computes the reference system's own (trivially
+// normalized) evaluation, for reporting absolute baselines.
+func EvaluateReference(workload string, refProfile Profile, refRuntime time.Duration) Evaluation {
+	e := evaluateAbsolute(refProfile, refRuntime.Seconds())
+	e.Design, e.Workload = "reference", workload
+	e.NormTime, e.NormEnergy, e.NormEDP = 1, 1, 1
+	return e
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Average returns the arithmetic mean of the normalized metrics across
+// evaluations — the quantity plotted in the paper's Figures 1-8 ("average of
+// normalized run time/energy of all benchmarks"). Absolute fields are also
+// averaged for convenience. Average panics on an empty slice.
+func Average(design string, evals []Evaluation) Evaluation {
+	if len(evals) == 0 {
+		panic("model: Average of zero evaluations")
+	}
+	var out Evaluation
+	for _, e := range evals {
+		out.RuntimeSec += e.RuntimeSec
+		out.AMATNanos += e.AMATNanos
+		out.DynamicJ += e.DynamicJ
+		out.StaticJ += e.StaticJ
+		out.TotalJ += e.TotalJ
+		out.EDP += e.EDP
+		out.NormTime += e.NormTime
+		out.NormEnergy += e.NormEnergy
+		out.NormEDP += e.NormEDP
+	}
+	n := float64(len(evals))
+	out.RuntimeSec /= n
+	out.AMATNanos /= n
+	out.DynamicJ /= n
+	out.StaticJ /= n
+	out.TotalJ /= n
+	out.EDP /= n
+	out.NormTime /= n
+	out.NormEnergy /= n
+	out.NormEDP /= n
+	out.Design = design
+	out.Workload = fmt.Sprintf("avg(%d)", len(evals))
+	return out
+}

@@ -1,0 +1,279 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hybridmem/internal/cache"
+	"hybridmem/internal/core"
+	"hybridmem/internal/tech"
+)
+
+// level builds a LevelStats with the given request counts and bits.
+func level(t tech.Tech, capacity, loads, stores, loadBits, storeBits, fillBits uint64) core.LevelStats {
+	return core.LevelStats{
+		Name: t.Name, Tech: t, Capacity: capacity,
+		Stats: cache.Stats{
+			Loads: loads, Stores: stores,
+			LoadBits: loadBits, StoreBits: storeBits, FillBits: fillBits,
+		},
+	}
+}
+
+func TestAMATHandComputed(t *testing.T) {
+	// 100 refs total; L1: 100 loads at 1.3ns; memory: 10 loads at 10ns,
+	// 5 stores at 10ns. AMAT = (100*1.3 + 10*10 + 5*10)/100 = 2.8 ns.
+	p := Profile{
+		TotalRefs: 100,
+		Levels: []core.LevelStats{
+			level(tech.SRAML1, 32<<10, 100, 0, 0, 0, 0),
+			level(tech.DRAM, 1<<30, 10, 5, 0, 0, 0),
+		},
+	}
+	if got := p.AMATNanos(); math.Abs(got-2.8) > 1e-12 {
+		t.Fatalf("AMAT = %g, want 2.8", got)
+	}
+}
+
+func TestAMATAsymmetricWrites(t *testing.T) {
+	// PCM: loads at 21ns, stores at 100ns.
+	p := Profile{
+		TotalRefs: 10,
+		Levels:    []core.LevelStats{level(tech.PCM, 1<<30, 5, 5, 0, 0, 0)},
+	}
+	want := (5*21.0 + 5*100.0) / 10
+	if got := p.AMATNanos(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("AMAT = %g, want %g", got, want)
+	}
+}
+
+func TestAMATEmptyProfile(t *testing.T) {
+	if got := (Profile{}).AMATNanos(); got != 0 {
+		t.Fatalf("empty AMAT = %g", got)
+	}
+}
+
+func TestDynamicEnergyHandComputed(t *testing.T) {
+	// DRAM: 1000 load bits at 10 pJ/bit + (500 store + 200 fill) bits at
+	// 10 pJ/bit = 17000 pJ = 1.7e-8 J.
+	p := Profile{
+		TotalRefs: 1,
+		Levels:    []core.LevelStats{level(tech.DRAM, 0, 0, 0, 1000, 500, 200)},
+	}
+	if got := p.DynamicEnergyJ(); math.Abs(got-1.7e-8) > 1e-20 {
+		t.Fatalf("dynamic = %g, want 1.7e-8", got)
+	}
+}
+
+func TestStaticPowerSums(t *testing.T) {
+	p := Profile{
+		Levels: []core.LevelStats{
+			level(tech.DRAM, 1<<30, 0, 0, 0, 0, 0), // 0.12 W
+			level(tech.PCM, 8<<30, 0, 0, 0, 0, 0),  // 0 W
+		},
+	}
+	if got := p.StaticPowerW(); math.Abs(got-0.12) > 1e-12 {
+		t.Fatalf("static power = %g, want 0.12", got)
+	}
+}
+
+func refAndDesign() (Profile, Profile) {
+	ref := Profile{
+		TotalRefs: 1000,
+		Levels: []core.LevelStats{
+			level(tech.SRAML1, 32<<10, 1000, 0, 64000, 0, 0),
+			level(tech.DRAM, 1<<30, 100, 50, 51200, 25600, 0),
+		},
+	}
+	design := Profile{
+		TotalRefs: 1000,
+		Levels: []core.LevelStats{
+			level(tech.SRAML1, 32<<10, 1000, 0, 64000, 0, 0),
+			level(tech.PCM, 1<<30, 100, 50, 51200, 25600, 0),
+		},
+	}
+	return ref, design
+}
+
+func TestEvaluateRuntimeScaling(t *testing.T) {
+	ref, design := refAndDesign()
+	ev, err := Evaluate("pcm", "wl", ref, 10*time.Second, design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equation (1): T = T_ref x AMAT_design/AMAT_ref.
+	wantRatio := design.AMATNanos() / ref.AMATNanos()
+	if math.Abs(ev.NormTime-wantRatio) > 1e-12 {
+		t.Errorf("NormTime = %g, want %g", ev.NormTime, wantRatio)
+	}
+	if math.Abs(ev.RuntimeSec-10*wantRatio) > 1e-9 {
+		t.Errorf("RuntimeSec = %g, want %g", ev.RuntimeSec, 10*wantRatio)
+	}
+	if ev.Design != "pcm" || ev.Workload != "wl" {
+		t.Error("labels not propagated")
+	}
+	// PCM is slower, so the design must be slower than reference.
+	if ev.NormTime <= 1 {
+		t.Errorf("PCM design should be slower, NormTime = %g", ev.NormTime)
+	}
+	// EDP consistency.
+	if math.Abs(ev.EDP-ev.TotalJ*ev.RuntimeSec) > 1e-9 {
+		t.Error("EDP != TotalJ x RuntimeSec")
+	}
+	if math.Abs(ev.TotalJ-(ev.DynamicJ+ev.StaticJ)) > 1e-12 {
+		t.Error("TotalJ != DynamicJ + StaticJ")
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	ref, design := refAndDesign()
+	if _, err := Evaluate("d", "w", Profile{}, time.Second, design); err == nil {
+		t.Error("empty reference should error")
+	}
+	design.TotalRefs = 999
+	if _, err := Evaluate("d", "w", ref, time.Second, design); err == nil {
+		t.Error("mismatched ref counts should error")
+	}
+}
+
+func TestEvaluateReferenceIsUnity(t *testing.T) {
+	ref, _ := refAndDesign()
+	ev := EvaluateReference("wl", ref, 10*time.Second)
+	if ev.NormTime != 1 || ev.NormEnergy != 1 || ev.NormEDP != 1 {
+		t.Fatalf("reference normalization = %+v", ev)
+	}
+	if ev.RuntimeSec != 10 {
+		t.Fatalf("reference runtime = %g", ev.RuntimeSec)
+	}
+}
+
+// TestSelfEvaluationIsUnity is a property: evaluating the reference profile
+// against itself always yields exactly 1.0 everywhere.
+func TestSelfEvaluationIsUnity(t *testing.T) {
+	f := func(loads, stores uint16, refTimeMS uint32) bool {
+		p := Profile{
+			TotalRefs: uint64(loads) + uint64(stores) + 1,
+			Levels: []core.LevelStats{
+				level(tech.SRAML1, 32<<10, uint64(loads)+1, uint64(stores), 64, 64, 0),
+				level(tech.DRAM, 1<<30, uint64(loads)/2, uint64(stores)/2, 512, 512, 0),
+			},
+		}
+		d := time.Duration(refTimeMS%100000+1) * time.Millisecond
+		ev, err := Evaluate("self", "w", p, d, p)
+		if err != nil {
+			return false
+		}
+		return math.Abs(ev.NormTime-1) < 1e-12 &&
+			math.Abs(ev.NormEnergy-1) < 1e-12 &&
+			math.Abs(ev.NormEDP-1) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLatencyMonotonicity is a property: increasing a level's latency never
+// decreases AMAT.
+func TestLatencyMonotonicity(t *testing.T) {
+	f := func(mult uint8) bool {
+		m := 1 + float64(mult%50)
+		ref, _ := refAndDesign()
+		slower := Profile{TotalRefs: ref.TotalRefs}
+		slower.Levels = append(slower.Levels, ref.Levels...)
+		lv := slower.Levels[1]
+		lv.Tech = lv.Tech.WithLatencyScale(m, m)
+		slower.Levels[1] = lv
+		return slower.AMATNanos() >= ref.AMATNanos()-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Profile{TotalRefs: 10, Levels: []core.LevelStats{level(tech.SRAML1, 1, 1, 0, 0, 0, 0)}}
+	b := Profile{TotalRefs: 99, Levels: []core.LevelStats{level(tech.DRAM, 2, 2, 0, 0, 0, 0)}}
+	m := Merge(a, b)
+	if m.TotalRefs != 10 {
+		t.Errorf("Merge TotalRefs = %d, want first profile's 10", m.TotalRefs)
+	}
+	if len(m.Levels) != 2 || m.Levels[1].Tech.Name != "DRAM" {
+		t.Errorf("Merge levels wrong: %v", m.Levels)
+	}
+	if got := Merge(); got.TotalRefs != 0 || got.Levels != nil {
+		t.Error("empty Merge should be zero")
+	}
+}
+
+func TestAverage(t *testing.T) {
+	evals := []Evaluation{
+		{NormTime: 1.0, NormEnergy: 0.8, NormEDP: 0.8, RuntimeSec: 10},
+		{NormTime: 1.2, NormEnergy: 1.0, NormEDP: 1.2, RuntimeSec: 30},
+	}
+	avg := Average("cfg", evals)
+	if math.Abs(avg.NormTime-1.1) > 1e-12 || math.Abs(avg.NormEnergy-0.9) > 1e-12 {
+		t.Fatalf("avg = %+v", avg)
+	}
+	if math.Abs(avg.RuntimeSec-20) > 1e-12 {
+		t.Fatalf("avg runtime = %g", avg.RuntimeSec)
+	}
+	if avg.Design != "cfg" {
+		t.Error("label lost")
+	}
+}
+
+func TestAveragePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Average of empty slice should panic")
+		}
+	}()
+	Average("x", nil)
+}
+
+// TestNVMStaticAdvantage encodes the paper's central energy mechanism: for
+// identical traffic, an NVM main memory with a long runtime saves static
+// energy relative to DRAM.
+func TestNVMStaticAdvantage(t *testing.T) {
+	ref, design := refAndDesign()
+	ev, err := Evaluate("pcm", "wl", ref, time.Hour, design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Over an hour, the 0.12 W of DRAM static dwarfs the nJ-scale
+	// dynamic differences: PCM must win on energy.
+	if ev.NormEnergy >= 1 {
+		t.Errorf("NormEnergy = %g, want < 1 (static savings)", ev.NormEnergy)
+	}
+}
+
+// TestBreakdownSumsToAggregates: per-level attributions must reconstruct
+// the aggregate dynamic energy, static power x T, and AMAT exactly.
+func TestBreakdownSumsToAggregates(t *testing.T) {
+	ref, _ := refAndDesign()
+	const runtime = 7.5
+	parts := ref.Breakdown(runtime)
+	if len(parts) != len(ref.Levels) {
+		t.Fatalf("breakdown has %d entries", len(parts))
+	}
+	var dyn, static, amat float64
+	for _, p := range parts {
+		dyn += p.DynamicJ
+		static += p.StaticJ
+		amat += p.TimeShareNS
+		if p.TotalJ() != p.DynamicJ+p.StaticJ {
+			t.Fatal("TotalJ mismatch")
+		}
+	}
+	if math.Abs(dyn-ref.DynamicEnergyJ()) > 1e-18 {
+		t.Errorf("dynamic: breakdown %g vs aggregate %g", dyn, ref.DynamicEnergyJ())
+	}
+	if math.Abs(static-ref.StaticPowerW()*runtime) > 1e-12 {
+		t.Errorf("static: breakdown %g vs aggregate %g", static, ref.StaticPowerW()*runtime)
+	}
+	if math.Abs(amat-ref.AMATNanos()) > 1e-12 {
+		t.Errorf("AMAT: breakdown %g vs aggregate %g", amat, ref.AMATNanos())
+	}
+}

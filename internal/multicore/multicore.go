@@ -1,0 +1,235 @@
+// Package multicore simulates several cores sharing a last-level cache —
+// the configuration behind the paper's reference machine, whose 20MB L3 is
+// shared by the chip while Tables 2-4 account capacities per core.
+//
+// Each core owns a private L1/L2 pair and runs one workload; the workloads
+// execute concurrently as goroutines, streaming their references through
+// bounded channels into a deterministic round-robin interleaver that feeds
+// the shared L3 and main memory. The headline measurement is contention:
+// how much the shared L3's effective per-core capacity shrinks as cores are
+// added — the empirical basis for the single-core model's
+// design.SharedL3Cores per-core slice.
+package multicore
+
+import (
+	"fmt"
+
+	"hybridmem/internal/cache"
+	"hybridmem/internal/core"
+	"hybridmem/internal/tech"
+	"hybridmem/internal/trace"
+	"hybridmem/internal/workload"
+)
+
+// Config shapes the simulated chip.
+type Config struct {
+	// L1Size, L2Size, and L3Size are per-cache capacities in bytes
+	// (L3 is shared). Zeros select the reference system's geometry at
+	// the given co-scaling factor.
+	L1Size, L2Size, L3Size uint64
+	// Scale co-divides the default capacities (see package design).
+	Scale uint64
+	// BatchRefs is the number of references a core processes per
+	// interleaver turn — the granularity of simulated concurrency.
+	// Zero selects 64.
+	BatchRefs int
+	// ChannelDepth bounds each core's reference channel. Zero selects
+	// 4096.
+	ChannelDepth int
+}
+
+// withDefaults resolves zero fields.
+func (c Config) withDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = 32
+	}
+	if c.L1Size == 0 {
+		c.L1Size = 32 << 10 / c.Scale
+	}
+	if c.L2Size == 0 {
+		c.L2Size = 256 << 10 / c.Scale
+	}
+	if c.L3Size == 0 {
+		c.L3Size = 20 << 20 / c.Scale // the full shared L3
+	}
+	if c.BatchRefs <= 0 {
+		c.BatchRefs = 64
+	}
+	if c.ChannelDepth <= 0 {
+		c.ChannelDepth = 4096
+	}
+	return c
+}
+
+// CoreResult reports one core's private-cache behaviour.
+type CoreResult struct {
+	Name      string
+	Refs      uint64
+	L1        cache.Stats
+	L2        cache.Stats
+	Forwarded uint64 // requests this core sent to the shared L3
+}
+
+// Result reports a full chip simulation.
+type Result struct {
+	Cores []CoreResult
+	// L3 is the shared cache's statistics across all cores.
+	L3 cache.Stats
+	// Memory is the terminal's statistics.
+	Memory cache.Stats
+	// TotalRefs sums all cores' references.
+	TotalRefs uint64
+}
+
+// L3HitRate returns the shared cache's hit rate.
+func (r Result) L3HitRate() float64 { return r.L3.HitRate() }
+
+// sharedPort forwards one core's post-L2 traffic into the shared hierarchy
+// while counting it. It implements core.Memory so it can terminate the
+// core's private chain. Each core's addresses are displaced by a large
+// per-core offset, modelling the distinct physical allocations separate
+// processes receive (without it, identical co-runners would constructively
+// share L3 lines).
+type sharedPort struct {
+	shared *core.Hierarchy
+	offset uint64
+	count  uint64
+}
+
+func (p *sharedPort) Load(addr, size uint64) {
+	p.count++
+	p.shared.Access(trace.Ref{Addr: addr + p.offset, Size: uint32(size), Kind: trace.Load})
+}
+
+func (p *sharedPort) Store(addr, size uint64) {
+	p.count++
+	p.shared.Access(trace.Ref{Addr: addr + p.offset, Size: uint32(size), Kind: trace.Store})
+}
+
+func (p *sharedPort) Modules() []core.LevelStats { return nil }
+
+// Run simulates the given workloads sharing one chip. Each workload runs on
+// its own core; cores' reference streams interleave round-robin in batches
+// of cfg.BatchRefs. The result is deterministic for deterministic
+// workloads: the interleaver always drains a full batch from core i before
+// serving core i+1, regardless of goroutine scheduling.
+func Run(cfg Config, workloads []workload.Workload, mem core.Memory) (Result, error) {
+	cfg = cfg.withDefaults()
+	if len(workloads) == 0 {
+		return Result{}, fmt.Errorf("multicore: no workloads")
+	}
+	if mem == nil {
+		mem = core.NewSimpleMemory("DRAM", tech.DRAM, 4<<30/cfg.Scale)
+	}
+
+	l3cfg := cache.Config{Name: "sharedL3", Size: cfg.L3Size, LineSize: 64, Assoc: 20}
+	if err := l3cfg.Validate(); err != nil {
+		return Result{}, fmt.Errorf("multicore: %w", err)
+	}
+	l3 := cache.New(l3cfg)
+	shared, err := core.NewHierarchy([]core.Level{{Cache: l3, Tech: tech.SRAML3}}, mem)
+	if err != nil {
+		return Result{}, err
+	}
+
+	type coreState struct {
+		name    string
+		ch      chan trace.Ref
+		private *core.Hierarchy
+		port    *sharedPort
+		done    bool
+	}
+
+	cores := make([]*coreState, len(workloads))
+	for i, w := range workloads {
+		port := &sharedPort{shared: shared, offset: uint64(i) << 44}
+		l1 := cache.New(cache.Config{Name: "L1", Size: cfg.L1Size, LineSize: 64, Assoc: 8})
+		l2 := cache.New(cache.Config{Name: "L2", Size: cfg.L2Size, LineSize: 64, Assoc: 8})
+		private, err := core.NewHierarchy([]core.Level{
+			{Cache: l1, Tech: tech.SRAML1},
+			{Cache: l2, Tech: tech.SRAML2},
+		}, port)
+		if err != nil {
+			return Result{}, err
+		}
+		cs := &coreState{
+			name:    fmt.Sprintf("core%d:%s", i, w.Name()),
+			ch:      make(chan trace.Ref, cfg.ChannelDepth),
+			private: private,
+			port:    port,
+		}
+		cores[i] = cs
+		go func(w workload.Workload, ch chan trace.Ref) {
+			w.Run(trace.SinkFunc(func(r trace.Ref) { ch <- r }))
+			close(ch)
+		}(w, cs.ch)
+	}
+
+	// Round-robin interleave: a full batch from each live core in turn.
+	live := len(cores)
+	for live > 0 {
+		for _, cs := range cores {
+			if cs.done {
+				continue
+			}
+			for n := 0; n < cfg.BatchRefs; n++ {
+				r, ok := <-cs.ch
+				if !ok {
+					cs.done = true
+					live--
+					break
+				}
+				cs.private.Access(r)
+			}
+		}
+	}
+	// Drain residual dirty state core by core, then the shared level.
+	for _, cs := range cores {
+		cs.private.Flush()
+	}
+	shared.Flush()
+
+	res := Result{L3: l3.Stats()}
+	if mods := mem.Modules(); len(mods) > 0 {
+		res.Memory = mods[0].Stats
+	}
+	for _, cs := range cores {
+		ls := cs.private.Levels()
+		res.Cores = append(res.Cores, CoreResult{
+			Name:      cs.name,
+			Refs:      cs.private.Refs(),
+			L1:        ls[0].Stats,
+			L2:        ls[1].Stats,
+			Forwarded: cs.port.count,
+		})
+		res.TotalRefs += cs.private.Refs()
+	}
+	return res, nil
+}
+
+// EffectiveShare estimates the per-core L3 capacity that would reproduce
+// the observed shared hit rate, by probing solo runs of the probe workload
+// at halving capacities. It returns the capacity (bytes) whose solo hit
+// rate is closest to sharedHitRate.
+func EffectiveShare(cfg Config, probe func() workload.Workload, sharedHitRate float64) (uint64, error) {
+	cfg = cfg.withDefaults()
+	best := cfg.L3Size
+	bestDiff := 2.0
+	for size := cfg.L3Size; size >= cfg.L3Size/64 && size >= 64*20; size /= 2 {
+		c := cfg
+		c.L3Size = size
+		res, err := Run(c, []workload.Workload{probe()}, nil)
+		if err != nil {
+			return 0, err
+		}
+		diff := res.L3HitRate() - sharedHitRate
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff < bestDiff {
+			bestDiff = diff
+			best = size
+		}
+	}
+	return best, nil
+}

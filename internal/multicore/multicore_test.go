@@ -1,0 +1,144 @@
+package multicore
+
+import (
+	"testing"
+
+	"hybridmem/internal/workload"
+	"hybridmem/internal/workload/catalog"
+)
+
+// tinyWL builds a small workload by name.
+func tinyWL(t testing.TB, name string) workload.Workload {
+	t.Helper()
+	w, err := catalog.New(name, workload.Options{Scale: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}, nil, nil); err == nil {
+		t.Error("no workloads should fail")
+	}
+	if _, err := Run(Config{L3Size: 1000}, []workload.Workload{tinyWL(t, "CG")}, nil); err == nil {
+		t.Error("invalid L3 geometry should fail")
+	}
+}
+
+func TestSingleCoreMatchesWorkload(t *testing.T) {
+	w := tinyWL(t, "CG")
+	res, err := Run(Config{Scale: 64}, []workload.Workload{w}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cores) != 1 {
+		t.Fatalf("cores = %d", len(res.Cores))
+	}
+	c := res.Cores[0]
+	if c.Refs == 0 || c.Refs != res.TotalRefs {
+		t.Fatalf("refs = %d / total %d", c.Refs, res.TotalRefs)
+	}
+	// Private caches filter most traffic.
+	if c.Forwarded >= c.Refs {
+		t.Fatalf("forwarded %d >= refs %d", c.Forwarded, c.Refs)
+	}
+	// Traffic conservation: L3 load requests = sum of forwarded loads...
+	// at minimum, L3 accesses equal total forwarded requests.
+	if res.L3.Accesses() != c.Forwarded {
+		t.Fatalf("L3 accesses %d != forwarded %d", res.L3.Accesses(), c.Forwarded)
+	}
+}
+
+func TestDeterministicInterleave(t *testing.T) {
+	run := func() Result {
+		ws := []workload.Workload{tinyWL(t, "CG"), tinyWL(t, "Hashing")}
+		res, err := Run(Config{Scale: 64, BatchRefs: 32}, ws, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.L3 != b.L3 || a.Memory != b.Memory {
+		t.Fatalf("interleave not deterministic:\n%+v\n%+v", a.L3, b.L3)
+	}
+	for i := range a.Cores {
+		if a.Cores[i].L1 != b.Cores[i].L1 || a.Cores[i].Forwarded != b.Cores[i].Forwarded {
+			t.Fatalf("core %d diverged", i)
+		}
+	}
+}
+
+// TestContentionDegradesL3 is the package's reason to exist: adding cores
+// that share the L3 must reduce its hit rate relative to a solo run at the
+// same total capacity.
+func TestContentionDegradesL3(t *testing.T) {
+	cfg := Config{Scale: 64}
+	solo, err := Run(cfg, []workload.Workload{tinyWL(t, "CG")}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad, err := Run(cfg, []workload.Workload{
+		tinyWL(t, "CG"), tinyWL(t, "CG"), tinyWL(t, "CG"), tinyWL(t, "CG"),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quad.L3HitRate() >= solo.L3HitRate() {
+		t.Fatalf("contention did not degrade L3: solo %.3f, 4 cores %.3f",
+			solo.L3HitRate(), quad.L3HitRate())
+	}
+	if len(quad.Cores) != 4 {
+		t.Fatalf("cores = %d", len(quad.Cores))
+	}
+	// All cores completed their full streams.
+	for _, c := range quad.Cores {
+		if c.Refs == 0 {
+			t.Fatalf("%s starved", c.Name)
+		}
+	}
+}
+
+// TestEffectiveShare verifies the capacity-equivalence probe returns a
+// plausible (smaller-than-total) share for a contended chip.
+func TestEffectiveShare(t *testing.T) {
+	cfg := Config{Scale: 64}
+	quad, err := Run(cfg, []workload.Workload{
+		tinyWL(t, "CG"), tinyWL(t, "CG"), tinyWL(t, "CG"), tinyWL(t, "CG"),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	share, err := EffectiveShare(cfg, func() workload.Workload { return tinyWL(t, "CG") }, quad.L3HitRate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if share == 0 || share > cfg.withDefaults().L3Size {
+		t.Fatalf("effective share = %d", share)
+	}
+	// Four identical co-runners must shrink the effective share below
+	// the full capacity.
+	if share >= cfg.withDefaults().L3Size {
+		t.Fatalf("share %d did not shrink", share)
+	}
+}
+
+// TestBatchSizeChangesInterleaveOnly: different batch sizes reorder the
+// interleave but never lose references.
+func TestBatchSizeChangesInterleaveOnly(t *testing.T) {
+	for _, batch := range []int{1, 16, 1024} {
+		ws := []workload.Workload{tinyWL(t, "CG"), tinyWL(t, "SP")}
+		res, err := Run(Config{Scale: 64, BatchRefs: batch}, ws, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want uint64
+		for _, c := range res.Cores {
+			want += c.Refs
+		}
+		if res.TotalRefs != want {
+			t.Fatalf("batch %d: refs lost (%d vs %d)", batch, res.TotalRefs, want)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Package report renders experiment results as aligned ASCII tables, CSV,
+// and ASCII heat maps, matching the rows and series of the paper's tables
+// and figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"hybridmem/internal/exp"
+	"hybridmem/internal/model"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// WriteTo renders the table.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// WriteCSV renders the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	rows := append([][]string{t.Headers}, t.Rows...)
+	for _, row := range rows {
+		for i, c := range row {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Pct formats a normalized value as a signed percentage relative to 1.0
+// ("-12.3%" means 12.3% below the reference).
+func Pct(norm float64) string {
+	return fmt.Sprintf("%+.1f%%", (norm-1)*100)
+}
+
+// FigureTable renders one figure's rows (configurations on the x axis) with
+// the chosen normalized metric, plus the per-workload breakdown.
+func FigureTable(title string, rows []exp.Row, workloads []string, metric func(model.Evaluation) float64) *Table {
+	t := &Table{Title: title}
+	t.Headers = append([]string{"config", "avg"}, workloads...)
+	for _, r := range rows {
+		cells := []string{r.Label, fmt.Sprintf("%.4f", metric(r.Avg))}
+		for _, ev := range r.PerWorkload {
+			cells = append(cells, fmt.Sprintf("%.4f", metric(ev)))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// HeatmapTable renders a Figure 9/10-style heat map grid: read multipliers
+// as columns, write multipliers as rows.
+func HeatmapTable(hm *exp.Heatmap) *Table {
+	t := &Table{Title: fmt.Sprintf("heat map: normalized %s (rows: write mult, cols: read mult)", hm.Kind)}
+	t.Headers = []string{"w\\r"}
+	for _, r := range hm.ReadMults {
+		t.Headers = append(t.Headers, fmt.Sprintf("%gx", r))
+	}
+	for wi, wm := range hm.WriteMults {
+		cells := []string{fmt.Sprintf("%gx", wm)}
+		for ri := range hm.ReadMults {
+			cells = append(cells, fmt.Sprintf("%.4f", hm.At(wi, ri)))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// HeatmapShade renders the heat map with a coarse ASCII shading ramp for a
+// quick visual read, one character per cell.
+func HeatmapShade(hm *exp.Heatmap, w io.Writer) error {
+	ramp := []byte(" .:-=+*#%@")
+	// Normalize the ramp over the observed range.
+	lo, hi := hm.Cells[0][0], hm.Cells[0][0]
+	for _, row := range hm.Cells {
+		for _, v := range row {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	for wi := len(hm.WriteMults) - 1; wi >= 0; wi-- {
+		fmt.Fprintf(w, "w%4gx |", hm.WriteMults[wi])
+		for ri := range hm.ReadMults {
+			v := (hm.Cells[wi][ri] - lo) / span
+			idx := int(v * float64(len(ramp)-1))
+			fmt.Fprintf(w, " %c", ramp[idx])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "       +%s\n        ", strings.Repeat("--", len(hm.ReadMults)))
+	for _, r := range hm.ReadMults {
+		fmt.Fprintf(w, "%2.0f", r)
+	}
+	fmt.Fprintf(w, "  (read mult; range %.3f..%.3f)\n", lo, hi)
+	return nil
+}

@@ -1,0 +1,132 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"hybridmem/internal/exp"
+	"hybridmem/internal/model"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tab := &Table{Title: "demo", Headers: []string{"name", "value"}}
+	tab.AddRow("short", "1")
+	tab.AddRow("a-much-longer-name", "2")
+	var b strings.Builder
+	if _, err := tab.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "demo") {
+		t.Errorf("missing title: %q", lines[0])
+	}
+	// Value column must start at the same offset in both data rows.
+	i1 := strings.Index(lines[3], "1")
+	i2 := strings.Index(lines[4], "2")
+	if i1 != i2 {
+		t.Errorf("columns misaligned: %d vs %d\n%s", i1, i2, out)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tab := &Table{Headers: []string{"a", "b"}}
+	tab.AddRow(`has,comma`, `has"quote`)
+	tab.AddRow("plain", "line\nbreak")
+	var b strings.Builder
+	if err := tab.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"has,comma"`) {
+		t.Errorf("comma not quoted: %q", out)
+	}
+	if !strings.Contains(out, `"has""quote"`) {
+		t.Errorf("quote not doubled: %q", out)
+	}
+	if !strings.Contains(out, "\"line\nbreak\"") {
+		t.Errorf("newline not quoted: %q", out)
+	}
+}
+
+func TestPct(t *testing.T) {
+	cases := map[float64]string{
+		1.0:  "+0.0%",
+		1.05: "+5.0%",
+		0.79: "-21.0%",
+	}
+	for in, want := range cases {
+		if got := Pct(in); got != want {
+			t.Errorf("Pct(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFigureTable(t *testing.T) {
+	rows := []exp.Row{
+		{
+			Label:       "N1",
+			Avg:         model.Evaluation{NormTime: 1.05},
+			PerWorkload: []model.Evaluation{{NormTime: 1.01}, {NormTime: 1.09}},
+		},
+	}
+	tab := FigureTable("fig", rows, []string{"BT", "CG"}, func(e model.Evaluation) float64 { return e.NormTime })
+	if len(tab.Headers) != 4 {
+		t.Fatalf("headers = %v", tab.Headers)
+	}
+	if tab.Rows[0][0] != "N1" || tab.Rows[0][1] != "1.0500" {
+		t.Fatalf("row = %v", tab.Rows[0])
+	}
+	if tab.Rows[0][2] != "1.0100" || tab.Rows[0][3] != "1.0900" {
+		t.Fatalf("per-workload cells = %v", tab.Rows[0])
+	}
+}
+
+func testHeatmap() *exp.Heatmap {
+	return &exp.Heatmap{
+		Kind:       "time",
+		ReadMults:  []float64{1, 5},
+		WriteMults: []float64{1, 5},
+		Cells:      [][]float64{{1.0, 1.1}, {1.02, 1.15}},
+	}
+}
+
+func TestHeatmapTable(t *testing.T) {
+	tab := HeatmapTable(testHeatmap())
+	if len(tab.Rows) != 2 || len(tab.Headers) != 3 {
+		t.Fatalf("shape: %d rows, %d headers", len(tab.Rows), len(tab.Headers))
+	}
+	if tab.Rows[1][2] != "1.1500" {
+		t.Fatalf("cell [1][2] = %q", tab.Rows[1][2])
+	}
+	if tab.Headers[1] != "1x" || tab.Headers[2] != "5x" {
+		t.Fatalf("headers = %v", tab.Headers)
+	}
+}
+
+func TestHeatmapShade(t *testing.T) {
+	var b strings.Builder
+	if err := HeatmapShade(testHeatmap(), &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "read mult") {
+		t.Errorf("missing axis label:\n%s", out)
+	}
+	// The hottest cell (1.15) must render as the densest ramp character.
+	if !strings.Contains(out, "@") {
+		t.Errorf("missing hottest shade:\n%s", out)
+	}
+}
+
+func TestHeatmapShadeUniform(t *testing.T) {
+	hm := testHeatmap()
+	hm.Cells = [][]float64{{1, 1}, {1, 1}}
+	var b strings.Builder
+	if err := HeatmapShade(hm, &b); err != nil {
+		t.Fatal(err) // must not divide by zero
+	}
+}

@@ -1,0 +1,212 @@
+// Package reuse computes LRU stack (reuse) distance histograms over
+// reference streams.
+//
+// The reuse distance of an access is the number of distinct cache lines
+// touched since the previous access to the same line; an LRU cache of C
+// lines hits exactly the accesses with distance < C. Reuse histograms
+// therefore predict hit rates for every cache size at once, and they are
+// the formal basis of this repository's co-scaling argument (DESIGN.md):
+// scaling footprints and capacities together preserves the distance
+// distribution relative to capacity.
+//
+// The implementation is the classic O(log n)-per-access algorithm: a
+// Fenwick tree over access timestamps holds one bit per currently-resident
+// line at its most recent access time; the distance of a reuse is the
+// number of set bits after the line's previous timestamp.
+package reuse
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"hybridmem/internal/trace"
+)
+
+// fenwick is a binary indexed tree over access timestamps.
+type fenwick struct {
+	tree []int64
+}
+
+func (f *fenwick) grow(n int) {
+	for len(f.tree) < n+1 {
+		f.tree = append(f.tree, make([]int64, len(f.tree)+1024)...)
+	}
+}
+
+// add adds delta at position i (1-based internally).
+func (f *fenwick) add(i int, delta int64) {
+	f.grow(i + 1)
+	for j := i + 1; j < len(f.tree); j += j & (-j) {
+		f.tree[j] += delta
+	}
+}
+
+// sum returns the prefix sum over positions [0, i].
+func (f *fenwick) sum(i int) int64 {
+	if i+1 >= len(f.tree) {
+		i = len(f.tree) - 2
+	}
+	var s int64
+	for j := i + 1; j > 0; j -= j & (-j) {
+		s += f.tree[j]
+	}
+	return s
+}
+
+// Profiler is a trace.Sink that accumulates a reuse-distance histogram at a
+// fixed line granularity.
+type Profiler struct {
+	lineShift uint
+	last      map[uint64]int // line -> timestamp of latest access
+	bit       fenwick
+	t         int
+
+	// hist[k] counts accesses with distance in [2^k, 2^(k+1)) (hist[0]
+	// covers distance 0 and 1).
+	hist [48]uint64
+	cold uint64 // first-touch accesses (infinite distance)
+}
+
+// New returns a profiler at the given line size (power of two).
+func New(lineSize uint64) (*Profiler, error) {
+	if lineSize == 0 || lineSize&(lineSize-1) != 0 {
+		return nil, fmt.Errorf("reuse: line size %d not a power of two", lineSize)
+	}
+	return &Profiler{
+		lineShift: uint(bits.TrailingZeros64(lineSize)),
+		last:      make(map[uint64]int),
+	}, nil
+}
+
+// Access implements trace.Sink. References spanning multiple lines charge
+// each covered line.
+func (p *Profiler) Access(r trace.Ref) {
+	size := uint64(r.Size)
+	if size == 0 {
+		size = 1
+	}
+	first := r.Addr >> p.lineShift
+	last := (r.Addr + size - 1) >> p.lineShift
+	for line := first; line <= last; line++ {
+		p.touch(line)
+	}
+}
+
+// touch records one line access.
+func (p *Profiler) touch(line uint64) {
+	if prev, ok := p.last[line]; ok {
+		// Distinct lines touched strictly after prev.
+		d := p.bit.sum(p.t) - p.bit.sum(prev)
+		if d < 0 {
+			d = 0
+		}
+		p.record(uint64(d))
+		p.bit.add(prev, -1)
+	} else {
+		p.cold++
+	}
+	p.bit.add(p.t, 1)
+	p.last[line] = p.t
+	p.t++
+}
+
+// record buckets one reuse distance.
+func (p *Profiler) record(d uint64) {
+	k := 0
+	if d > 1 {
+		k = bits.Len64(d) - 1
+	}
+	if k >= len(p.hist) {
+		k = len(p.hist) - 1
+	}
+	p.hist[k]++
+}
+
+// Histogram is the profiler's result.
+type Histogram struct {
+	// Buckets[k] counts accesses with reuse distance in [2^k, 2^(k+1))
+	// (bucket 0 covers distances 0 and 1).
+	Buckets []uint64
+	// Cold counts first-touch accesses (infinite distance).
+	Cold uint64
+	// Lines is the number of distinct lines touched.
+	Lines uint64
+	// Total is the total line-accesses profiled.
+	Total uint64
+}
+
+// Histogram snapshots the profiler.
+func (p *Profiler) Histogram() Histogram {
+	h := Histogram{
+		Buckets: append([]uint64(nil), p.hist[:]...),
+		Cold:    p.cold,
+		Lines:   uint64(len(p.last)),
+		Total:   uint64(p.t),
+	}
+	return h
+}
+
+// HitRate estimates the hit rate of a fully-associative LRU cache holding
+// cacheLines lines: the fraction of accesses with reuse distance strictly
+// below cacheLines. Bucket boundaries interpolate linearly.
+func (h Histogram) HitRate(cacheLines uint64) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	var hits float64
+	for k, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		lo := uint64(1) << uint(k) // bucket k spans [2^k, 2^(k+1)), except k=0 spans [0,2)
+		if k == 0 {
+			lo = 0
+		}
+		hi := uint64(1) << uint(k+1)
+		switch {
+		case cacheLines >= hi:
+			hits += float64(n)
+		case cacheLines <= lo:
+			// no hits from this bucket
+		default:
+			frac := float64(cacheLines-lo) / float64(hi-lo)
+			hits += float64(n) * frac
+		}
+	}
+	return hits / float64(h.Total)
+}
+
+// WorkingSet returns the smallest cache size (in lines, a power of two)
+// achieving at least the target hit rate, or 0 if unreachable (e.g. all
+// accesses are cold).
+func (h Histogram) WorkingSet(target float64) uint64 {
+	for k := 0; k <= 47; k++ {
+		c := uint64(1) << uint(k)
+		if h.HitRate(c) >= target {
+			return c
+		}
+	}
+	return 0
+}
+
+// MeanDistance returns the mean finite reuse distance (bucket midpoints).
+func (h Histogram) MeanDistance() float64 {
+	var sum, n float64
+	for k, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		lo := math.Exp2(float64(k))
+		if k == 0 {
+			lo = 0
+		}
+		mid := (lo + math.Exp2(float64(k+1))) / 2
+		sum += mid * float64(c)
+		n += float64(c)
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}

@@ -1,0 +1,236 @@
+package reuse
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"hybridmem/internal/trace"
+)
+
+func touchLines(p *Profiler, lines ...uint64) {
+	for _, l := range lines {
+		p.Access(trace.Ref{Addr: l * 64, Size: 8, Kind: trace.Load})
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("zero line size should fail")
+	}
+	if _, err := New(48); err == nil {
+		t.Error("non-power-of-two line size should fail")
+	}
+}
+
+func TestColdAccesses(t *testing.T) {
+	p, _ := New(64)
+	touchLines(p, 1, 2, 3, 4)
+	h := p.Histogram()
+	if h.Cold != 4 || h.Total != 4 || h.Lines != 4 {
+		t.Fatalf("histogram = %+v", h)
+	}
+}
+
+func TestImmediateReuse(t *testing.T) {
+	p, _ := New(64)
+	touchLines(p, 7, 7, 7)
+	h := p.Histogram()
+	if h.Cold != 1 {
+		t.Fatalf("cold = %d", h.Cold)
+	}
+	// Two reuses at distance 0 -> bucket 0.
+	if h.Buckets[0] != 2 {
+		t.Fatalf("bucket0 = %d", h.Buckets[0])
+	}
+}
+
+func TestCyclicDistance(t *testing.T) {
+	// Cycling over N lines gives distance N-1 on every reuse.
+	const n = 8
+	p, _ := New(64)
+	for rep := 0; rep < 3; rep++ {
+		for l := uint64(0); l < n; l++ {
+			touchLines(p, l)
+		}
+	}
+	h := p.Histogram()
+	if h.Cold != n {
+		t.Fatalf("cold = %d", h.Cold)
+	}
+	// Distance 7 lands in bucket 2 ([4,8)).
+	if h.Buckets[2] != 2*n {
+		t.Fatalf("bucket2 = %d, want %d (hist %v)", h.Buckets[2], 2*n, h.Buckets[:5])
+	}
+	// An 8-line LRU cache captures all reuses; a 4-line one captures none.
+	if got := h.HitRate(n); math.Abs(got-float64(2*n)/float64(3*n)) > 1e-12 {
+		t.Fatalf("HitRate(%d) = %g", n, got)
+	}
+	if got := h.HitRate(4); got != 0 {
+		t.Fatalf("HitRate(4) = %g, want 0", got)
+	}
+}
+
+func TestSpanningRefTouchesBothLines(t *testing.T) {
+	p, _ := New(64)
+	p.Access(trace.Ref{Addr: 60, Size: 8, Kind: trace.Load}) // lines 0 and 1
+	h := p.Histogram()
+	if h.Total != 2 || h.Cold != 2 {
+		t.Fatalf("histogram = %+v", h)
+	}
+}
+
+// naiveDistance computes reuse distances with an explicit LRU stack — the
+// oracle for the Fenwick implementation.
+type naiveDistance struct {
+	stack []uint64 // MRU first
+	hist  map[uint64]uint64
+	cold  uint64
+}
+
+func (n *naiveDistance) touch(line uint64) {
+	for i, l := range n.stack {
+		if l == line {
+			if n.hist == nil {
+				n.hist = map[uint64]uint64{}
+			}
+			n.hist[uint64(i)]++
+			n.stack = append(n.stack[:i], n.stack[i+1:]...)
+			n.stack = append([]uint64{line}, n.stack...)
+			return
+		}
+	}
+	n.cold++
+	n.stack = append([]uint64{line}, n.stack...)
+}
+
+// TestAgainstNaiveStack is a property test: the Fenwick profiler's exact
+// per-distance counts match an explicit LRU stack on random streams.
+func TestAgainstNaiveStack(t *testing.T) {
+	f := func(seed uint64, nOps uint16) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		p, _ := New(64)
+		var oracle naiveDistance
+		perBucket := map[int]uint64{}
+		ops := int(nOps)%500 + 50
+		for i := 0; i < ops; i++ {
+			line := rng.Uint64N(40)
+			p.touch(line)
+			oracle.touch(line)
+		}
+		for d, c := range oracle.hist {
+			k := 0
+			if d > 1 {
+				k = 63 - leadingZeros(d)
+			}
+			perBucket[k] += c
+		}
+		h := p.Histogram()
+		if h.Cold != oracle.cold {
+			return false
+		}
+		for k, want := range perBucket {
+			if h.Buckets[k] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func leadingZeros(x uint64) int {
+	n := 0
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+func TestHitRateMonotone(t *testing.T) {
+	p, _ := New(64)
+	rng := rand.New(rand.NewPCG(9, 9))
+	for i := 0; i < 20000; i++ {
+		touchLines(p, rng.Uint64N(256))
+	}
+	h := p.Histogram()
+	prev := -1.0
+	for k := 0; k < 12; k++ {
+		hr := h.HitRate(1 << k)
+		if hr < prev-1e-12 {
+			t.Fatalf("hit rate not monotone at %d lines: %g < %g", 1<<k, hr, prev)
+		}
+		prev = hr
+	}
+	if h.HitRate(1<<12) < 0.9 {
+		t.Fatalf("cache bigger than footprint should approach hit rate 1, got %g", h.HitRate(1<<12))
+	}
+}
+
+func TestWorkingSet(t *testing.T) {
+	p, _ := New(64)
+	// Cycle over 100 lines: working set for any positive target is the
+	// first power of two >= 100.
+	for rep := 0; rep < 5; rep++ {
+		for l := uint64(0); l < 100; l++ {
+			touchLines(p, l)
+		}
+	}
+	h := p.Histogram()
+	if ws := h.WorkingSet(0.5); ws != 128 {
+		t.Fatalf("WorkingSet(0.5) = %d, want 128", ws)
+	}
+	// All-cold stream has no reachable target.
+	q, _ := New(64)
+	touchLines(q, 1, 2, 3)
+	if ws := q.Histogram().WorkingSet(0.5); ws != 0 {
+		t.Fatalf("all-cold working set = %d, want 0", ws)
+	}
+}
+
+func TestMeanDistance(t *testing.T) {
+	p, _ := New(64)
+	touchLines(p, 1, 1) // distance 0
+	h := p.Histogram()
+	if h.MeanDistance() != 1 { // bucket 0 midpoint (0+2)/2
+		t.Fatalf("mean = %g", h.MeanDistance())
+	}
+	var empty Histogram
+	if empty.MeanDistance() != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}
+
+// TestCoScalingInvariance is the design-level property the co-scaling
+// argument rests on: a self-similar access pattern scaled down by k has the
+// same hit rate at cache size C/k as the original at C.
+func TestCoScalingInvariance(t *testing.T) {
+	run := func(footLines uint64) Histogram {
+		p, _ := New(64)
+		rng := rand.New(rand.NewPCG(42, 42))
+		// Self-similar mix: 70% hot eighth, 30% uniform.
+		for i := 0; i < 40000; i++ {
+			var l uint64
+			if rng.Uint64N(10) < 7 {
+				l = rng.Uint64N(footLines / 8)
+			} else {
+				l = rng.Uint64N(footLines)
+			}
+			touchLines(p, l)
+		}
+		return p.Histogram()
+	}
+	big := run(4096)
+	small := run(512) // scaled down 8x
+	for _, c := range []uint64{64, 256, 1024} {
+		hb := big.HitRate(c)
+		hs := small.HitRate(c / 8)
+		if math.Abs(hb-hs) > 0.05 {
+			t.Errorf("co-scaling violated at C=%d: big %g vs small %g", c, hb, hs)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package sparse provides the sparse linear-algebra substrate behind the
+// NPB CG workload: compressed sparse row (CSR) matrices, sparse
+// matrix-vector products, and a conjugate-gradient solver.
+//
+// The package is pure computation — workloads wrap its data structures with
+// address-emitting loops. Matrices are generated deterministically from a
+// seed so a workload's reference stream is reproducible.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// CSR is a square sparse matrix in compressed sparse row form.
+type CSR struct {
+	N      int       // dimension
+	RowPtr []int32   // length N+1; row i occupies [RowPtr[i], RowPtr[i+1])
+	Col    []int32   // column index per non-zero
+	Val    []float64 // value per non-zero
+}
+
+// NNZ returns the number of stored non-zeros.
+func (m *CSR) NNZ() int { return len(m.Col) }
+
+// Validate checks structural invariants: monotone row pointers, in-range
+// column indices, and matching array lengths.
+func (m *CSR) Validate() error {
+	if len(m.RowPtr) != m.N+1 {
+		return fmt.Errorf("sparse: RowPtr length %d != N+1 (%d)", len(m.RowPtr), m.N+1)
+	}
+	if len(m.Col) != len(m.Val) {
+		return fmt.Errorf("sparse: Col length %d != Val length %d", len(m.Col), len(m.Val))
+	}
+	if m.RowPtr[0] != 0 || int(m.RowPtr[m.N]) != len(m.Col) {
+		return fmt.Errorf("sparse: RowPtr endpoints [%d,%d] do not span nnz %d", m.RowPtr[0], m.RowPtr[m.N], len(m.Col))
+	}
+	for i := 0; i < m.N; i++ {
+		if m.RowPtr[i] > m.RowPtr[i+1] {
+			return fmt.Errorf("sparse: RowPtr not monotone at row %d", i)
+		}
+	}
+	for k, c := range m.Col {
+		if c < 0 || int(c) >= m.N {
+			return fmt.Errorf("sparse: column %d out of range at nnz %d", c, k)
+		}
+	}
+	return nil
+}
+
+// MulVec computes y = m·x.
+func (m *CSR) MulVec(y, x []float64) {
+	for i := 0; i < m.N; i++ {
+		var sum float64
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			sum += m.Val[k] * x[m.Col[k]]
+		}
+		y[i] = sum
+	}
+}
+
+// RandomSPD generates a random symmetric positive-definite matrix of
+// dimension n with roughly nnzPerRow off-diagonal entries per row, in the
+// spirit of the NPB CG benchmark's randomly structured matrix. Column
+// indices are uniformly random (irregular access is the point of CG in the
+// paper's workload mix); diagonal dominance guarantees positive
+// definiteness.
+func RandomSPD(n, nnzPerRow int, seed uint64) *CSR {
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	rows := make([][]entry, n)
+	// Generate the strictly-lower triangle and mirror it for symmetry.
+	for i := 0; i < n; i++ {
+		for e := 0; e < nnzPerRow/2; e++ {
+			j := int(rng.Int64N(int64(n)))
+			if j == i {
+				continue
+			}
+			v := rng.Float64()*2 - 1
+			rows[i] = append(rows[i], entry{int32(j), v})
+			rows[j] = append(rows[j], entry{int32(i), v})
+		}
+	}
+	m := &CSR{N: n, RowPtr: make([]int32, n+1)}
+	for i := 0; i < n; i++ {
+		// Sort, deduplicate (keep first), and compute dominance.
+		es := rows[i]
+		sortEntries(es)
+		var dom float64
+		var kept []entry
+		for k, e := range es {
+			if k > 0 && es[k-1].col == e.col {
+				continue
+			}
+			kept = append(kept, e)
+			dom += math.Abs(e.val)
+		}
+		// Diagonal: strictly dominant.
+		diag := entry{int32(i), dom + 1}
+		inserted := false
+		for k, e := range kept {
+			if e.col > diag.col {
+				kept = append(kept[:k], append([]entry{diag}, kept[k:]...)...)
+				inserted = true
+				break
+			}
+		}
+		if !inserted {
+			kept = append(kept, diag)
+		}
+		for _, e := range kept {
+			m.Col = append(m.Col, e.col)
+			m.Val = append(m.Val, e.val)
+		}
+		m.RowPtr[i+1] = int32(len(m.Col))
+	}
+	return m
+}
+
+// entry is a (column, value) pair used while assembling rows.
+type entry struct {
+	col int32
+	val float64
+}
+
+// sortEntries sorts by column (insertion sort; rows are short).
+func sortEntries(es []entry) {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && es[j].col < es[j-1].col; j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha·x.
+func Axpy(alpha float64, x, y []float64) {
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// CGResult reports a conjugate-gradient solve.
+type CGResult struct {
+	Iterations int
+	Residual   float64
+}
+
+// CG runs at most maxIter conjugate-gradient iterations on m·x = b, starting
+// from x (which it updates in place), stopping early when the residual norm
+// falls below tol. It is the pure-math twin of the traced CG workload and
+// backs its correctness tests.
+func CG(m *CSR, b, x []float64, maxIter int, tol float64) CGResult {
+	n := m.N
+	r := make([]float64, n)
+	p := make([]float64, n)
+	q := make([]float64, n)
+
+	m.MulVec(q, x)
+	for i := 0; i < n; i++ {
+		r[i] = b[i] - q[i]
+		p[i] = r[i]
+	}
+	rho := Dot(r, r)
+	var it int
+	for it = 0; it < maxIter && math.Sqrt(rho) > tol; it++ {
+		m.MulVec(q, p)
+		alpha := rho / Dot(p, q)
+		Axpy(alpha, p, x)
+		Axpy(-alpha, q, r)
+		rhoNew := Dot(r, r)
+		beta := rhoNew / rho
+		for i := 0; i < n; i++ {
+			p[i] = r[i] + beta*p[i]
+		}
+		rho = rhoNew
+	}
+	return CGResult{Iterations: it, Residual: math.Sqrt(rho)}
+}

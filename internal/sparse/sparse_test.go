@@ -1,0 +1,215 @@
+package sparse
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandomSPDStructure(t *testing.T) {
+	m := RandomSPD(200, 8, 42)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.N != 200 {
+		t.Fatalf("N = %d", m.N)
+	}
+	if m.NNZ() < 200 {
+		t.Fatalf("NNZ = %d, want at least one diagonal per row", m.NNZ())
+	}
+}
+
+// TestRandomSPDSymmetric checks A[i][j] == A[j][i] for every stored entry.
+func TestRandomSPDSymmetric(t *testing.T) {
+	m := RandomSPD(150, 10, 7)
+	get := func(i, j int) float64 {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if int(m.Col[k]) == j {
+				return m.Val[k]
+			}
+		}
+		return 0
+	}
+	for i := 0; i < m.N; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			j := int(m.Col[k])
+			if got := get(j, i); math.Abs(got-m.Val[k]) > 1e-15 {
+				t.Fatalf("A[%d][%d]=%g but A[%d][%d]=%g", i, j, m.Val[k], j, i, got)
+			}
+		}
+	}
+}
+
+// TestRandomSPDDiagonallyDominant verifies strict diagonal dominance, the
+// generator's positive-definiteness guarantee.
+func TestRandomSPDDiagonallyDominant(t *testing.T) {
+	m := RandomSPD(150, 10, 99)
+	for i := 0; i < m.N; i++ {
+		var diag, off float64
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if int(m.Col[k]) == i {
+				diag = m.Val[k]
+			} else {
+				off += math.Abs(m.Val[k])
+			}
+		}
+		if diag <= off {
+			t.Fatalf("row %d: diag %g <= off-diagonal sum %g", i, diag, off)
+		}
+	}
+}
+
+func TestRandomSPDSortedColumns(t *testing.T) {
+	m := RandomSPD(100, 12, 3)
+	for i := 0; i < m.N; i++ {
+		for k := m.RowPtr[i] + 1; k < m.RowPtr[i+1]; k++ {
+			if m.Col[k-1] >= m.Col[k] {
+				t.Fatalf("row %d columns not strictly increasing", i)
+			}
+		}
+	}
+}
+
+func TestRandomSPDDeterministic(t *testing.T) {
+	a := RandomSPD(64, 6, 123)
+	b := RandomSPD(64, 6, 123)
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("same seed produced different matrices")
+	}
+	for k := range a.Val {
+		if a.Val[k] != b.Val[k] || a.Col[k] != b.Col[k] {
+			t.Fatal("same seed produced different matrices")
+		}
+	}
+	c := RandomSPD(64, 6, 124)
+	same := a.NNZ() == c.NNZ()
+	if same {
+		for k := range a.Col {
+			if a.Col[k] != c.Col[k] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical structure")
+	}
+}
+
+// TestMulVecAgainstDense compares CSR SpMV with a dense multiply.
+func TestMulVecAgainstDense(t *testing.T) {
+	m := RandomSPD(60, 5, 5)
+	dense := make([][]float64, m.N)
+	for i := range dense {
+		dense[i] = make([]float64, m.N)
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			dense[i][m.Col[k]] = m.Val[k]
+		}
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	x := make([]float64, m.N)
+	for i := range x {
+		x[i] = rng.Float64()*2 - 1
+	}
+	y := make([]float64, m.N)
+	m.MulVec(y, x)
+	for i := 0; i < m.N; i++ {
+		var want float64
+		for j := 0; j < m.N; j++ {
+			want += dense[i][j] * x[j]
+		}
+		if math.Abs(y[i]-want) > 1e-9 {
+			t.Fatalf("row %d: got %g, want %g", i, y[i], want)
+		}
+	}
+}
+
+func TestDotAxpy(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Fatalf("Dot = %g", got)
+	}
+	Axpy(2, a, b) // b += 2a
+	want := []float64{6, 9, 12}
+	for i := range b {
+		if b[i] != want[i] {
+			t.Fatalf("Axpy -> %v", b)
+		}
+	}
+}
+
+// TestCGSolves is a property test: CG on random SPD systems converges and
+// the solution satisfies A·x ≈ b.
+func TestCGSolves(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 50 + int(seed%50)
+		m := RandomSPD(n, 6, seed)
+		b := make([]float64, n)
+		rng := rand.New(rand.NewPCG(seed, 5))
+		for i := range b {
+			b[i] = rng.Float64()*2 - 1
+		}
+		x := make([]float64, n)
+		res := CG(m, b, x, 500, 1e-10)
+		if res.Residual > 1e-8 {
+			return false
+		}
+		// Verify A·x = b independently.
+		ax := make([]float64, n)
+		m.MulVec(ax, x)
+		for i := range b {
+			if math.Abs(ax[i]-b[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	m := RandomSPD(30, 4, 1)
+	x := make([]float64, 30)
+	res := CG(m, make([]float64, 30), x, 100, 1e-12)
+	if res.Iterations != 0 {
+		t.Fatalf("zero RHS should converge immediately, took %d iters", res.Iterations)
+	}
+}
+
+func TestCGRespectsMaxIter(t *testing.T) {
+	m := RandomSPD(100, 8, 2)
+	b := make([]float64, 100)
+	for i := range b {
+		b[i] = 1
+	}
+	x := make([]float64, 100)
+	res := CG(m, b, x, 3, 0)
+	if res.Iterations != 3 {
+		t.Fatalf("iterations = %d, want exactly 3", res.Iterations)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	m := RandomSPD(20, 4, 9)
+	cases := []func(*CSR){
+		func(c *CSR) { c.RowPtr = c.RowPtr[:len(c.RowPtr)-1] },
+		func(c *CSR) { c.Col[0] = -1 },
+		func(c *CSR) { c.Col[0] = int32(c.N) },
+		func(c *CSR) { c.RowPtr[2] = c.RowPtr[1] - 1 }, // non-monotone
+		func(c *CSR) { c.Val = c.Val[:len(c.Val)-1] },
+	}
+	for i, corrupt := range cases {
+		c := &CSR{N: m.N,
+			RowPtr: append([]int32(nil), m.RowPtr...),
+			Col:    append([]int32(nil), m.Col...),
+			Val:    append([]float64(nil), m.Val...)}
+		corrupt(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("corruption %d not caught", i)
+		}
+	}
+}

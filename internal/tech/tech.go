@@ -1,0 +1,259 @@
+// Package tech models memory technology characteristics.
+//
+// It reproduces Table 1 of the paper (read/write delay in nanoseconds and
+// read/write energy in pJ/bit for DRAM, PCM, STT-RAM, FeRAM, eDRAM, and HMC)
+// and adds the static/refresh power figures the paper references but does
+// not print. The paper sourced cache, DRAM, and eDRAM parameters from CACTI,
+// PCM and STT-RAM from the ITRS 2013 report, FeRAM from published chain-FeRAM
+// literature, HMC from prototype measurements, and DRAM background power from
+// the Micron system power calculator. Our static-power constants are chosen
+// in that spirit and are documented on each value; the paper's qualitative
+// conclusions require only that (a) NVM draws no static power, (b) DRAM and
+// eDRAM refresh power grows with capacity, and (c) SRAM leakage is
+// significant for a 20MB last-level cache.
+package tech
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tech describes one memory technology: access latencies, per-bit dynamic
+// energies, and static (leakage plus refresh) power. The zero value is not
+// useful; use the predefined variables or NewCustom.
+type Tech struct {
+	// Name identifies the technology (e.g. "DRAM", "PCM").
+	Name string
+
+	// ReadNS and WriteNS are access delays in nanoseconds (Table 1).
+	ReadNS  float64
+	WriteNS float64
+
+	// ReadPJPerBit and WritePJPerBit are dynamic access energies in
+	// picojoules per bit transferred (Table 1).
+	ReadPJPerBit  float64
+	WritePJPerBit float64
+
+	// StaticWPerGB is the capacity-proportional static/refresh power in
+	// watts per gigabyte. Zero for non-volatile technologies, per the
+	// paper's assumption that NVM draws no static power.
+	StaticWPerGB float64
+
+	// StaticWFixed is a capacity-independent static power component
+	// (peripheral/controller leakage), in watts.
+	StaticWFixed float64
+
+	// NonVolatile reports whether the technology retains data without
+	// power (retention on the order of years rather than nanoseconds).
+	NonVolatile bool
+}
+
+// Predefined technologies. Latency and dynamic energy follow Table 1 of the
+// paper verbatim. Static power sources are noted per entry.
+var (
+	// DRAM is commodity DDR DRAM (Table 1 row "RAM"). Static power
+	// follows the Micron power-calculator ballpark of a few hundred
+	// milliwatts per gigabyte of background plus refresh power.
+	DRAM = Tech{
+		Name: "DRAM", ReadNS: 10, WriteNS: 10,
+		ReadPJPerBit: 10, WritePJPerBit: 10,
+		// Micron power-calculator ballpark: background plus refresh
+		// power of idle DDR3, ~120mW per GB.
+		StaticWPerGB: 0.12,
+	}
+
+	// PCM is phase-change memory (ITRS 2013): strongly asymmetric, with
+	// expensive writes, and no refresh.
+	PCM = Tech{
+		Name: "PCM", ReadNS: 21, WriteNS: 100,
+		ReadPJPerBit: 12.4, WritePJPerBit: 210.3,
+		NonVolatile: true,
+	}
+
+	// STTRAM is spin-torque-transfer magnetic RAM (ITRS 2013): symmetric
+	// latency, moderate energy, high endurance, no refresh.
+	STTRAM = Tech{
+		Name: "STTRAM", ReadNS: 35, WriteNS: 35,
+		ReadPJPerBit: 58.5, WritePJPerBit: 67.7,
+		NonVolatile: true,
+	}
+
+	// FeRAM is chain ferro-electric RAM (Hoya et al., ISSCC 2006):
+	// DRAM-like reads, slower and energy-hungry writes, no refresh.
+	FeRAM = Tech{
+		Name: "FeRAM", ReadNS: 40, WriteNS: 65,
+		ReadPJPerBit: 12.4, WritePJPerBit: 210,
+		NonVolatile: true,
+	}
+
+	// EDRAM is on-chip embedded DRAM (CACTI): much faster than DDR DRAM,
+	// but it must be refreshed and its dense on-chip arrays leak, so its
+	// per-capacity static power exceeds commodity DRAM's.
+	EDRAM = Tech{
+		Name: "eDRAM", ReadNS: 4.4, WriteNS: 4.4,
+		ReadPJPerBit: 3.11, WritePJPerBit: 3.09,
+		StaticWPerGB: 1.2, // retention + refresh for dense on-chip arrays
+	}
+
+	// HMC is the Hybrid Memory Cube (prototype measurements, Jeddeloh &
+	// Keeth 2012): through-silicon-via stacking gives very low access
+	// latency and read energy; the logic layer contributes a fixed
+	// static power.
+	HMC = Tech{
+		Name: "HMC", ReadNS: 0.18, WriteNS: 0.18,
+		ReadPJPerBit: 0.48, WritePJPerBit: 10.48,
+		StaticWPerGB: 1.6, // stacked DRAM refresh plus logic-layer share
+	}
+
+	// SRAML1, SRAML2, and SRAML3 model the reference system's on-chip
+	// SRAM caches (Sandy Bridge-like latencies; CACTI-flavoured energy
+	// and leakage). The paper takes these from CACTI.
+	SRAML1 = Tech{
+		Name: "SRAM-L1", ReadNS: 1.3, WriteNS: 1.3,
+		ReadPJPerBit: 0.35, WritePJPerBit: 0.35,
+		StaticWPerGB: 1536, // ~1.5 W/MB of fast SRAM leakage
+	}
+	SRAML2 = Tech{
+		Name: "SRAM-L2", ReadNS: 3.3, WriteNS: 3.3,
+		ReadPJPerBit: 0.6, WritePJPerBit: 0.6,
+		StaticWPerGB: 1024, // ~1 W/MB
+	}
+	SRAML3 = Tech{
+		Name: "SRAM-L3", ReadNS: 7.7, WriteNS: 7.7,
+		ReadPJPerBit: 1.0, WritePJPerBit: 1.0,
+		StaticWPerGB: 160, // ~2-4W for a 20MB LLC, per CACTI's ballpark
+	}
+)
+
+// nvmNames lists the non-volatile main-memory candidates the paper
+// evaluates.
+var nvmNames = []string{"PCM", "STTRAM", "FeRAM"}
+
+// registry maps canonical lower-case names to technologies.
+var registry = map[string]Tech{
+	"dram":   DRAM,
+	"ram":    DRAM, // Table 1 labels the DRAM row "RAM"
+	"pcm":    PCM,
+	"sttram": STTRAM,
+	"feram":  FeRAM,
+	"edram":  EDRAM,
+	"hmc":    HMC,
+}
+
+// ByName looks a technology up by case-insensitive name ("DRAM", "PCM",
+// "STTRAM", "FeRAM", "eDRAM", "HMC"; "RAM" is accepted as an alias for DRAM).
+func ByName(name string) (Tech, error) {
+	t, ok := registry[strings.ToLower(name)]
+	if !ok {
+		return Tech{}, fmt.Errorf("tech: unknown technology %q (known: %s)", name, strings.Join(Names(), ", "))
+	}
+	return t, nil
+}
+
+// Names returns the canonical registered technology names, sorted.
+func Names() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, t := range registry {
+		if !seen[t.Name] {
+			seen[t.Name] = true
+			out = append(out, t.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NVMs returns the non-volatile main-memory technologies the paper
+// evaluates: PCM, STT-RAM, and FeRAM.
+func NVMs() []Tech { return []Tech{PCM, STTRAM, FeRAM} }
+
+// LLCs returns the fast volatile last-level-cache technologies the paper
+// evaluates: eDRAM and HMC.
+func LLCs() []Tech { return []Tech{EDRAM, HMC} }
+
+// StaticPowerW returns the static power drawn by capacityBytes of this
+// technology, in watts: the fixed component plus the capacity-proportional
+// component. Non-volatile technologies with zero coefficients return zero.
+func (t Tech) StaticPowerW(capacityBytes uint64) float64 {
+	const bytesPerGB = 1 << 30
+	return t.StaticWFixed + t.StaticWPerGB*float64(capacityBytes)/bytesPerGB
+}
+
+// WithLatencyScale returns a copy of t with read and write latency
+// multiplied by readMult and writeMult. It is the generalization mechanism
+// behind the paper's Figure 9 heat map, which scales DRAM latency to stand
+// in for arbitrary future technologies.
+func (t Tech) WithLatencyScale(readMult, writeMult float64) Tech {
+	t.ReadNS *= readMult
+	t.WriteNS *= writeMult
+	t.Name = fmt.Sprintf("%s[lat r%gx w%gx]", t.Name, readMult, writeMult)
+	return t
+}
+
+// WithEnergyScale returns a copy of t with read and write per-bit energy
+// multiplied by readMult and writeMult (the paper's Figure 10 heat map).
+func (t Tech) WithEnergyScale(readMult, writeMult float64) Tech {
+	t.ReadPJPerBit *= readMult
+	t.WritePJPerBit *= writeMult
+	t.Name = fmt.Sprintf("%s[en r%gx w%gx]", t.Name, readMult, writeMult)
+	return t
+}
+
+// WithStatic returns a copy of t with the given static-power coefficients.
+func (t Tech) WithStatic(wPerGB, wFixed float64) Tech {
+	t.StaticWPerGB = wPerGB
+	t.StaticWFixed = wFixed
+	return t
+}
+
+// Validate reports an error if the technology has non-positive latencies,
+// negative energies, or negative static power coefficients.
+func (t Tech) Validate() error {
+	switch {
+	case t.Name == "":
+		return fmt.Errorf("tech: empty name")
+	case t.ReadNS <= 0 || t.WriteNS <= 0:
+		return fmt.Errorf("tech %s: latencies must be positive (read %g ns, write %g ns)", t.Name, t.ReadNS, t.WriteNS)
+	case t.ReadPJPerBit < 0 || t.WritePJPerBit < 0:
+		return fmt.Errorf("tech %s: energies must be non-negative", t.Name)
+	case t.StaticWPerGB < 0 || t.StaticWFixed < 0:
+		return fmt.Errorf("tech %s: static power must be non-negative", t.Name)
+	}
+	return nil
+}
+
+// IsNVMCandidate reports whether t is one of the paper's non-volatile
+// main-memory candidates (PCM, STT-RAM, FeRAM).
+func (t Tech) IsNVMCandidate() bool {
+	for _, n := range nvmNames {
+		if t.Name == n {
+			return true
+		}
+	}
+	return false
+}
+
+// AccessNS returns the access latency for a load or store.
+func (t Tech) AccessNS(write bool) float64 {
+	if write {
+		return t.WriteNS
+	}
+	return t.ReadNS
+}
+
+// AccessPJ returns the dynamic energy in picojoules for transferring the
+// given number of bits in the given direction.
+func (t Tech) AccessPJ(bits uint64, write bool) float64 {
+	if write {
+		return t.WritePJPerBit * float64(bits)
+	}
+	return t.ReadPJPerBit * float64(bits)
+}
+
+// String formats the technology as its Table 1 row.
+func (t Tech) String() string {
+	return fmt.Sprintf("%s: read %gns write %gns, read %gpJ/b write %gpJ/b, static %gW/GB+%gW",
+		t.Name, t.ReadNS, t.WriteNS, t.ReadPJPerBit, t.WritePJPerBit, t.StaticWPerGB, t.StaticWFixed)
+}

@@ -1,0 +1,195 @@
+package tech
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestTable1Values pins the predefined technologies to the paper's Table 1.
+func TestTable1Values(t *testing.T) {
+	cases := []struct {
+		tech                 Tech
+		rdNS, wrNS, rdE, wrE float64
+	}{
+		{DRAM, 10, 10, 10, 10},
+		{PCM, 21, 100, 12.4, 210.3},
+		{STTRAM, 35, 35, 58.5, 67.7},
+		{FeRAM, 40, 65, 12.4, 210},
+		{EDRAM, 4.4, 4.4, 3.11, 3.09},
+		{HMC, 0.18, 0.18, 0.48, 10.48},
+	}
+	for _, c := range cases {
+		if c.tech.ReadNS != c.rdNS || c.tech.WriteNS != c.wrNS {
+			t.Errorf("%s latency = %g/%g, want %g/%g", c.tech.Name, c.tech.ReadNS, c.tech.WriteNS, c.rdNS, c.wrNS)
+		}
+		if c.tech.ReadPJPerBit != c.rdE || c.tech.WritePJPerBit != c.wrE {
+			t.Errorf("%s energy = %g/%g, want %g/%g", c.tech.Name, c.tech.ReadPJPerBit, c.tech.WritePJPerBit, c.rdE, c.wrE)
+		}
+	}
+}
+
+// TestNVMZeroStatic pins the paper's assumption that NVM draws no static
+// power.
+func TestNVMZeroStatic(t *testing.T) {
+	for _, nv := range NVMs() {
+		if got := nv.StaticPowerW(4 << 30); got != 0 {
+			t.Errorf("%s static power = %g W, want 0", nv.Name, got)
+		}
+		if !nv.NonVolatile {
+			t.Errorf("%s not marked non-volatile", nv.Name)
+		}
+	}
+}
+
+func TestVolatileTechsHaveStatic(t *testing.T) {
+	for _, v := range []Tech{DRAM, EDRAM, HMC, SRAML1, SRAML2, SRAML3} {
+		if v.StaticPowerW(1<<30) <= 0 {
+			t.Errorf("%s static power should be positive", v.Name)
+		}
+		if v.NonVolatile {
+			t.Errorf("%s wrongly marked non-volatile", v.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"DRAM", "dram", "RAM", "PCM", "sttram", "FeRAM", "eDRAM", "hmc"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("flux-capacitor"); err == nil {
+		t.Error("ByName of unknown tech should fail")
+	} else if !strings.Contains(err.Error(), "unknown technology") {
+		t.Errorf("unexpected error text: %v", err)
+	}
+}
+
+func TestNamesSortedUnique(t *testing.T) {
+	names := Names()
+	if len(names) != 6 {
+		t.Fatalf("Names() = %v, want 6 entries", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted/unique: %v", names)
+		}
+	}
+}
+
+func TestCandidateSets(t *testing.T) {
+	if got := NVMs(); len(got) != 3 || got[0].Name != "PCM" || got[1].Name != "STTRAM" || got[2].Name != "FeRAM" {
+		t.Errorf("NVMs() = %v", got)
+	}
+	if got := LLCs(); len(got) != 2 || got[0].Name != "eDRAM" || got[1].Name != "HMC" {
+		t.Errorf("LLCs() = %v", got)
+	}
+	for _, nv := range NVMs() {
+		if !nv.IsNVMCandidate() {
+			t.Errorf("%s should be an NVM candidate", nv.Name)
+		}
+	}
+	if DRAM.IsNVMCandidate() || EDRAM.IsNVMCandidate() {
+		t.Error("DRAM/eDRAM must not be NVM candidates")
+	}
+}
+
+func TestStaticPowerLinearInCapacity(t *testing.T) {
+	base := DRAM.StaticPowerW(1 << 30)
+	if got := DRAM.StaticPowerW(4 << 30); math.Abs(got-4*base) > 1e-12 {
+		t.Errorf("static power not linear: 1GB=%g, 4GB=%g", base, got)
+	}
+	if got := DRAM.StaticPowerW(0); got != 0 {
+		t.Errorf("zero-capacity static = %g, want 0", got)
+	}
+}
+
+func TestWithStaticAndFixed(t *testing.T) {
+	tc := DRAM.WithStatic(1.0, 0.5)
+	if got := tc.StaticPowerW(2 << 30); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("StaticPowerW = %g, want 2.5", got)
+	}
+}
+
+func TestLatencyScale(t *testing.T) {
+	s := DRAM.WithLatencyScale(5, 2)
+	if s.ReadNS != 50 || s.WriteNS != 20 {
+		t.Errorf("scaled latency = %g/%g, want 50/20", s.ReadNS, s.WriteNS)
+	}
+	// Energy untouched.
+	if s.ReadPJPerBit != DRAM.ReadPJPerBit || s.WritePJPerBit != DRAM.WritePJPerBit {
+		t.Error("latency scaling must not touch energy")
+	}
+	if !strings.Contains(s.Name, "DRAM") {
+		t.Errorf("scaled name %q should mention base", s.Name)
+	}
+}
+
+func TestEnergyScale(t *testing.T) {
+	s := DRAM.WithEnergyScale(2, 9)
+	if s.ReadPJPerBit != 20 || s.WritePJPerBit != 90 {
+		t.Errorf("scaled energy = %g/%g, want 20/90", s.ReadPJPerBit, s.WritePJPerBit)
+	}
+	if s.ReadNS != DRAM.ReadNS || s.WriteNS != DRAM.WriteNS {
+		t.Error("energy scaling must not touch latency")
+	}
+}
+
+// TestScalingComposes is a property test: scaling by a then b equals
+// scaling by a*b, for positive multipliers.
+func TestScalingComposes(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = 0.5 + math.Mod(math.Abs(a), 10)
+		b = 0.5 + math.Mod(math.Abs(b), 10)
+		ab := DRAM.WithLatencyScale(a, a).WithLatencyScale(b, b)
+		direct := DRAM.WithLatencyScale(a*b, a*b)
+		return math.Abs(ab.ReadNS-direct.ReadNS) < 1e-9 &&
+			math.Abs(ab.WriteNS-direct.WriteNS) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	for _, good := range []Tech{DRAM, PCM, STTRAM, FeRAM, EDRAM, HMC, SRAML1, SRAML2, SRAML3} {
+		if err := good.Validate(); err != nil {
+			t.Errorf("%s should validate: %v", good.Name, err)
+		}
+	}
+	bad := []Tech{
+		{},
+		{Name: "x", ReadNS: 0, WriteNS: 1},
+		{Name: "x", ReadNS: 1, WriteNS: -1},
+		{Name: "x", ReadNS: 1, WriteNS: 1, ReadPJPerBit: -1},
+		{Name: "x", ReadNS: 1, WriteNS: 1, StaticWPerGB: -1},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad tech %d should fail validation", i)
+		}
+	}
+}
+
+func TestAccessHelpers(t *testing.T) {
+	if PCM.AccessNS(false) != 21 || PCM.AccessNS(true) != 100 {
+		t.Error("AccessNS wrong for PCM")
+	}
+	if got := PCM.AccessPJ(512, true); math.Abs(got-512*210.3) > 1e-9 {
+		t.Errorf("AccessPJ(512, write) = %g", got)
+	}
+	if got := PCM.AccessPJ(512, false); math.Abs(got-512*12.4) > 1e-9 {
+		t.Errorf("AccessPJ(512, read) = %g", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := PCM.String()
+	for _, want := range []string{"PCM", "21", "100", "12.4", "210.3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// File format: a compact binary encoding of reference streams, so that an
+// expensive capture (e.g. a workload's post-L3 boundary stream) can be
+// stored once and replayed offline — the complement to the framework's
+// default online mode.
+//
+// Layout:
+//
+//	magic "HMTR" | version byte | record...
+//
+// Each record is: one flags byte (bit0 = store, bit1 = size follows,
+// bit2 = negative address delta), then the unsigned address-delta varint,
+// then (if bit1) the size varint. Size is sticky: records omit it while it
+// repeats, which most streams do (line-sized transfers dominate). Address
+// deltas are relative to the previous record's address.
+const (
+	fileMagic   = "HMTR"
+	fileVersion = 1
+
+	flagStore    = 1 << 0
+	flagHasSize  = 1 << 1
+	flagNegDelta = 1 << 2
+)
+
+// Writer streams references into a compact binary trace.
+type Writer struct {
+	w        *bufio.Writer
+	prevAddr uint64
+	prevSize uint32
+	count    uint64
+	started  bool
+	err      error
+	buf      []byte
+}
+
+// NewWriter writes a trace header and returns a Writer. Call Flush when
+// done.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(fileMagic); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(fileVersion); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, buf: make([]byte, 0, 2*binary.MaxVarintLen64+1)}, nil
+}
+
+// Access implements Sink: it appends one reference to the trace. Encoding
+// errors are sticky and reported by Flush.
+func (w *Writer) Access(r Ref) {
+	if w.err != nil {
+		return
+	}
+	var flags byte
+	if r.Kind == Store {
+		flags |= flagStore
+	}
+	var delta uint64
+	if !w.started {
+		delta = r.Addr
+		w.started = true
+	} else if r.Addr >= w.prevAddr {
+		delta = r.Addr - w.prevAddr
+	} else {
+		delta = w.prevAddr - r.Addr
+		flags |= flagNegDelta
+	}
+	if r.Size != w.prevSize {
+		flags |= flagHasSize
+	}
+
+	w.buf = w.buf[:0]
+	w.buf = append(w.buf, flags)
+	w.buf = binary.AppendUvarint(w.buf, delta)
+	if flags&flagHasSize != 0 {
+		w.buf = binary.AppendUvarint(w.buf, uint64(r.Size))
+		w.prevSize = r.Size
+	}
+	if _, err := w.w.Write(w.buf); err != nil {
+		w.err = err
+		return
+	}
+	w.prevAddr = r.Addr
+	w.count++
+}
+
+// Count returns the number of references written.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush drains buffers and reports any sticky error.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Reader streams references out of a binary trace.
+type Reader struct {
+	r        *bufio.Reader
+	prevAddr uint64
+	prevSize uint32
+	started  bool
+	count    uint64
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(magic) != fileMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading version: %w", err)
+	}
+	if ver != fileVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next returns the next reference, or io.EOF at the end of the trace.
+func (r *Reader) Next() (Ref, error) {
+	flags, err := r.r.ReadByte()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return Ref{}, io.EOF
+		}
+		return Ref{}, err
+	}
+	delta, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return Ref{}, fmt.Errorf("trace: truncated record: %w", err)
+	}
+	var addr uint64
+	switch {
+	case !r.started:
+		addr = delta
+		r.started = true
+	case flags&flagNegDelta != 0:
+		addr = r.prevAddr - delta
+	default:
+		addr = r.prevAddr + delta
+	}
+	size := r.prevSize
+	if flags&flagHasSize != 0 {
+		s, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			return Ref{}, fmt.Errorf("trace: truncated size: %w", err)
+		}
+		size = uint32(s)
+		r.prevSize = size
+	}
+	kind := Load
+	if flags&flagStore != 0 {
+		kind = Store
+	}
+	r.prevAddr = addr
+	r.count++
+	return Ref{Addr: addr, Size: size, Kind: kind}, nil
+}
+
+// Count returns the number of references decoded so far.
+func (r *Reader) Count() uint64 { return r.count }
+
+// CopyTo streams every remaining reference into sink and flushes it,
+// returning the number of references delivered.
+func (r *Reader) CopyTo(sink Sink) (uint64, error) {
+	var n uint64
+	for {
+		ref, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			FlushIfPossible(sink)
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		sink.Access(ref)
+		n++
+	}
+}

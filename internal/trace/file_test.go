@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, refs []Ref) []Ref {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range refs {
+		w.Access(r)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != uint64(len(refs)) {
+		t.Fatalf("writer count = %d, want %d", w.Count(), len(refs))
+	}
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Ref
+	for {
+		r, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func TestFileRoundTripBasic(t *testing.T) {
+	refs := []Ref{
+		{Addr: 0x100000, Size: 64, Kind: Load},
+		{Addr: 0x100040, Size: 64, Kind: Store},
+		{Addr: 0x0FF000, Size: 8, Kind: Load}, // negative delta
+		{Addr: 0x0FF000, Size: 8, Kind: Load}, // zero delta, sticky size
+	}
+	got := roundTrip(t, refs)
+	if len(got) != len(refs) {
+		t.Fatalf("got %d refs", len(got))
+	}
+	for i := range refs {
+		if got[i] != refs[i] {
+			t.Fatalf("ref %d: got %+v, want %+v", i, got[i], refs[i])
+		}
+	}
+}
+
+func TestFileRoundTripEmpty(t *testing.T) {
+	if got := roundTrip(t, nil); len(got) != 0 {
+		t.Fatalf("empty trace decoded %d refs", len(got))
+	}
+}
+
+// TestFileRoundTripProperty: arbitrary streams survive encoding exactly.
+func TestFileRoundTripProperty(t *testing.T) {
+	f := func(raw []Ref) bool {
+		refs := make([]Ref, len(raw))
+		for i, r := range raw {
+			r.Kind &= 1 // only Load/Store are legal
+			refs[i] = r
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for _, r := range refs {
+			w.Access(r)
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		rd, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for i := 0; ; i++ {
+			r, err := rd.Next()
+			if errors.Is(err, io.EOF) {
+				return i == len(refs)
+			}
+			if err != nil || i >= len(refs) || r != refs[i] {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFileCompactness(t *testing.T) {
+	// A realistic boundary stream (64B line addresses, sticky size,
+	// short deltas) must encode well below 16 bytes/ref.
+	rng := rand.New(rand.NewPCG(3, 4))
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := uint64(1 << 30)
+	for i := 0; i < 10000; i++ {
+		addr += 64 * rng.Uint64N(32)
+		kind := Load
+		if rng.Uint64N(4) == 0 {
+			kind = Store
+		}
+		w.Access(Ref{Addr: addr, Size: 64, Kind: kind})
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	perRef := float64(buf.Len()) / 10000
+	if perRef > 4 {
+		t.Fatalf("encoding too fat: %.2f bytes/ref", perRef)
+	}
+}
+
+func TestFileBadHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOPE\x01"))); err == nil {
+		t.Error("bad magic should fail")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte("HMTR\x7f"))); err == nil {
+		t.Error("bad version should fail")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte("HM"))); err == nil {
+		t.Error("truncated header should fail")
+	}
+}
+
+func TestFileTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Access(Ref{Addr: 1 << 40, Size: 64, Kind: Load})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Chop mid-record (header is 5 bytes; the record follows).
+	chopped := buf.Bytes()[:6]
+	rd, err := NewReader(bytes.NewReader(chopped))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Next(); err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("truncated record gave %v, want a real error", err)
+	}
+}
+
+func TestFileCopyTo(t *testing.T) {
+	refs := []Ref{
+		{Addr: 10, Size: 8, Kind: Load},
+		{Addr: 20, Size: 8, Kind: Store},
+	}
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for _, r := range refs {
+		w.Access(r)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c Counter
+	n, err := rd.CopyTo(&c)
+	if err != nil || n != 2 {
+		t.Fatalf("CopyTo = %d, %v", n, err)
+	}
+	if c.Loads != 1 || c.Stores != 1 {
+		t.Fatalf("counter = %+v", c)
+	}
+	if rd.Count() != 2 {
+		t.Fatalf("reader count = %d", rd.Count())
+	}
+}

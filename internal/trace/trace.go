@@ -1,0 +1,146 @@
+// Package trace defines the memory-reference stream that connects workload
+// generators to the hierarchy simulator.
+//
+// The paper instruments running binaries with PEBIL and feeds the resulting
+// address stream to a cache simulator online, without ever materializing a
+// trace on disk. This package reproduces that architecture: workloads are
+// instrumented Go kernels that push references into a Sink as they compute,
+// and the simulator is a Sink. Nothing is buffered beyond small batches.
+package trace
+
+// Kind distinguishes loads from stores. The distinction is essential to the
+// paper's NVM analysis because non-volatile technologies have strongly
+// asymmetric read/write latency and energy.
+type Kind uint8
+
+const (
+	// Load is a read reference.
+	Load Kind = iota
+	// Store is a write reference.
+	Store
+)
+
+// String returns "load" or "store".
+func (k Kind) String() string {
+	if k == Store {
+		return "store"
+	}
+	return "load"
+}
+
+// Ref is a single memory reference: an address, a size in bytes, and whether
+// it is a load or a store. Addresses are virtual byte addresses within the
+// workload's simulated address space.
+type Ref struct {
+	Addr uint64
+	Size uint32
+	Kind Kind
+}
+
+// Sink consumes a stream of memory references. Implementations include the
+// hierarchy simulator, counting sinks, and tees. Access must tolerate being
+// called many millions of times; implementations should avoid allocation.
+type Sink interface {
+	// Access processes one reference.
+	Access(r Ref)
+}
+
+// Flusher is implemented by sinks that buffer state which must be drained
+// when the reference stream ends (for example, dirty lines that should be
+// written back at the end of a measurement epoch).
+type Flusher interface {
+	Flush()
+}
+
+// FlushIfPossible flushes s if it implements Flusher.
+func FlushIfPossible(s Sink) {
+	if f, ok := s.(Flusher); ok {
+		f.Flush()
+	}
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Ref)
+
+// Access calls f(r).
+func (f SinkFunc) Access(r Ref) { f(r) }
+
+// Null is a Sink that discards all references. Useful for running a workload
+// purely for its side effects (e.g. timing the generator itself).
+type Null struct{}
+
+// Access discards r.
+func (Null) Access(Ref) {}
+
+// Counter is a Sink that counts loads, stores, and bytes moved. The zero
+// value is ready to use.
+type Counter struct {
+	Loads      uint64
+	Stores     uint64
+	LoadBytes  uint64
+	StoreBytes uint64
+}
+
+// Access counts r.
+func (c *Counter) Access(r Ref) {
+	if r.Kind == Store {
+		c.Stores++
+		c.StoreBytes += uint64(r.Size)
+	} else {
+		c.Loads++
+		c.LoadBytes += uint64(r.Size)
+	}
+}
+
+// Total returns the total number of references seen.
+func (c *Counter) Total() uint64 { return c.Loads + c.Stores }
+
+// Reset zeroes all counters.
+func (c *Counter) Reset() { *c = Counter{} }
+
+// Tee duplicates every reference to each of its sinks, in order.
+type Tee struct {
+	Sinks []Sink
+}
+
+// NewTee returns a Tee over the given sinks.
+func NewTee(sinks ...Sink) *Tee { return &Tee{Sinks: sinks} }
+
+// Access forwards r to every sink.
+func (t *Tee) Access(r Ref) {
+	for _, s := range t.Sinks {
+		s.Access(r)
+	}
+}
+
+// Flush flushes every sink that supports it.
+func (t *Tee) Flush() {
+	for _, s := range t.Sinks {
+		FlushIfPossible(s)
+	}
+}
+
+// Recorder is a Sink that records references for deterministic replay. It is
+// intended for tests and for profiling passes over short streams (the NDM
+// oracle uses it to re-run a stream against many placements); production
+// simulation streams should stay online.
+type Recorder struct {
+	Refs []Ref
+}
+
+// Access appends r.
+func (rec *Recorder) Access(r Ref) { rec.Refs = append(rec.Refs, r) }
+
+// Replay pushes every recorded reference into sink and flushes it.
+func (rec *Recorder) Replay(sink Sink) {
+	for _, r := range rec.Refs {
+		sink.Access(r)
+	}
+	FlushIfPossible(sink)
+}
+
+// Len returns the number of recorded references.
+func (rec *Recorder) Len() int { return len(rec.Refs) }
+
+// Reset drops all recorded references but keeps capacity.
+func (rec *Recorder) Reset() { rec.Refs = rec.Refs[:0] }

@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	if Load.String() != "load" {
+		t.Errorf("Load.String() = %q", Load.String())
+	}
+	if Store.String() != "store" {
+		t.Errorf("Store.String() = %q", Store.String())
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Access(Ref{Addr: 0, Size: 8, Kind: Load})
+	c.Access(Ref{Addr: 64, Size: 4, Kind: Store})
+	c.Access(Ref{Addr: 128, Size: 2, Kind: Load})
+	if c.Loads != 2 || c.Stores != 1 {
+		t.Fatalf("got %d loads %d stores, want 2/1", c.Loads, c.Stores)
+	}
+	if c.LoadBytes != 10 || c.StoreBytes != 4 {
+		t.Fatalf("got %d/%d bytes, want 10/4", c.LoadBytes, c.StoreBytes)
+	}
+	if c.Total() != 3 {
+		t.Fatalf("Total() = %d, want 3", c.Total())
+	}
+	c.Reset()
+	if c.Total() != 0 {
+		t.Fatalf("Total() after Reset = %d", c.Total())
+	}
+}
+
+// TestCounterMatchesManualSum is a property test: for any reference
+// sequence, counter totals equal independently computed sums.
+func TestCounterMatchesManualSum(t *testing.T) {
+	f := func(refs []Ref) bool {
+		var c Counter
+		var loads, stores, lb, sb uint64
+		for _, r := range refs {
+			c.Access(r)
+			if r.Kind == Store {
+				stores++
+				sb += uint64(r.Size)
+			} else {
+				loads++
+				lb += uint64(r.Size)
+			}
+		}
+		return c.Loads == loads && c.Stores == stores &&
+			c.LoadBytes == lb && c.StoreBytes == sb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTeeDuplicates(t *testing.T) {
+	var a, b Counter
+	tee := NewTee(&a, &b)
+	refs := []Ref{
+		{Addr: 1, Size: 8, Kind: Load},
+		{Addr: 2, Size: 8, Kind: Store},
+	}
+	for _, r := range refs {
+		tee.Access(r)
+	}
+	if a != b {
+		t.Fatalf("tee sinks diverged: %+v vs %+v", a, b)
+	}
+	if a.Total() != 2 {
+		t.Fatalf("tee sink saw %d refs, want 2", a.Total())
+	}
+}
+
+// flushRecorder counts Flush calls.
+type flushRecorder struct {
+	Counter
+	flushes int
+}
+
+func (f *flushRecorder) Flush() { f.flushes++ }
+
+func TestTeeFlushPropagates(t *testing.T) {
+	fr := &flushRecorder{}
+	var plain Counter
+	tee := NewTee(fr, &plain)
+	tee.Flush()
+	if fr.flushes != 1 {
+		t.Fatalf("flushes = %d, want 1", fr.flushes)
+	}
+}
+
+func TestFlushIfPossible(t *testing.T) {
+	fr := &flushRecorder{}
+	FlushIfPossible(fr)
+	if fr.flushes != 1 {
+		t.Fatalf("flushes = %d, want 1", fr.flushes)
+	}
+	// A plain counter has no Flush; must not panic.
+	FlushIfPossible(&Counter{})
+}
+
+func TestSinkFunc(t *testing.T) {
+	var got []Ref
+	s := SinkFunc(func(r Ref) { got = append(got, r) })
+	s.Access(Ref{Addr: 7, Size: 1, Kind: Store})
+	if len(got) != 1 || got[0].Addr != 7 {
+		t.Fatalf("SinkFunc recorded %v", got)
+	}
+}
+
+func TestNullDiscards(t *testing.T) {
+	// Null must accept anything without effect; this is a smoke test
+	// that it satisfies Sink.
+	var s Sink = Null{}
+	s.Access(Ref{Addr: 42, Size: 8})
+}
+
+func TestRecorderReplay(t *testing.T) {
+	rec := &Recorder{}
+	want := []Ref{
+		{Addr: 100, Size: 8, Kind: Load},
+		{Addr: 200, Size: 4, Kind: Store},
+		{Addr: 300, Size: 2, Kind: Load},
+	}
+	for _, r := range want {
+		rec.Access(r)
+	}
+	if rec.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", rec.Len())
+	}
+
+	var replayed []Ref
+	fr := &flushRecorder{}
+	sink := NewTee(SinkFunc(func(r Ref) { replayed = append(replayed, r) }), fr)
+	rec.Replay(sink)
+	if len(replayed) != len(want) {
+		t.Fatalf("replayed %d refs, want %d", len(replayed), len(want))
+	}
+	for i := range want {
+		if replayed[i] != want[i] {
+			t.Errorf("ref %d: got %+v, want %+v", i, replayed[i], want[i])
+		}
+	}
+	if fr.flushes != 1 {
+		t.Errorf("Replay should flush once, got %d", fr.flushes)
+	}
+
+	rec.Reset()
+	if rec.Len() != 0 {
+		t.Fatalf("Len() after Reset = %d", rec.Len())
+	}
+}
+
+// TestRecorderRoundTrip is a property test: recording then replaying into a
+// counter matches counting directly.
+func TestRecorderRoundTrip(t *testing.T) {
+	f := func(refs []Ref) bool {
+		var direct Counter
+		rec := &Recorder{}
+		tee := NewTee(&direct, rec)
+		for _, r := range refs {
+			tee.Access(r)
+		}
+		var replayed Counter
+		rec.Replay(&replayed)
+		return direct == replayed
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,89 @@
+package wear
+
+import (
+	"hybridmem/internal/core"
+	"hybridmem/internal/tech"
+)
+
+// Memory wraps a simulated NVM main memory with wear tracking and optional
+// Start-Gap leveling. It implements core.Memory, so it can terminate any
+// hierarchy or backend in place of core.SimpleMemory.
+type Memory struct {
+	inner    *core.SimpleMemory
+	tracker  *Tracker
+	leveler  *StartGap // nil = no leveling
+	lineSize uint64
+	base     uint64 // lowest address seen, for logical-line mapping
+	baseSet  bool
+}
+
+// NewMemory returns a wear-tracked memory of the given technology and
+// capacity. lineSize is the wear granularity (typically 64B sectors or the
+// device's 4KB rows). If psi > 0, Start-Gap leveling with that gap period
+// is applied before wear is charged.
+func NewMemory(name string, t tech.Tech, capacity, lineSize, psi uint64) (*Memory, error) {
+	m := &Memory{
+		inner:    core.NewSimpleMemory(name, t, capacity),
+		tracker:  NewTracker(lineSize),
+		lineSize: lineSize,
+	}
+	if psi > 0 {
+		lines := capacity / lineSize
+		if lines == 0 {
+			lines = 1
+		}
+		lv, err := NewStartGap(lines, psi)
+		if err != nil {
+			return nil, err
+		}
+		m.leveler = lv
+	}
+	return m, nil
+}
+
+// logicalLine maps an address to a logical wear line relative to the first
+// address the module observed (workload address spaces do not start at 0).
+func (m *Memory) logicalLine(addr uint64) uint64 {
+	if !m.baseSet || addr < m.base {
+		m.base = addr
+		m.baseSet = true
+	}
+	line := (addr - m.base) / m.lineSize
+	if m.leveler != nil {
+		line %= m.leveler.logical
+	}
+	return line
+}
+
+// Load implements core.Memory.
+func (m *Memory) Load(addr, sizeBytes uint64) { m.inner.Load(addr, sizeBytes) }
+
+// Store implements core.Memory, charging wear to the (possibly remapped)
+// physical frames.
+func (m *Memory) Store(addr, sizeBytes uint64) {
+	m.inner.Store(addr, sizeBytes)
+	if sizeBytes == 0 {
+		sizeBytes = 1
+	}
+	first := m.logicalLine(addr)
+	n := (addr%m.lineSize + sizeBytes + m.lineSize - 1) / m.lineSize
+	for i := uint64(0); i < n; i++ {
+		logical := first + i
+		phys := logical
+		if m.leveler != nil {
+			logical %= m.leveler.logical
+			phys = m.leveler.Physical(logical)
+			m.leveler.OnWrite()
+		}
+		m.tracker.RecordWrite(phys*m.lineSize, m.lineSize)
+	}
+}
+
+// Modules implements core.Memory.
+func (m *Memory) Modules() []core.LevelStats { return m.inner.Modules() }
+
+// WearStats returns the module's wear statistics.
+func (m *Memory) WearStats() Stats { return m.tracker.Stats(m.inner.Capacity) }
+
+// Leveler returns the Start-Gap leveler, or nil.
+func (m *Memory) Leveler() *StartGap { return m.leveler }

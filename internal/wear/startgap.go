@@ -1,0 +1,92 @@
+package wear
+
+import "fmt"
+
+// StartGap implements the Start-Gap wear-leveling scheme (Qureshi, Karidis,
+// Franceschini et al., "Enhancing Lifetime and Security of PCM-based Main
+// Memory with Start-Gap Wear Leveling", MICRO 2009 — the paper's reference
+// [12]).
+//
+// The device provisions one spare line. A Gap register points at the spare;
+// a Start register records how many full rotations have occurred. Every psi
+// writes, the line before the gap moves into the gap, and the gap walks one
+// position toward the start of the device; when it wraps, Start advances.
+// The net effect is that every logical line slowly rotates through every
+// physical frame, bounding per-frame wear at roughly (1 + 1/psi) of the
+// perfectly-leveled rate for uniform traffic, and spreading hot lines
+// across frames over time.
+type StartGap struct {
+	logical uint64 // logical lines
+	start   uint64 // rotation offset
+	gap     uint64 // physical index of the spare frame
+	psi     uint64 // writes between gap movements
+	pending uint64 // writes since last gap movement
+	moves   uint64 // total gap movements (for stats)
+}
+
+// NewStartGap creates a leveler for a device of `lines` logical lines with
+// gap period psi (the paper's evaluation uses psi = 100).
+func NewStartGap(lines, psi uint64) (*StartGap, error) {
+	if lines == 0 {
+		return nil, fmt.Errorf("wear: zero lines")
+	}
+	if psi == 0 {
+		return nil, fmt.Errorf("wear: zero psi")
+	}
+	return &StartGap{
+		logical: lines,
+		gap:     lines, // the spare frame starts at the end
+		psi:     psi,
+	}, nil
+}
+
+// physicalFrames returns the number of physical frames (logical + 1 spare).
+func (s *StartGap) physicalFrames() uint64 { return s.logical + 1 }
+
+// Physical maps a logical line to its current physical frame. The frames
+// hold logical lines in circular order beginning at Start and skipping the
+// gap frame, so line l occupies the (l+1)-th non-gap frame of that
+// enumeration.
+func (s *StartGap) Physical(logical uint64) uint64 {
+	if logical >= s.logical {
+		panic(fmt.Sprintf("wear: logical line %d out of %d", logical, s.logical))
+	}
+	frames := s.physicalFrames()
+	// d is the gap's position in the circular enumeration from Start.
+	d := (s.gap + frames - s.start) % frames
+	if logical < d {
+		return (s.start + logical) % frames
+	}
+	return (s.start + logical + 1) % frames
+}
+
+// OnWrite informs the leveler of one line-write; every psi writes it moves
+// the gap (which in hardware copies one line and costs one extra write —
+// accounted by callers via MoveWrites).
+func (s *StartGap) OnWrite() {
+	s.pending++
+	if s.pending < s.psi {
+		return
+	}
+	s.pending = 0
+	s.moves++
+	if s.gap == 0 {
+		s.gap = s.logical
+		s.start = (s.start + 1) % s.physicalFrames()
+	} else {
+		s.gap--
+	}
+}
+
+// Moves returns the number of gap movements so far; each movement costs one
+// extra device write (the line copy), the scheme's overhead.
+func (s *StartGap) Moves() uint64 { return s.moves }
+
+// Overhead returns the write amplification of the scheme so far:
+// (application writes + gap-copy writes) / application writes.
+func (s *StartGap) Overhead(appWrites uint64) float64 {
+	if appWrites == 0 {
+		return 1
+	}
+	return 1 + float64(s.moves)/float64(appWrites)
+}

@@ -1,0 +1,148 @@
+// Package wear models non-volatile memory endurance — the concern the
+// paper explicitly defers ("We have not factored in ... wearing, which is
+// typical of NVM. Future work...").
+//
+// It provides a write-wear tracker for NVM main-memory modules, lifetime
+// estimation under a cell-endurance budget, and the Start-Gap wear-leveling
+// scheme of Qureshi et al. (MICRO 2009), which the paper cites as its
+// reference [12] for compensating PCM's low endurance.
+package wear
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cell endurance budgets (writes per cell before failure), order-of-
+// magnitude values from the literature the paper draws on.
+const (
+	EndurancePCM    = 1e8
+	EnduranceSTTRAM = 1e15
+	EnduranceFeRAM  = 1e14
+	EnduranceDRAM   = math.MaxFloat64 // effectively unlimited
+)
+
+// EnduranceFor returns the endurance budget for a technology name, or +Inf
+// for unknown/volatile technologies.
+func EnduranceFor(techName string) float64 {
+	switch techName {
+	case "PCM":
+		return EndurancePCM
+	case "STTRAM":
+		return EnduranceSTTRAM
+	case "FeRAM":
+		return EnduranceFeRAM
+	default:
+		return EnduranceDRAM
+	}
+}
+
+// Tracker accumulates per-line write counts for one memory module.
+type Tracker struct {
+	lineSize uint64
+	counts   map[uint64]uint64 // line index -> writes
+	writes   uint64            // total line-writes recorded
+}
+
+// NewTracker returns a tracker with the given wear granularity (typically
+// the module's internal row or the hierarchy's write-back sector).
+func NewTracker(lineSize uint64) *Tracker {
+	if lineSize == 0 {
+		lineSize = 64
+	}
+	return &Tracker{lineSize: lineSize, counts: make(map[uint64]uint64)}
+}
+
+// RecordWrite charges a write of sizeBytes at addr: every covered line's
+// count increases by one.
+func (t *Tracker) RecordWrite(addr, sizeBytes uint64) {
+	if sizeBytes == 0 {
+		sizeBytes = 1
+	}
+	first := addr / t.lineSize
+	last := (addr + sizeBytes - 1) / t.lineSize
+	for l := first; l <= last; l++ {
+		t.counts[l]++
+		t.writes++
+	}
+}
+
+// TotalWrites returns the total line-writes recorded.
+func (t *Tracker) TotalWrites() uint64 { return t.writes }
+
+// TouchedLines returns the number of distinct lines written.
+func (t *Tracker) TouchedLines() uint64 { return uint64(len(t.counts)) }
+
+// MaxWear returns the hottest line and its write count.
+func (t *Tracker) MaxWear() (line, count uint64) {
+	for l, c := range t.counts {
+		if c > count || (c == count && l < line) {
+			line, count = l, c
+		}
+	}
+	return line, count
+}
+
+// Stats summarizes wear over a module of capacityBytes.
+type Stats struct {
+	// Lines is the number of wear units in the module.
+	Lines uint64
+	// Touched is the number of lines written at least once.
+	Touched uint64
+	// TotalWrites is the total line-writes.
+	TotalWrites uint64
+	// MaxWrites is the hottest line's count.
+	MaxWrites uint64
+	// MeanWrites is TotalWrites / Lines (cold lines included).
+	MeanWrites float64
+	// Imbalance is MaxWrites / MeanWrites: 1.0 under perfect leveling;
+	// the factor by which hot spots shorten device lifetime.
+	Imbalance float64
+}
+
+// Stats computes wear statistics for a module of the given capacity.
+func (t *Tracker) Stats(capacityBytes uint64) Stats {
+	lines := capacityBytes / t.lineSize
+	if lines == 0 {
+		lines = 1
+	}
+	_, maxC := t.MaxWear()
+	mean := float64(t.writes) / float64(lines)
+	imb := math.Inf(1)
+	if mean > 0 {
+		imb = float64(maxC) / mean
+	} else if maxC == 0 {
+		imb = 1
+	}
+	return Stats{
+		Lines:       lines,
+		Touched:     t.TouchedLines(),
+		TotalWrites: t.writes,
+		MaxWrites:   maxC,
+		MeanWrites:  mean,
+		Imbalance:   imb,
+	}
+}
+
+// LifetimeYears estimates device lifetime: the time until the hottest line
+// exhausts the endurance budget, given the observed write distribution
+// sustained at writesPerSecond (line-writes/s across the module).
+func (s Stats) LifetimeYears(endurance, writesPerSecond float64) float64 {
+	if writesPerSecond <= 0 || s.TotalWrites == 0 {
+		return math.Inf(1)
+	}
+	// Hottest line's share of write bandwidth.
+	hotShare := float64(s.MaxWrites) / float64(s.TotalWrites)
+	hotWritesPerSec := writesPerSecond * hotShare
+	if hotWritesPerSec <= 0 {
+		return math.Inf(1)
+	}
+	seconds := endurance / hotWritesPerSec
+	return seconds / (365.25 * 24 * 3600)
+}
+
+// String formats the statistics.
+func (s Stats) String() string {
+	return fmt.Sprintf("lines %d, touched %d, writes %d, max %d, mean %.2f, imbalance %.1fx",
+		s.Lines, s.Touched, s.TotalWrites, s.MaxWrites, s.MeanWrites, s.Imbalance)
+}

@@ -1,0 +1,218 @@
+package wear
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"hybridmem/internal/tech"
+)
+
+func TestTrackerCounts(t *testing.T) {
+	tr := NewTracker(64)
+	tr.RecordWrite(0, 8)
+	tr.RecordWrite(8, 8)    // same line
+	tr.RecordWrite(64, 8)   // next line
+	tr.RecordWrite(60, 8)   // straddles lines 0 and 1
+	tr.RecordWrite(1024, 0) // zero size = 1 byte
+	if tr.TotalWrites() != 6 {
+		t.Fatalf("total = %d, want 6", tr.TotalWrites())
+	}
+	if tr.TouchedLines() != 3 {
+		t.Fatalf("touched = %d, want 3", tr.TouchedLines())
+	}
+	line, count := tr.MaxWear()
+	if line != 0 || count != 3 {
+		t.Fatalf("max wear = line %d count %d, want 0/3", line, count)
+	}
+}
+
+func TestStatsAndLifetime(t *testing.T) {
+	tr := NewTracker(64)
+	for i := 0; i < 90; i++ {
+		tr.RecordWrite(0, 8) // hammer one line
+	}
+	for i := uint64(1); i <= 10; i++ {
+		tr.RecordWrite(i*64, 8)
+	}
+	s := tr.Stats(64 * 100) // 100 lines
+	if s.Lines != 100 || s.TotalWrites != 100 || s.MaxWrites != 90 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if math.Abs(s.MeanWrites-1.0) > 1e-12 {
+		t.Fatalf("mean = %g", s.MeanWrites)
+	}
+	if math.Abs(s.Imbalance-90) > 1e-9 {
+		t.Fatalf("imbalance = %g", s.Imbalance)
+	}
+	// Lifetime: hottest line gets 90% of a 1000 writes/s stream = 900/s;
+	// endurance 9e5 -> 1000 seconds.
+	years := s.LifetimeYears(9e5, 1000)
+	wantYears := 1000.0 / (365.25 * 24 * 3600)
+	if math.Abs(years-wantYears) > 1e-12 {
+		t.Fatalf("lifetime = %g years, want %g", years, wantYears)
+	}
+	if !math.IsInf(s.LifetimeYears(1e8, 0), 1) {
+		t.Fatal("zero write rate should be infinite lifetime")
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestEnduranceFor(t *testing.T) {
+	if EnduranceFor("PCM") != EndurancePCM {
+		t.Fatal("PCM endurance")
+	}
+	if !math.IsInf(EnduranceFor("DRAM"), 1) && EnduranceFor("DRAM") != math.MaxFloat64 {
+		t.Fatal("DRAM endurance should be unbounded")
+	}
+	if EnduranceFor("STTRAM") <= EnduranceFor("PCM") {
+		t.Fatal("STT-RAM must out-endure PCM")
+	}
+}
+
+// TestStartGapBijection is a property test: at any point in the rotation,
+// the logical->physical map is injective (no two logical lines share a
+// frame).
+func TestStartGapBijection(t *testing.T) {
+	f := func(lines uint8, writes uint16) bool {
+		n := uint64(lines)%64 + 2
+		sg, err := NewStartGap(n, 3)
+		if err != nil {
+			return false
+		}
+		for w := uint64(0); w < uint64(writes)%1000; w++ {
+			sg.OnWrite()
+		}
+		seen := map[uint64]bool{}
+		for l := uint64(0); l < n; l++ {
+			p := sg.Physical(l)
+			if p >= n+1 || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStartGapRotates(t *testing.T) {
+	sg, err := NewStartGap(4, 1) // gap moves every write
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]uint64, 4)
+	for l := uint64(0); l < 4; l++ {
+		before[l] = sg.Physical(l)
+	}
+	// One full rotation: 5 gap movements (4 lines + wrap).
+	for i := 0; i < 5; i++ {
+		sg.OnWrite()
+	}
+	changed := false
+	for l := uint64(0); l < 4; l++ {
+		if sg.Physical(l) != before[l] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("rotation did not move any line")
+	}
+	if sg.Moves() != 5 {
+		t.Fatalf("moves = %d", sg.Moves())
+	}
+	if got := sg.Overhead(100); math.Abs(got-1.05) > 1e-12 {
+		t.Fatalf("overhead = %g, want 1.05", got)
+	}
+}
+
+func TestStartGapValidation(t *testing.T) {
+	if _, err := NewStartGap(0, 10); err == nil {
+		t.Error("zero lines should fail")
+	}
+	if _, err := NewStartGap(10, 0); err == nil {
+		t.Error("zero psi should fail")
+	}
+	sg, _ := NewStartGap(4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range logical line should panic")
+		}
+	}()
+	sg.Physical(4)
+}
+
+// TestStartGapLevelsHotLine is the scheme's raison d'être: hammering a
+// single logical line must spread wear across physical frames.
+func TestStartGapLevelsHotLine(t *testing.T) {
+	const lines = 64
+	mkMem := func(psi uint64) *Memory {
+		m, err := NewMemory("nvm", tech.PCM, lines*64, 64, psi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	unleveled := mkMem(0)
+	leveled := mkMem(4)
+	const hammers = 50000
+	for i := 0; i < hammers; i++ {
+		unleveled.Store(1<<20, 8) // same address forever
+		leveled.Store(1<<20, 8)
+	}
+	su := unleveled.WearStats()
+	sl := leveled.WearStats()
+	if su.MaxWrites != hammers {
+		t.Fatalf("unleveled max = %d, want %d", su.MaxWrites, hammers)
+	}
+	// Start-Gap must cut the hottest frame's wear by at least 3x for a
+	// single-line hammer over many rotations.
+	if sl.MaxWrites*3 > su.MaxWrites {
+		t.Fatalf("leveling ineffective: max %d vs unleveled %d", sl.MaxWrites, su.MaxWrites)
+	}
+	if sl.Touched < 32 {
+		t.Fatalf("leveling touched only %d frames", sl.Touched)
+	}
+	if unleveled.Leveler() != nil || leveled.Leveler() == nil {
+		t.Fatal("leveler wiring wrong")
+	}
+}
+
+// TestMemoryRandomTrafficImbalance: uniform random writes should show low
+// imbalance even without leveling — the tracker's sanity baseline.
+func TestMemoryRandomTrafficImbalance(t *testing.T) {
+	m, err := NewMemory("nvm", tech.PCM, 64*1024, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 200000; i++ {
+		m.Store(rng.Uint64N(64*1024), 8)
+	}
+	s := m.WearStats()
+	if s.Imbalance > 2.0 {
+		t.Fatalf("uniform traffic imbalance = %g, want < 2", s.Imbalance)
+	}
+}
+
+func TestMemoryDelegatesStats(t *testing.T) {
+	m, err := NewMemory("nvm", tech.STTRAM, 1<<20, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Load(0, 64)
+	m.Store(64, 64)
+	mods := m.Modules()
+	if mods[0].Stats.Loads != 1 || mods[0].Stats.Stores != 1 {
+		t.Fatalf("delegation broken: %+v", mods[0].Stats)
+	}
+	if mods[0].Tech.Name != "STTRAM" {
+		t.Fatalf("tech = %s", mods[0].Tech.Name)
+	}
+}

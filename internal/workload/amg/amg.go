@@ -1,0 +1,255 @@
+// Package amg implements the CORAL AMG2013 workload: a multigrid solver
+// for linear systems on 3-D grids ("updating points of the grid according
+// to a fixed pattern"). The reproduction runs geometric multigrid V-cycles
+// with red-black Gauss-Seidel smoothing on a 7-point Poisson stencil; the
+// multi-resolution grid hierarchy reproduces AMG's mix of large streaming
+// sweeps at fine levels and small working sets at coarse levels.
+package amg
+
+import (
+	"math"
+	"time"
+
+	"hybridmem/internal/trace"
+	"hybridmem/internal/workload"
+)
+
+// level is one grid level of the multigrid hierarchy.
+type level struct {
+	n  int // interior points per dimension
+	u  []float64
+	f  []float64
+	r  []float64
+	uR workload.Region
+	fR workload.Region
+	rR workload.Region
+}
+
+// Workload is the AMG workload.
+type Workload struct {
+	levels []*level
+	cycles int
+	arena  workload.Arena
+	// residualNorm records the final residual of the last Run.
+	residualNorm float64
+}
+
+// bytesPerCell is the finest-level storage per cell: u, f, r float64s.
+const bytesPerCell = 3 * 8
+
+// New builds the workload. Table 4: 3GB/core footprint, 156.3s reference
+// time.
+func New(opts workload.Options) *Workload {
+	scale := opts.Scale
+	if scale == 0 {
+		scale = 64
+	}
+	footprint := uint64(3) << 30 / scale
+	// The level hierarchy totals ~1.14x the finest level.
+	n := int(math.Cbrt(float64(footprint) / (bytesPerCell * 1.15)))
+	if n < 16 {
+		n = 16
+	}
+	w := &Workload{cycles: 1}
+	if opts.Iters > 0 {
+		w.cycles = opts.Iters
+	}
+	for n >= 4 {
+		l := &level{n: n}
+		cells := uint64(n) * uint64(n) * uint64(n)
+		l.u = make([]float64, cells)
+		l.f = make([]float64, cells)
+		l.r = make([]float64, cells)
+		l.uR = w.arena.Alloc("u", cells*8)
+		l.fR = w.arena.Alloc("f", cells*8)
+		l.rR = w.arena.Alloc("r", cells*8)
+		w.levels = append(w.levels, l)
+		n /= 2
+	}
+	// Deterministic right-hand side on the finest level.
+	fine := w.levels[0]
+	for i := range fine.f {
+		fine.f[i] = math.Sin(float64(i%97)) * 0.1
+	}
+	return w
+}
+
+// Name implements workload.Workload.
+func (w *Workload) Name() string { return "AMG2013" }
+
+// Suite implements workload.Workload.
+func (w *Workload) Suite() string { return "CORAL" }
+
+// Footprint implements workload.Workload.
+func (w *Workload) Footprint() uint64 { return w.arena.Footprint() }
+
+// RefTime implements workload.Workload.
+func (w *Workload) RefTime() time.Duration { return 156300 * time.Millisecond }
+
+// Regions implements workload.Workload.
+func (w *Workload) Regions() []workload.Region { return w.arena.Regions() }
+
+// ResidualNorm returns the final finest-level residual of the last Run.
+func (w *Workload) ResidualNorm() float64 { return w.residualNorm }
+
+// Levels returns the number of grid levels.
+func (w *Workload) Levels() int { return len(w.levels) }
+
+// idx maps (i,j,k) with k contiguous.
+func (l *level) idx(i, j, k int) int { return (i*l.n+j)*l.n + k }
+
+// Run executes the configured number of V-cycles, emitting references.
+func (w *Workload) Run(sink trace.Sink) {
+	mem := workload.Mem{S: sink}
+	// Reset solution so every Run emits an identical stream.
+	for _, l := range w.levels {
+		for i := range l.u {
+			l.u[i] = 0
+		}
+	}
+	for c := 0; c < w.cycles; c++ {
+		w.vcycle(mem, 0)
+	}
+	w.residualNorm = w.residual(mem, w.levels[0])
+}
+
+// vcycle performs one V-cycle starting at level d.
+func (w *Workload) vcycle(mem workload.Mem, d int) {
+	l := w.levels[d]
+	if d == len(w.levels)-1 {
+		// Coarsest level: smooth hard instead of a direct solve.
+		for s := 0; s < 8; s++ {
+			w.smooth(mem, l)
+		}
+		return
+	}
+	w.smooth(mem, l) // pre-smooth
+	w.residual(mem, l)
+	w.restrictTo(mem, l, w.levels[d+1])
+	w.vcycle(mem, d+1)
+	w.prolongAdd(mem, w.levels[d+1], l)
+	w.smooth(mem, l) // post-smooth
+}
+
+// smooth performs one red-black Gauss-Seidel sweep of the 7-point Poisson
+// operator. Contiguous (k±1) neighbors coalesce with the center load into
+// one 24-byte reference; the strided neighbors are separate 8-byte loads.
+func (w *Workload) smooth(mem workload.Mem, l *level) {
+	n := l.n
+	for color := 0; color < 2; color++ {
+		for i := 1; i < n-1; i++ {
+			for j := 1; j < n-1; j++ {
+				k0 := 1 + (i+j+color)%2
+				for k := k0; k < n-1; k += 2 {
+					c := l.idx(i, j, k)
+					mem.LoadN(l.uR.Idx(uint64(c-1), 8), 24) // u[k-1..k+1]
+					mem.Load8(l.uR.Idx(uint64(l.idx(i, j-1, k)), 8))
+					mem.Load8(l.uR.Idx(uint64(l.idx(i, j+1, k)), 8))
+					mem.Load8(l.uR.Idx(uint64(l.idx(i-1, j, k)), 8))
+					mem.Load8(l.uR.Idx(uint64(l.idx(i+1, j, k)), 8))
+					mem.Load8(l.fR.Idx(uint64(c), 8))
+					l.u[c] = (l.u[c-1] + l.u[c+1] +
+						l.u[l.idx(i, j-1, k)] + l.u[l.idx(i, j+1, k)] +
+						l.u[l.idx(i-1, j, k)] + l.u[l.idx(i+1, j, k)] +
+						l.f[c]) / 6
+					mem.Store8(l.uR.Idx(uint64(c), 8))
+				}
+			}
+		}
+	}
+}
+
+// residual computes r = f - A·u and returns its max-norm.
+func (w *Workload) residual(mem workload.Mem, l *level) float64 {
+	n := l.n
+	var norm float64
+	for i := 1; i < n-1; i++ {
+		for j := 1; j < n-1; j++ {
+			for k := 1; k < n-1; k++ {
+				c := l.idx(i, j, k)
+				mem.LoadN(l.uR.Idx(uint64(c-1), 8), 24)
+				mem.Load8(l.uR.Idx(uint64(l.idx(i, j-1, k)), 8))
+				mem.Load8(l.uR.Idx(uint64(l.idx(i, j+1, k)), 8))
+				mem.Load8(l.uR.Idx(uint64(l.idx(i-1, j, k)), 8))
+				mem.Load8(l.uR.Idx(uint64(l.idx(i+1, j, k)), 8))
+				mem.Load8(l.fR.Idx(uint64(c), 8))
+				au := 6*l.u[c] - l.u[c-1] - l.u[c+1] -
+					l.u[l.idx(i, j-1, k)] - l.u[l.idx(i, j+1, k)] -
+					l.u[l.idx(i-1, j, k)] - l.u[l.idx(i+1, j, k)]
+				l.r[c] = l.f[c] - au
+				mem.Store8(l.rR.Idx(uint64(c), 8))
+				if a := math.Abs(l.r[c]); a > norm {
+					norm = a
+				}
+			}
+		}
+	}
+	return norm
+}
+
+// restrictTo computes the coarse right-hand side by full-weighting: each
+// coarse cell averages its 2x2x2 fine children's residuals, scaled by 4 for
+// the doubled grid spacing of the unscaled 7-point stencil. The 8-child
+// gather reproduces AMG's strided fine-to-coarse access pattern.
+func (w *Workload) restrictTo(mem workload.Mem, fine, coarse *level) {
+	cn := coarse.n
+	clamp := func(v int) int {
+		if v >= fine.n {
+			return fine.n - 1
+		}
+		return v
+	}
+	for i := 0; i < cn; i++ {
+		for j := 0; j < cn; j++ {
+			for k := 0; k < cn; k++ {
+				var sum float64
+				for di := 0; di < 2; di++ {
+					fi := clamp(i*2 + di)
+					for dj := 0; dj < 2; dj++ {
+						fj := clamp(j*2 + dj)
+						fk := clamp(k * 2)
+						fc := fine.idx(fi, fj, fk)
+						// The two k-children are contiguous: one
+						// 16-byte load covers both.
+						mem.LoadN(fine.rR.Idx(uint64(fc), 8), 16)
+						sum += fine.r[fc] + fine.r[fine.idx(fi, fj, clamp(k*2+1))]
+					}
+				}
+				cc := coarse.idx(i, j, k)
+				coarse.f[cc] = 4 * sum / 8
+				coarse.u[cc] = 0
+				mem.Store8(coarse.fR.Idx(uint64(cc), 8))
+				mem.Store8(coarse.uR.Idx(uint64(cc), 8))
+			}
+		}
+	}
+}
+
+// prolongAdd interpolates the coarse correction back onto the fine grid
+// (piecewise-constant prolongation) and adds it to the fine solution.
+func (w *Workload) prolongAdd(mem workload.Mem, coarse, fine *level) {
+	fn := fine.n
+	cn := coarse.n
+	for i := 1; i < fn-1; i++ {
+		ci := min(i/2, cn-1)
+		for j := 1; j < fn-1; j++ {
+			cj := min(j/2, cn-1)
+			for k := 1; k < fn-1; k++ {
+				ck := min(k/2, cn-1)
+				cc := coarse.idx(ci, cj, ck)
+				fc := fine.idx(i, j, k)
+				mem.Load8(coarse.uR.Idx(uint64(cc), 8))
+				mem.Load8(fine.uR.Idx(uint64(fc), 8))
+				fine.u[fc] += coarse.u[cc]
+				mem.Store8(fine.uR.Idx(uint64(fc), 8))
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

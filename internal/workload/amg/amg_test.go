@@ -1,0 +1,71 @@
+package amg
+
+import (
+	"math"
+	"testing"
+
+	"hybridmem/internal/trace"
+	"hybridmem/internal/workload"
+	"hybridmem/internal/workload/wltest"
+)
+
+var testOpts = workload.Options{Scale: 2048}
+
+func TestConformance(t *testing.T) {
+	w := New(testOpts)
+	wltest.CheckMetadata(t, w, "CORAL", 3<<30/2048)
+	wltest.CheckRefsInRegions(t, w)
+	wltest.CheckDeterminism(t, w)
+}
+
+func TestLevelHierarchyShape(t *testing.T) {
+	w := New(testOpts)
+	if w.Levels() < 3 {
+		t.Fatalf("only %d grid levels", w.Levels())
+	}
+	for i := 1; i < len(w.levels); i++ {
+		if w.levels[i].n != w.levels[i-1].n/2 {
+			t.Fatalf("level %d has n=%d, parent n=%d", i, w.levels[i].n, w.levels[i-1].n)
+		}
+	}
+	if w.levels[len(w.levels)-1].n < 4 {
+		t.Fatal("coarsest level too small")
+	}
+}
+
+// TestVCyclesReduceResidual verifies multigrid actually converges: more
+// V-cycles produce a strictly smaller residual.
+func TestVCyclesReduceResidual(t *testing.T) {
+	one := New(workload.Options{Scale: 4096, Iters: 1})
+	one.Run(trace.Null{})
+	r1 := one.ResidualNorm()
+
+	four := New(workload.Options{Scale: 4096, Iters: 4})
+	four.Run(trace.Null{})
+	r4 := four.ResidualNorm()
+
+	if math.IsNaN(r1) || math.IsNaN(r4) {
+		t.Fatal("residual is NaN")
+	}
+	if r1 <= 0 {
+		t.Fatalf("one-cycle residual %g should be positive", r1)
+	}
+	if r4 >= r1 {
+		t.Fatalf("4 cycles residual %g not below 1 cycle residual %g", r4, r1)
+	}
+	if r4 > 0.5*r1 {
+		t.Fatalf("multigrid converging too slowly: %g -> %g", r1, r4)
+	}
+}
+
+// TestRunResetsState verifies repeated runs restart from the same initial
+// solution (required for stream determinism).
+func TestRunResetsState(t *testing.T) {
+	w := New(workload.Options{Scale: 4096})
+	w.Run(trace.Null{})
+	first := w.ResidualNorm()
+	w.Run(trace.Null{})
+	if w.ResidualNorm() != first {
+		t.Fatalf("residual changed across runs: %g vs %g", first, w.ResidualNorm())
+	}
+}

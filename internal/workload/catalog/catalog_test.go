@@ -1,0 +1,57 @@
+package catalog
+
+import (
+	"testing"
+
+	"hybridmem/internal/workload"
+)
+
+func TestNamesMatchConstructors(t *testing.T) {
+	if len(Names) != 7 {
+		t.Fatalf("Table 4 suite has %d workloads, want 7", len(Names))
+	}
+	for _, n := range Names {
+		w, err := New(n, workload.Options{Scale: 4096})
+		if err != nil {
+			t.Fatalf("New(%s): %v", n, err)
+		}
+		if w.Name() != n {
+			t.Errorf("New(%s).Name() = %s", n, w.Name())
+		}
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	if _, err := New("LINPACK", workload.Options{}); err == nil {
+		t.Fatal("unknown workload should fail")
+	}
+}
+
+func TestAllBuildsFullSuite(t *testing.T) {
+	ws := All(workload.Options{Scale: 4096})
+	if len(ws) != len(Names) {
+		t.Fatalf("All built %d workloads", len(ws))
+	}
+	seen := map[string]bool{}
+	for _, w := range ws {
+		if seen[w.Name()] {
+			t.Fatalf("duplicate workload %s", w.Name())
+		}
+		seen[w.Name()] = true
+		if w.Footprint() == 0 {
+			t.Errorf("%s has zero footprint", w.Name())
+		}
+	}
+}
+
+// TestSuiteComposition pins the paper's suite composition: 3 NPB kernels, 3
+// CORAL benchmarks, 1 application.
+func TestSuiteComposition(t *testing.T) {
+	counts := map[string]int{}
+	for _, w := range All(workload.Options{Scale: 4096}) {
+		counts[w.Suite()]++
+	}
+	if counts["NPB"] != 3 || counts["CORAL"] != 3 || counts["Application"] != 1 {
+		t.Fatalf("suite composition = %v", counts)
+	}
+}

@@ -1,0 +1,144 @@
+// Package graph implements the CORAL Graph500 workload: breadth-first
+// search over an undirected Kronecker graph (Table 4 inputs "-s 22 -e 4",
+// i.e. edge factor 4), the paper's representative of graph-algorithm
+// performance with essentially random pointer-chasing access.
+package graph
+
+import (
+	"time"
+
+	"hybridmem/internal/kron"
+	"hybridmem/internal/trace"
+	"hybridmem/internal/workload"
+)
+
+// Workload is the Graph500 BFS workload.
+type Workload struct {
+	g     *kron.Graph
+	roots []int64
+	// visitedTotal records the vertices reached across all roots of the
+	// last Run, for determinism checks.
+	visitedTotal int64
+
+	arena   workload.Arena
+	xadjR   workload.Region
+	adjR    workload.Region
+	parentR workload.Region
+	queueR  workload.Region
+}
+
+// edgeFactor follows Table 4's "-e 4".
+const edgeFactor = 4
+
+// bytesPerVertex estimates CSR plus BFS state per vertex: xadj (8) +
+// 2·edgeFactor adjacency int32s (32) + parent (8) + queue slot (8).
+const bytesPerVertex = 8 + 2*edgeFactor*4 + 8 + 8
+
+// New builds the workload. Table 4: 4GB/core footprint, 157.0s reference
+// time. The Kronecker scale is chosen as the largest power of two of
+// vertices fitting the scaled footprint.
+func New(opts workload.Options) *Workload {
+	scale := opts.Scale
+	if scale == 0 {
+		scale = 64
+	}
+	footprint := uint64(4) << 30 / scale
+	kscale := 10
+	for (uint64(1)<<(kscale+1))*bytesPerVertex <= footprint {
+		kscale++
+	}
+	g := kron.Generate(kscale, edgeFactor, 0x6500)
+
+	w := &Workload{g: g}
+	n := uint64(g.N)
+	w.xadjR = w.arena.Alloc("xadj", (n+1)*8)
+	w.adjR = w.arena.Alloc("adj", uint64(len(g.Adj))*4)
+	w.parentR = w.arena.Alloc("parent", n*8)
+	w.queueR = w.arena.Alloc("queue", n*8)
+
+	// Deterministic root selection: spread roots over the vertex space,
+	// skipping isolated vertices (as the Graph500 spec requires).
+	nRoots := 1
+	if opts.Iters > 0 {
+		nRoots = opts.Iters
+	}
+	for i := 0; len(w.roots) < nRoots && i < 64*nRoots; i++ {
+		v := (int64(i)*2654435761 + 12345) % g.N
+		if v < 0 {
+			v += g.N
+		}
+		if g.Degree(v) > 0 {
+			w.roots = append(w.roots, v)
+		}
+	}
+	if len(w.roots) == 0 {
+		w.roots = []int64{0}
+	}
+	return w
+}
+
+// Name implements workload.Workload.
+func (w *Workload) Name() string { return "Graph500" }
+
+// Suite implements workload.Workload.
+func (w *Workload) Suite() string { return "CORAL" }
+
+// Footprint implements workload.Workload.
+func (w *Workload) Footprint() uint64 { return w.arena.Footprint() }
+
+// RefTime implements workload.Workload.
+func (w *Workload) RefTime() time.Duration { return 157 * time.Second }
+
+// Regions implements workload.Workload.
+func (w *Workload) Regions() []workload.Region { return w.arena.Regions() }
+
+// Graph exposes the underlying Kronecker graph for tests.
+func (w *Workload) Graph() *kron.Graph { return w.g }
+
+// VisitedTotal returns the vertices reached across all roots of the last
+// Run.
+func (w *Workload) VisitedTotal() int64 { return w.visitedTotal }
+
+// Run performs a traced BFS from each root: the canonical top-down
+// level-synchronous queue algorithm, emitting a reference for every parent
+// check/update, adjacency fetch, and queue operation.
+func (w *Workload) Run(sink trace.Sink) {
+	mem := workload.Mem{S: sink}
+	g := w.g
+	parent := make([]int64, g.N)
+	queue := make([]int64, 0, g.N)
+	w.visitedTotal = 0
+
+	for _, root := range w.roots {
+		for i := range parent {
+			parent[i] = -1
+			mem.Store8(w.parentR.Idx(uint64(i), 8))
+		}
+		queue = queue[:0]
+		parent[root] = root
+		mem.Store8(w.parentR.Idx(uint64(root), 8))
+		queue = append(queue, root)
+		mem.Store8(w.queueR.Idx(0, 8))
+		visited := int64(1)
+
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			mem.Load8(w.queueR.Idx(uint64(head), 8))
+			mem.Load8(w.xadjR.Idx(uint64(u), 8))
+			mem.Load8(w.xadjR.Idx(uint64(u)+1, 8))
+			for k := g.XAdj[u]; k < g.XAdj[u+1]; k++ {
+				mem.Load4(w.adjR.Idx(uint64(k), 4))
+				v := int64(g.Adj[k])
+				mem.Load8(w.parentR.Idx(uint64(v), 8))
+				if parent[v] < 0 {
+					parent[v] = u
+					mem.Store8(w.parentR.Idx(uint64(v), 8))
+					mem.Store8(w.queueR.Idx(uint64(len(queue)), 8))
+					queue = append(queue, v)
+					visited++
+				}
+			}
+		}
+		w.visitedTotal += visited
+	}
+}

@@ -1,0 +1,69 @@
+package graph
+
+import (
+	"testing"
+
+	"hybridmem/internal/trace"
+	"hybridmem/internal/workload"
+	"hybridmem/internal/workload/wltest"
+)
+
+var testOpts = workload.Options{Scale: 2048}
+
+func TestConformance(t *testing.T) {
+	w := New(testOpts)
+	wltest.CheckMetadata(t, w, "CORAL", 4<<30/2048)
+	wltest.CheckRefsInRegions(t, w)
+	wltest.CheckDeterminism(t, w)
+}
+
+// TestTracedBFSMatchesPureBFS verifies the traced kernel visits exactly the
+// vertices the pure kron.BFS visits from the same roots.
+func TestTracedBFSMatchesPureBFS(t *testing.T) {
+	w := New(testOpts)
+	w.Run(trace.Null{})
+	var want int64
+	for _, root := range w.roots {
+		_, visited := w.Graph().BFS(root)
+		want += visited
+	}
+	if got := w.VisitedTotal(); got != want {
+		t.Fatalf("traced BFS visited %d, pure BFS %d", got, want)
+	}
+	if want < 2 {
+		t.Fatalf("degenerate test: only %d vertices visited", want)
+	}
+}
+
+func TestRootsHaveEdges(t *testing.T) {
+	w := New(testOpts)
+	if len(w.roots) == 0 {
+		t.Fatal("no roots selected")
+	}
+	for _, r := range w.roots {
+		if w.Graph().Degree(r) == 0 {
+			t.Fatalf("root %d is isolated", r)
+		}
+	}
+}
+
+func TestItersControlsRoots(t *testing.T) {
+	w := New(workload.Options{Scale: 4096, Iters: 3})
+	if len(w.roots) != 3 {
+		t.Fatalf("got %d roots, want 3", len(w.roots))
+	}
+}
+
+// TestGraphSizedToFootprint verifies the Kronecker scale selection: the
+// next power of two would overshoot the footprint budget.
+func TestGraphSizedToFootprint(t *testing.T) {
+	w := New(testOpts)
+	footprint := uint64(4) << 30 / 2048
+	n := uint64(w.Graph().N)
+	if n*bytesPerVertex > footprint {
+		t.Fatalf("graph of %d vertices overshoots %d-byte budget", n, footprint)
+	}
+	if 4*n*bytesPerVertex < footprint {
+		t.Fatalf("graph of %d vertices far undershoots %d-byte budget", n, footprint)
+	}
+}

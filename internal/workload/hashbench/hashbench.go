@@ -1,0 +1,180 @@
+// Package hashbench implements the CORAL Hash workload: a data-centric
+// integer-hashing benchmark (Table 4 inputs "-m 30M -n 50K") representative
+// of memory-intensive genomics pipelines.
+//
+// The kernel builds an open-addressing hash table (sized like CORAL's
+// 30M-entry table, roughly one eighth of the workload footprint — small
+// enough that the paper's 512MB-class DRAM caches can hold it) and streams
+// a large key array through insert and lookup phases. Lookups are skewed
+// toward a hot key subset, as a k-mer counting pass over real reads would
+// be. The benchmark is integer-compute dense — hashing dominates between
+// memory touches — which is why the paper groups it with the workloads
+// whose static energy dwarfs their dynamic energy.
+package hashbench
+
+import (
+	"math/rand/v2"
+	"time"
+
+	"hybridmem/internal/trace"
+	"hybridmem/internal/workload"
+)
+
+// slotBytes is the size of one table slot: 8-byte key plus 8-byte value.
+const slotBytes = 16
+
+// fill is the target load factor after the insert phase.
+const fill = 0.5
+
+// Workload is the hashing workload.
+type Workload struct {
+	capacity uint64 // slots, power of two
+	inserts  uint64
+	lookups  uint64
+	seed     uint64
+
+	arena  workload.Arena
+	tableR workload.Region
+	keysR  workload.Region
+	keyLen uint64 // number of keys in the key stream
+
+	// found counts successful lookups in the last Run.
+	found uint64
+}
+
+// New builds the workload. Table 4: 4GB/core footprint, 389.6s reference
+// time. The table takes ~1/8 of the footprint (as CORAL's 480MB table does
+// of its 4GB); the streamed key array takes the rest.
+func New(opts workload.Options) *Workload {
+	scale := opts.Scale
+	if scale == 0 {
+		scale = 64
+	}
+	footprint := uint64(4) << 30 / scale
+	capacity := uint64(1)
+	for capacity*2*slotBytes <= footprint/8 {
+		capacity *= 2
+	}
+	inserts := uint64(float64(capacity) * fill)
+	lookups := 2 * inserts
+	if opts.Iters > 0 {
+		// Iters scales the lookup phase (the "-n" knob).
+		lookups = inserts * uint64(opts.Iters)
+	}
+	w := &Workload{
+		capacity: capacity,
+		inserts:  inserts,
+		lookups:  lookups,
+		seed:     0x4a5b,
+	}
+	w.tableR = w.arena.Alloc("table", capacity*slotBytes)
+	keysBytes := footprint - w.arena.Footprint()
+	w.keyLen = keysBytes / 8
+	if w.keyLen < inserts {
+		w.keyLen = inserts
+	}
+	w.keysR = w.arena.Alloc("keys", w.keyLen*8)
+	return w
+}
+
+// Name implements workload.Workload.
+func (w *Workload) Name() string { return "Hashing" }
+
+// Suite implements workload.Workload.
+func (w *Workload) Suite() string { return "CORAL" }
+
+// Footprint implements workload.Workload.
+func (w *Workload) Footprint() uint64 { return w.arena.Footprint() }
+
+// RefTime implements workload.Workload.
+func (w *Workload) RefTime() time.Duration { return 389600 * time.Millisecond }
+
+// Regions implements workload.Workload.
+func (w *Workload) Regions() []workload.Region { return w.arena.Regions() }
+
+// Found returns the number of successful lookups in the last Run.
+func (w *Workload) Found() uint64 { return w.found }
+
+// mix is a 64-bit finalizer (splitmix64-style) used as the hash function.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Run executes the key-stream generation, insert phase, and lookup phase,
+// with linear probing. Every key-stream read, probe load, and slot store is
+// traced.
+func (w *Workload) Run(sink trace.Sink) {
+	mem := workload.Mem{S: sink}
+	mask := w.capacity - 1
+	table := make([]uint64, w.capacity) // keys; 0 = empty
+	rng := rand.New(rand.NewPCG(w.seed, 0x2545F4914F6CDD1D))
+
+	// Generate the key stream: a sequential write pass over the large
+	// array (reading input data in the real benchmark).
+	keys := make([]uint64, w.keyLen)
+	for i := range keys {
+		k := rng.Uint64() | 1 // never zero
+		keys[i] = k
+		mem.Store8(w.keysR.Idx(uint64(i), 8))
+	}
+
+	// Insert phase: the first `inserts` keys populate the table.
+	for i := uint64(0); i < w.inserts; i++ {
+		mem.Load8(w.keysR.Idx(i, 8))
+		k := keys[i]
+		slot := mix(k) & mask
+		for {
+			mem.LoadN(w.tableR.Idx(slot, slotBytes), slotBytes)
+			if table[slot] == 0 {
+				table[slot] = k
+				mem.StoreN(w.tableR.Idx(slot, slotBytes), slotBytes)
+				break
+			}
+			if table[slot] == k {
+				break
+			}
+			slot = (slot + 1) & mask
+		}
+	}
+
+	// Lookup phase: a skewed mix, as a genomics k-mer counting pass
+	// would see — most queries re-touch a hot subset of keys (high-
+	// coverage k-mers), a minority probe cold keys or miss entirely.
+	w.found = 0
+	hot := w.inserts / 16
+	if hot == 0 {
+		hot = 1
+	}
+	for i := uint64(0); i < w.lookups; i++ {
+		var k uint64
+		switch {
+		case i%8 < 6: // 75%: hot keys
+			idx := (i * 2654435761) % hot
+			mem.Load8(w.keysR.Idx(idx, 8))
+			k = keys[idx]
+		case i%8 == 6: // 12.5%: cold existing keys
+			idx := (i * 2654435761) % w.inserts
+			mem.Load8(w.keysR.Idx(idx, 8))
+			k = keys[idx]
+		default: // 12.5%: absent keys
+			k = rng.Uint64() | 1
+		}
+		slot := mix(k) & mask
+		for {
+			mem.LoadN(w.tableR.Idx(slot, slotBytes), slotBytes)
+			if table[slot] == k {
+				w.found++
+				break
+			}
+			if table[slot] == 0 {
+				break
+			}
+			slot = (slot + 1) & mask
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package hashbench
+
+import (
+	"testing"
+
+	"hybridmem/internal/trace"
+	"hybridmem/internal/workload"
+	"hybridmem/internal/workload/wltest"
+)
+
+var testOpts = workload.Options{Scale: 2048}
+
+func TestConformance(t *testing.T) {
+	w := New(testOpts)
+	wltest.CheckMetadata(t, w, "CORAL", 4<<30/2048)
+	wltest.CheckRefsInRegions(t, w)
+	wltest.CheckDeterminism(t, w)
+}
+
+// TestLookupsFindInsertedKeys: hot and cold lookups of existing keys must
+// succeed; with 6/8 hot + 1/8 cold existing + 1/8 absent, at least 7/8 of
+// lookups (minus hash-collision noise on absent keys) are found.
+func TestLookupsFindInsertedKeys(t *testing.T) {
+	w := New(testOpts)
+	w.Run(trace.Null{})
+	found := w.Found()
+	minWant := w.lookups * 7 / 8
+	if found < minWant {
+		t.Fatalf("found %d of %d lookups, want at least %d", found, w.lookups, minWant)
+	}
+	if found > w.lookups {
+		t.Fatalf("found %d > lookups %d", found, w.lookups)
+	}
+}
+
+func TestTableFitsCapacityBudget(t *testing.T) {
+	w := New(testOpts)
+	footprint := uint64(4) << 30 / 2048
+	// CORAL's table is ~1/8 of the footprint; ours must respect that.
+	if w.tableR.Size > footprint/4 {
+		t.Fatalf("table %d bytes exceeds 1/4 of footprint %d", w.tableR.Size, footprint)
+	}
+	if w.capacity&(w.capacity-1) != 0 {
+		t.Fatalf("capacity %d not a power of two", w.capacity)
+	}
+}
+
+func TestItersScalesLookups(t *testing.T) {
+	w1 := New(workload.Options{Scale: 4096, Iters: 1})
+	w4 := New(workload.Options{Scale: 4096, Iters: 4})
+	if w4.lookups != 4*w1.lookups {
+		t.Fatalf("lookups: iters=4 gives %d, iters=1 gives %d", w4.lookups, w1.lookups)
+	}
+}
+
+func TestMixAvalanche(t *testing.T) {
+	// Adjacent inputs must map to very different outputs.
+	a, b := mix(1), mix(2)
+	if a == b {
+		t.Fatal("mix(1) == mix(2)")
+	}
+	diff := a ^ b
+	// Population count of the difference should be near 32.
+	n := 0
+	for diff != 0 {
+		n += int(diff & 1)
+		diff >>= 1
+	}
+	if n < 16 || n > 48 {
+		t.Fatalf("mix avalanche poor: %d differing bits", n)
+	}
+	if mix(0x1234) != mix(0x1234) {
+		t.Fatal("mix not deterministic")
+	}
+}

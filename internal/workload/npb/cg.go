@@ -1,0 +1,172 @@
+package npb
+
+import (
+	"math"
+	"time"
+
+	"hybridmem/internal/sparse"
+	"hybridmem/internal/trace"
+	"hybridmem/internal/workload"
+)
+
+// cg is the NPB CG workload: conjugate-gradient iterations over a randomly
+// structured sparse SPD matrix. Its SpMV gathers x through random column
+// indices — the "irregular memory access" the paper selects CG for.
+type cg struct {
+	m     *sparse.CSR
+	iters int
+
+	arena   workload.Arena
+	rowPtrR workload.Region
+	colR    workload.Region
+	valR    workload.Region
+	xR      workload.Region
+	rR      workload.Region
+	pR      workload.Region
+	qR      workload.Region
+	bR      workload.Region
+
+	result sparse.CGResult
+}
+
+// cgBytesPerRow estimates CSR plus vector storage per matrix row for
+// sizing: row pointer (4) + nnz·(col 4 + val 8) + five float64 vectors (40).
+func cgBytesPerRow(nnzPerRow int) uint64 { return 4 + uint64(nnzPerRow)*12 + 5*8 }
+
+// NewCG builds the CG workload: Table 4 gives a 1.5GB/core class-D
+// footprint and a 54.8s reference time.
+func NewCG(opts workload.Options) workload.Workload {
+	scale := opts.Scale
+	if scale == 0 {
+		scale = 64
+	}
+	footprint := scaledFootprint(1.5, scale)
+	const nnzPerRow = 16
+	n := int(footprint / cgBytesPerRow(nnzPerRow))
+	if n < 64 {
+		n = 64
+	}
+	c := &cg{
+		m:     sparse.RandomSPD(n, nnzPerRow, 0xC61),
+		iters: iters(opts, 2),
+	}
+	nnz := uint64(c.m.NNZ())
+	c.rowPtrR = c.arena.Alloc("rowptr", uint64(n+1)*4)
+	c.colR = c.arena.Alloc("col", nnz*4)
+	c.valR = c.arena.Alloc("val", nnz*8)
+	c.xR = c.arena.Alloc("x", uint64(n)*8)
+	c.rR = c.arena.Alloc("r", uint64(n)*8)
+	c.pR = c.arena.Alloc("p", uint64(n)*8)
+	c.qR = c.arena.Alloc("q", uint64(n)*8)
+	c.bR = c.arena.Alloc("b", uint64(n)*8)
+	return c
+}
+
+// Name implements workload.Workload.
+func (c *cg) Name() string { return "CG" }
+
+// Suite implements workload.Workload.
+func (c *cg) Suite() string { return "NPB" }
+
+// Footprint implements workload.Workload.
+func (c *cg) Footprint() uint64 { return c.arena.Footprint() }
+
+// RefTime implements workload.Workload.
+func (c *cg) RefTime() time.Duration { return 54800 * time.Millisecond }
+
+// Regions implements workload.Workload.
+func (c *cg) Regions() []workload.Region { return c.arena.Regions() }
+
+// Run executes the traced conjugate-gradient solve. The arithmetic mirrors
+// sparse.CG exactly; every array access additionally emits its reference.
+func (c *cg) Run(sink trace.Sink) {
+	mem := workload.Mem{S: sink}
+	m := c.m
+	n := m.N
+	x := make([]float64, n)
+	b := make([]float64, n)
+	r := make([]float64, n)
+	p := make([]float64, n)
+	q := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+		mem.Store8(c.bR.Idx(uint64(i), 8))
+		mem.Store8(c.xR.Idx(uint64(i), 8))
+	}
+
+	// r = b - A·x with x = 0: a full traced SpMV plus vector ops.
+	c.spmv(mem, q, x, c.xR)
+	for i := 0; i < n; i++ {
+		mem.Load8(c.bR.Idx(uint64(i), 8))
+		mem.Load8(c.qR.Idx(uint64(i), 8))
+		r[i] = b[i] - q[i]
+		p[i] = r[i]
+		mem.Store8(c.rR.Idx(uint64(i), 8))
+		mem.Store8(c.pR.Idx(uint64(i), 8))
+	}
+	rho := c.dot(mem, r, c.rR, r, c.rR)
+
+	for it := 0; it < c.iters && math.Sqrt(rho) > 1e-12; it++ {
+		c.spmv(mem, q, p, c.pR)
+		pq := c.dot(mem, p, c.pR, q, c.qR)
+		alpha := rho / pq
+		c.axpy(mem, alpha, p, c.pR, x, c.xR)
+		c.axpy(mem, -alpha, q, c.qR, r, c.rR)
+		rhoNew := c.dot(mem, r, c.rR, r, c.rR)
+		beta := rhoNew / rho
+		for i := 0; i < n; i++ {
+			mem.Load8(c.rR.Idx(uint64(i), 8))
+			mem.Load8(c.pR.Idx(uint64(i), 8))
+			p[i] = r[i] + beta*p[i]
+			mem.Store8(c.pR.Idx(uint64(i), 8))
+		}
+		rho = rhoNew
+		c.result = sparse.CGResult{Iterations: it + 1, Residual: math.Sqrt(rho)}
+	}
+}
+
+// spmv computes y = A·v with traced accesses: row pointers, column indices,
+// values, the gathered source vector (resident in srcR), and the result
+// store into qR.
+func (c *cg) spmv(mem workload.Mem, y, v []float64, srcR workload.Region) {
+	m := c.m
+	mem.Load4(c.rowPtrR.Idx(0, 4))
+	for i := 0; i < m.N; i++ {
+		mem.Load4(c.rowPtrR.Idx(uint64(i)+1, 4))
+		var sum float64
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			mem.Load4(c.colR.Idx(uint64(k), 4))
+			mem.Load8(c.valR.Idx(uint64(k), 8))
+			col := m.Col[k]
+			mem.Load8(srcR.Idx(uint64(col), 8))
+			sum += m.Val[k] * v[col]
+		}
+		y[i] = sum
+		mem.Store8(c.qR.Idx(uint64(i), 8))
+	}
+}
+
+// dot computes a traced inner product of two vectors living in the given
+// regions.
+func (c *cg) dot(mem workload.Mem, a []float64, aR workload.Region, b []float64, bR workload.Region) float64 {
+	var s float64
+	for i := range a {
+		mem.Load8(aR.Idx(uint64(i), 8))
+		mem.Load8(bR.Idx(uint64(i), 8))
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// axpy computes y += alpha·x, traced.
+func (c *cg) axpy(mem workload.Mem, alpha float64, x []float64, xR workload.Region, y []float64, yR workload.Region) {
+	for i := range x {
+		mem.Load8(xR.Idx(uint64(i), 8))
+		mem.Load8(yR.Idx(uint64(i), 8))
+		y[i] += alpha * x[i]
+		mem.Store8(yR.Idx(uint64(i), 8))
+	}
+}
+
+// Result returns the last solve's iteration count and residual.
+func (c *cg) Result() sparse.CGResult { return c.result }

@@ -1,0 +1,121 @@
+// Package stream implements a STREAM-style bandwidth microbenchmark
+// (McCalpin's Copy/Scale/Add/Triad kernels) as an extended workload. It is
+// not part of the paper's Table 4 suite; it exists as a calibration
+// instrument: its perfectly sequential, zero-reuse access pattern bounds
+// the behaviour of page-organized levels (spatial locality = 1, temporal
+// locality = 0), making it the sharpest probe of the page-size knob and of
+// the row-buffer model.
+package stream
+
+import (
+	"time"
+
+	"hybridmem/internal/trace"
+	"hybridmem/internal/workload"
+)
+
+// Workload is the STREAM workload.
+type Workload struct {
+	n     int // elements per vector
+	iters int
+
+	a, b, c []float64
+
+	arena workload.Arena
+	aR    workload.Region
+	bR    workload.Region
+	cR    workload.Region
+
+	// checksum of the last run, for determinism tests.
+	checksum float64
+}
+
+// New builds the workload. The footprint target matches the suite's
+// mid-size entries (3 vectors; ~1GB at scale 1).
+func New(opts workload.Options) *Workload {
+	scale := opts.Scale
+	if scale == 0 {
+		scale = 64
+	}
+	footprint := uint64(1) << 30 / scale
+	n := int(footprint / (3 * 8))
+	if n < 1024 {
+		n = 1024
+	}
+	w := &Workload{n: n, iters: 2}
+	if opts.Iters > 0 {
+		w.iters = opts.Iters
+	}
+	w.a = make([]float64, n)
+	w.b = make([]float64, n)
+	w.c = make([]float64, n)
+	w.aR = w.arena.Alloc("a", uint64(n)*8)
+	w.bR = w.arena.Alloc("b", uint64(n)*8)
+	w.cR = w.arena.Alloc("c", uint64(n)*8)
+	for i := range w.a {
+		w.a[i] = 1
+		w.b[i] = 2
+	}
+	return w
+}
+
+// Name implements workload.Workload.
+func (w *Workload) Name() string { return "STREAM" }
+
+// Suite implements workload.Workload.
+func (w *Workload) Suite() string { return "Micro" }
+
+// Footprint implements workload.Workload.
+func (w *Workload) Footprint() uint64 { return w.arena.Footprint() }
+
+// RefTime implements workload.Workload (nominal; STREAM is an instrument,
+// not a Table 4 entry).
+func (w *Workload) RefTime() time.Duration { return 10 * time.Second }
+
+// Regions implements workload.Workload.
+func (w *Workload) Regions() []workload.Region { return w.arena.Regions() }
+
+// Checksum returns the last run's result checksum.
+func (w *Workload) Checksum() float64 { return w.checksum }
+
+// Run executes the four kernels per iteration: Copy (c=a), Scale (b=k*c),
+// Add (c=a+b), Triad (a=b+k*c).
+func (w *Workload) Run(sink trace.Sink) {
+	mem := workload.Mem{S: sink}
+	const k = 3.0
+	// Reset state so repeated runs emit identical streams.
+	for i := range w.a {
+		w.a[i] = 1
+		w.b[i] = 2
+		w.c[i] = 0
+	}
+	for it := 0; it < w.iters; it++ {
+		for i := 0; i < w.n; i++ { // Copy
+			mem.Load8(w.aR.Idx(uint64(i), 8))
+			w.c[i] = w.a[i]
+			mem.Store8(w.cR.Idx(uint64(i), 8))
+		}
+		for i := 0; i < w.n; i++ { // Scale
+			mem.Load8(w.cR.Idx(uint64(i), 8))
+			w.b[i] = k * w.c[i]
+			mem.Store8(w.bR.Idx(uint64(i), 8))
+		}
+		for i := 0; i < w.n; i++ { // Add
+			mem.Load8(w.aR.Idx(uint64(i), 8))
+			mem.Load8(w.bR.Idx(uint64(i), 8))
+			w.c[i] = w.a[i] + w.b[i]
+			mem.Store8(w.cR.Idx(uint64(i), 8))
+		}
+		for i := 0; i < w.n; i++ { // Triad
+			mem.Load8(w.bR.Idx(uint64(i), 8))
+			mem.Load8(w.cR.Idx(uint64(i), 8))
+			w.a[i] = w.b[i] + k*w.c[i]
+			mem.Store8(w.aR.Idx(uint64(i), 8))
+		}
+	}
+	var s float64
+	for i := 0; i < w.n; i += 97 {
+		s += w.a[i]
+	}
+	w.checksum = s
+}

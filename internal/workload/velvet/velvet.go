@@ -1,0 +1,230 @@
+// Package velvet implements the Velvet workload: de-novo short-read genome
+// assembly via a de Bruijn graph (Zerbino & Birney). The reproduction
+// performs the two memory-dominant phases of the assembler: (1) scanning
+// packed reads and inserting every k-mer into a hashed node table —
+// sequential streaming input combined with random, write-heavy table
+// updates — and (2) a graph walk that follows successor k-mers through the
+// table to count unbranched chains, a pointer-chasing pass.
+package velvet
+
+import (
+	"math/rand/v2"
+	"time"
+
+	"hybridmem/internal/trace"
+	"hybridmem/internal/workload"
+)
+
+// K is the k-mer length (Velvet's default hash length ballpark; must be
+// ≤ 31 to fit a 2-bit-packed k-mer in a uint64).
+const K = 31
+
+// nodeBytes is the size of one de Bruijn node: packed k-mer (8), coverage
+// count (4), edge bitmask (4), and two link fields (16).
+const nodeBytes = 32
+
+// coverage is the sequencing coverage: how many times each genome base is
+// read on average.
+const coverage = 4
+
+// fill is the target table load factor.
+const fill = 0.6
+
+// motifLen is the length in bases of one repeat motif. Real genomes are
+// highly repetitive; reads are modelled as motifs sampled from a pool with
+// a skewed distribution, so high-coverage k-mers re-touch their de Bruijn
+// nodes frequently (hot nodes), as in real assembly runs.
+const motifLen = 512
+
+// Workload is the Velvet workload.
+type Workload struct {
+	genomeLen uint64 // bases per pass
+	poolBases uint64 // distinct motif bases (approx. distinct k-mers)
+	slots     uint64 // table capacity, power of two
+	seed      uint64
+
+	arena  workload.Arena
+	readsR workload.Region
+	tableR workload.Region
+
+	// distinct and chains record the last Run's table occupancy and
+	// chain count, for determinism tests.
+	distinct uint64
+	chains   uint64
+}
+
+// New builds the workload. Table 4: 4GB/core footprint, 116.5s reference
+// time.
+func New(opts workload.Options) *Workload {
+	scale := opts.Scale
+	if scale == 0 {
+		scale = 64
+	}
+	footprint := uint64(4) << 30 / scale
+	slots := uint64(1)
+	for slots*2*nodeBytes <= footprint*9/10 {
+		slots *= 2
+	}
+	w := &Workload{
+		slots:     slots,
+		poolBases: uint64(float64(slots)*fill) / motifLen * motifLen,
+		seed:      0x7e17e7,
+	}
+	w.genomeLen = w.poolBases
+	readsBytes := (w.genomeLen*coverage + 3) / 4 // 2 bits per base
+	w.readsR = w.arena.Alloc("reads", readsBytes)
+	w.tableR = w.arena.Alloc("nodes", slots*nodeBytes)
+	return w
+}
+
+// Name implements workload.Workload.
+func (w *Workload) Name() string { return "Velvet" }
+
+// Suite implements workload.Workload.
+func (w *Workload) Suite() string { return "Application" }
+
+// Footprint implements workload.Workload.
+func (w *Workload) Footprint() uint64 { return w.arena.Footprint() }
+
+// RefTime implements workload.Workload.
+func (w *Workload) RefTime() time.Duration { return 116500 * time.Millisecond }
+
+// Regions implements workload.Workload.
+func (w *Workload) Regions() []workload.Region { return w.arena.Regions() }
+
+// Distinct returns the number of distinct k-mers inserted by the last Run.
+func (w *Workload) Distinct() uint64 { return w.distinct }
+
+// Chains returns the number of unbranched chains found by the last Run.
+func (w *Workload) Chains() uint64 { return w.chains }
+
+// mix is the table hash.
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Run executes both assembler phases with traced references.
+func (w *Workload) Run(sink trace.Sink) {
+	mem := workload.Mem{S: sink}
+	mask := w.slots - 1
+	kmerMask := uint64(1)<<(2*K) - 1
+
+	// The motif pool: deterministic random bases. Reads are sampled from
+	// it with a quadratic skew, so a minority of motifs supplies the
+	// majority of the coverage — the hot repeats of a real genome.
+	rng := rand.New(rand.NewPCG(w.seed, 0x9e3779b97f4a7c15))
+	pool := make([]uint8, w.poolBases)
+	for i := range pool {
+		pool[i] = uint8(rng.Uint64() & 3)
+	}
+	numMotifs := w.poolBases / motifLen
+
+	table := make([]uint64, w.slots) // packed k-mer per slot; 0 = empty
+	count := make([]uint32, w.slots)
+	edges := make([]uint8, w.slots) // outgoing-base bitmask per node
+	w.distinct = 0
+
+	// Phase 1: for each of `coverage` read passes, roll k-mers along the
+	// sampled reads and insert them. Each pass reads the packed read
+	// stream sequentially (one 8-byte load per 32 bases) and updates the
+	// table randomly.
+	for pass := 0; pass < coverage; pass++ {
+		var kmer uint64
+		basePos := uint64(pass) * w.genomeLen // offset into reads region
+		motif := uint64(0)
+		motifBase := uint64(0)
+		prevSlot := ^uint64(0)
+		for i := uint64(0); i < w.genomeLen; i++ {
+			if i%motifLen == 0 {
+				// Sample the next motif with quartic skew: a small
+				// fraction of motifs supplies most of the coverage.
+				u := rng.Float64()
+				u *= u
+				motif = uint64(u * u * float64(numMotifs))
+				if motif >= numMotifs {
+					motif = numMotifs - 1
+				}
+				motifBase = motif * motifLen
+			}
+			if i%32 == 0 {
+				mem.Load8(w.readsR.Addr((basePos + i) / 4 % w.readsR.Size &^ 7))
+			}
+			kmer = ((kmer << 2) | uint64(pool[motifBase+i%motifLen])) & kmerMask
+			if i < K-1 {
+				continue
+			}
+			key := kmer | 1<<63 // never zero
+			slot := mix(key) & mask
+			for {
+				mem.LoadN(w.tableR.Idx(slot, nodeBytes), nodeBytes)
+				if table[slot] == 0 {
+					table[slot] = key
+					count[slot] = 1
+					w.distinct++
+					mem.StoreN(w.tableR.Idx(slot, nodeBytes), nodeBytes)
+					break
+				}
+				if table[slot] == key {
+					count[slot]++
+					mem.StoreN(w.tableR.Idx(slot, 4), 4) // coverage field
+					break
+				}
+				slot = (slot + 1) & mask
+			}
+			// Record the edge from the previous k-mer's node to this
+			// base, as Velvet's node structure does. The bitmask is
+			// checked first, so the store happens only the first time
+			// a transition is seen.
+			if i >= K && prevSlot != ^uint64(0) {
+				bit := uint8(1) << (kmer & 3)
+				if edges[prevSlot]&bit == 0 {
+					edges[prevSlot] |= bit
+					mem.Store4(w.tableR.Idx(prevSlot, nodeBytes) + 12)
+				}
+			}
+			prevSlot = slot
+		}
+	}
+
+	// Phase 2: chain walk (Velvet's compaction). Scan the table; a node
+	// whose edge bitmask records exactly one outgoing base extends an
+	// unbranched chain, and its successor is located with one hash
+	// lookup — a pointer chase through the table.
+	w.chains = 0
+	for slot := uint64(0); slot < w.slots; slot++ {
+		mem.LoadN(w.tableR.Idx(slot, nodeBytes), nodeBytes)
+		if table[slot] == 0 {
+			continue
+		}
+		e := edges[slot]
+		if e == 0 || e&(e-1) != 0 {
+			continue // dead end or branch point
+		}
+		base := uint64(0)
+		for e > 1 {
+			e >>= 1
+			base++
+		}
+		kmer := table[slot] &^ (1 << 63)
+		next := ((kmer << 2) | base) & kmerMask
+		key := next | 1<<63
+		s := mix(key) & mask
+		for probes := 0; probes < 4; probes++ {
+			mem.LoadN(w.tableR.Idx(s, nodeBytes), nodeBytes)
+			if table[s] == key {
+				w.chains++
+				mem.StoreN(w.tableR.Idx(slot, 8), 8) // link field update
+				break
+			}
+			if table[s] == 0 {
+				break
+			}
+			s = (s + 1) & mask
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package velvet
+
+import (
+	"testing"
+
+	"hybridmem/internal/trace"
+	"hybridmem/internal/workload"
+	"hybridmem/internal/workload/wltest"
+)
+
+var testOpts = workload.Options{Scale: 2048}
+
+func TestConformance(t *testing.T) {
+	w := New(testOpts)
+	wltest.CheckMetadata(t, w, "Application", 4<<30/2048)
+	wltest.CheckRefsInRegions(t, w)
+	wltest.CheckDeterminism(t, w)
+}
+
+func TestAssemblyPopulatesTable(t *testing.T) {
+	w := New(testOpts)
+	w.Run(trace.Null{})
+	if w.Distinct() == 0 {
+		t.Fatal("no k-mers inserted")
+	}
+	if w.Distinct() > w.slots {
+		t.Fatalf("distinct %d exceeds table capacity %d", w.Distinct(), w.slots)
+	}
+	// The motif pool bounds distinct k-mers: every k-mer comes from one
+	// of the motifs (plus boundary-spanning k-mers between motifs).
+	maxDistinct := w.poolBases + (w.genomeLen/motifLen+1)*coverage*(K-1)
+	if w.Distinct() > maxDistinct {
+		t.Fatalf("distinct %d exceeds pool-derived bound %d", w.Distinct(), maxDistinct)
+	}
+	// Load factor should be meaningful but below capacity.
+	if float64(w.Distinct()) < 0.1*float64(w.slots) {
+		t.Fatalf("table nearly empty: %d of %d slots", w.Distinct(), w.slots)
+	}
+}
+
+func TestChainsFound(t *testing.T) {
+	w := New(testOpts)
+	w.Run(trace.Null{})
+	if w.Chains() == 0 {
+		t.Fatal("no unbranched chains found; de Bruijn graph degenerate")
+	}
+	if w.Chains() > w.Distinct() {
+		t.Fatalf("chains %d exceed nodes %d", w.Chains(), w.Distinct())
+	}
+}
+
+// TestRepeatStructure verifies the skewed motif sampling: multiple passes
+// over repeated motifs mean processed k-mers far exceed distinct k-mers.
+func TestRepeatStructure(t *testing.T) {
+	w := New(testOpts)
+	w.Run(trace.Null{})
+	processed := w.genomeLen * coverage
+	if float64(w.Distinct()) > 0.6*float64(processed) {
+		t.Fatalf("little repetition: %d distinct of %d processed", w.Distinct(), processed)
+	}
+}
+
+func TestWriteHeavyStream(t *testing.T) {
+	w := New(testOpts)
+	var c trace.Counter
+	w.Run(&c)
+	if c.Stores == 0 {
+		t.Fatal("assembly must write")
+	}
+	// Table construction is store-rich: at least 2% of refs.
+	if float64(c.Stores) < 0.02*float64(c.Total()) {
+		t.Fatalf("store share too low: %d of %d", c.Stores, c.Total())
+	}
+}
