@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test bench repro sweep clean
+.PHONY: all build vet test bench repro sweep clean race bench-json
 
 all: build vet test
 
@@ -22,6 +22,16 @@ bench:
 
 bench-log:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Machine-readable benchmark summary (BENCH_<short-sha>.json, or
+# BENCH_worktree.json outside a git checkout).
+bench-json:
+	$(GO) test -bench=. -benchmem ./... | \
+		$(GO) run ./cmd/benchjson -o BENCH_$$(git rev-parse --short HEAD 2>/dev/null || echo worktree).json
+
+# Race-detector pass over the full test suite (~2 minutes).
+race:
+	$(GO) test -race ./...
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 repro:

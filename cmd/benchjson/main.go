@@ -1,0 +1,139 @@
+// Command benchjson converts `go test -bench` text output (read from stdin)
+// into a machine-readable JSON summary, so benchmark results can be archived
+// and diffed across commits without re-parsing the text format.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchjson -o BENCH_$(git rev-parse --short HEAD).json
+//	go test -bench=BenchmarkHierarchy . | benchjson
+//
+// Each benchmark line like
+//
+//	BenchmarkHierarchyAccess-8   6802496   174.4 ns/op   0 B/op   0 allocs/op
+//
+// becomes an object with the benchmark name, the GOMAXPROCS suffix,
+// iteration count, and a metrics map keyed by unit ("ns/op", "B/op",
+// "allocs/op", and any custom ReportMetric units). Context lines (goos,
+// goarch, pkg, cpu) are captured once per package block.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Summary is the whole parsed run.
+type Summary struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	sum, err := Parse(os.Stdin)
+	exitOn(err)
+	if len(sum.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: warning: no benchmark lines found on stdin")
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		exitOn(err)
+		defer func() { exitOn(f.Close()) }()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	exitOn(enc.Encode(sum))
+}
+
+// Parse reads `go test -bench` output and extracts every benchmark line.
+func Parse(r io.Reader) (*Summary, error) {
+	sum := &Summary{Benchmarks: []Benchmark{}}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			sum.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			sum.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			sum.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if ok {
+				b.Package = pkg
+				sum.Benchmarks = append(sum.Benchmarks, b)
+			}
+		}
+	}
+	return sum, sc.Err()
+}
+
+// parseBenchLine parses one "BenchmarkName-P  N  value unit ..." line.
+// Returns ok=false for lines that start with "Benchmark" but are not result
+// lines (e.g. a bare name printed while the benchmark is still running).
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	// Need at least: name, iterations, one value+unit pair.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Metrics: map[string]float64{}}
+
+	b.Name = fields[0]
+	b.Procs = 1
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Procs = p
+			b.Name = b.Name[:i]
+		}
+	}
+
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = iters
+
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: hybridmem
+cpu: AMD EPYC 7B13
+BenchmarkHierarchyAccess-8   	 6802496	       174.4 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCacheAccess-8       	47438828	        25.29 ns/op
+PASS
+ok  	hybridmem	3.456s
+`
+
+func TestParseSample(t *testing.T) {
+	sum, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Goos != "linux" || sum.Goarch != "amd64" {
+		t.Errorf("goos/goarch = %q/%q", sum.Goos, sum.Goarch)
+	}
+	if sum.CPU != "AMD EPYC 7B13" {
+		t.Errorf("cpu = %q", sum.CPU)
+	}
+	if len(sum.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(sum.Benchmarks))
+	}
+
+	b := sum.Benchmarks[0]
+	if b.Name != "BenchmarkHierarchyAccess" || b.Procs != 8 {
+		t.Errorf("name/procs = %q/%d", b.Name, b.Procs)
+	}
+	if b.Package != "hybridmem" {
+		t.Errorf("package = %q", b.Package)
+	}
+	if b.Iterations != 6802496 {
+		t.Errorf("iterations = %d", b.Iterations)
+	}
+	if got := b.Metrics["ns/op"]; got != 174.4 {
+		t.Errorf("ns/op = %v", got)
+	}
+	if got := b.Metrics["allocs/op"]; got != 0 {
+		t.Errorf("allocs/op = %v", got)
+	}
+
+	if got := sum.Benchmarks[1].Metrics["ns/op"]; got != 25.29 {
+		t.Errorf("second ns/op = %v", got)
+	}
+	if _, ok := sum.Benchmarks[1].Metrics["B/op"]; ok {
+		t.Error("second benchmark should have no B/op metric")
+	}
+}
+
+func TestParseSkipsNonResultLines(t *testing.T) {
+	in := "BenchmarkRunning\nBenchmarkBad-8 notanumber 1 ns/op\nPASS\n"
+	sum, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Benchmarks) != 0 {
+		t.Fatalf("got %d benchmarks, want 0", len(sum.Benchmarks))
+	}
+}
+
+func TestParseCustomMetrics(t *testing.T) {
+	in := "BenchmarkX-4 100 12.5 ns/op 3.25 refs/op\n"
+	sum, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Benchmarks) != 1 {
+		t.Fatalf("got %d benchmarks, want 1", len(sum.Benchmarks))
+	}
+	if got := sum.Benchmarks[0].Metrics["refs/op"]; got != 3.25 {
+		t.Errorf("refs/op = %v", got)
+	}
+}

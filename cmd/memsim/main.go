@@ -7,16 +7,23 @@
 //	memsim -workload BT -design nmm -config N6 -nvm PCM
 //	memsim -workload Graph500 -design 4lc -config EH1 -llc HMC
 //	memsim -workload Velvet -design 4lcnvm -config EH3 -llc eDRAM -nvm STTRAM
+//
+// Observability (see the README's Observability section):
+//
+//	memsim -workload Graph500 -design nmm -config N6 -epoch 1000000 -timeseries -
+//	memsim -workload CG -design nmm -runlog run.jsonl -cpuprofile cpu.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"hybridmem/internal/design"
 	"hybridmem/internal/exp"
 	"hybridmem/internal/model"
+	"hybridmem/internal/obs"
 	"hybridmem/internal/report"
 	"hybridmem/internal/tech"
 	"hybridmem/internal/workload"
@@ -36,8 +43,33 @@ func main() {
 		list      = flag.Bool("list", false, "list workloads and configurations")
 		breakdown = flag.Bool("breakdown", false, "print the per-level energy/time attribution")
 		rowbuf    = flag.Bool("rowbuffer", false, "use the open-page row-buffer timing model for main memory")
+
+		epoch      = flag.Uint64("epoch", 0, "sample an epoch time-series every N references through the full hierarchy (0 = off)")
+		timeseries = flag.String("timeseries", "", `write the per-epoch CSV here ("-" = stdout; implies -epoch)`)
+		runlog     = flag.String("runlog", "", `write structured JSONL run events here ("-" = stderr)`)
 	)
+	var prof obs.Profile
+	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	exitOn(err)
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "memsim:", err)
+		}
+	}()
+
+	logw, closeLog, err := obs.OpenSink(*runlog, os.Stderr)
+	exitOn(err)
+	defer closeLog()
+	logger := obs.NewLogger(logw)
+	runStart := time.Now()
+	logger.Event("run_start", obs.Fields{
+		"cmd": "memsim", "workload": *wlName, "design": *dsgn, "config": *cfgName,
+		"llc": *llcName, "nvm": *nvmName, "scale": *scale, "iters": *iters,
+		"dilution": *dilution, "rowbuffer": *rowbuf, "epoch": *epoch,
+	})
 
 	if *list {
 		fmt.Println("workloads:", catalog.Names)
@@ -65,7 +97,9 @@ func main() {
 	if *dilution == 0 {
 		*dilution = exp.DefaultDilution
 	}
-	wp, err := exp.ProfileWorkload(w, *scale, *dilution)
+	wp, err := exp.ProfileWorkloadOpts(w, exp.ProfileOptions{
+		Scale: *scale, Dilution: *dilution, Log: logger,
+	})
 	exitOn(err)
 
 	var backend design.Backend
@@ -140,6 +174,60 @@ func main() {
 		_, err = bt.WriteTo(os.Stdout)
 		exitOn(err)
 	}
+
+	if *timeseries != "" && *epoch == 0 {
+		*epoch = obs.DefaultEpochRefs
+	}
+	if *epoch > 0 {
+		exitOn(timeSeries(w, backend, logger, *scale, *epoch, *timeseries))
+	}
+
+	logger.Event("run_end", obs.Fields{
+		"cmd": "memsim", "workload": *wlName, "design": backend.Name,
+		"wall_ms":        float64(time.Since(runStart)) / float64(time.Millisecond),
+		"refs_processed": obs.RefsProcessed(),
+	})
+}
+
+// timeSeries re-runs the workload online through the full hierarchy (SRAM
+// prefix + the design's back end) under an epoch sampler, then renders the
+// per-epoch CSV to the -timeseries destination and an ASCII heat-strip to
+// stdout.
+func timeSeries(w workload.Workload, backend design.Backend, logger *obs.Logger, scale, epoch uint64, tsPath string) error {
+	prefix, err := design.BuildPrefix(scale)
+	if err != nil {
+		return err
+	}
+	h, err := backend.BuildHierarchy(prefix)
+	if err != nil {
+		return err
+	}
+	sampler := obs.NewEpochSampler(h, epoch)
+	done := logger.Span("timeseries_sim", obs.Fields{
+		"workload": w.Name(), "design": backend.Name, "epoch": epoch,
+	})
+	start := time.Now()
+	w.Run(sampler)
+	sampler.Flush()
+	done(obs.ThroughputFields(h.Refs(), time.Since(start)))
+
+	series := sampler.Series()
+	tsw, closeTS, err := obs.OpenSink(tsPath, os.Stdout)
+	if err != nil {
+		return err
+	}
+	if tsw != nil {
+		fmt.Println()
+		if err := report.WriteEpochCSV(tsw, series); err != nil {
+			closeTS()
+			return err
+		}
+		if err := closeTS(); err != nil {
+			return err
+		}
+	}
+	fmt.Println()
+	return report.EpochHeatStrip(os.Stdout, series)
 }
 
 func addLevel(t *report.Table, name, techName string, capacity, loads, stores uint64, hitRate float64, wbs uint64) {

@@ -27,6 +27,7 @@ import (
 	"hybridmem/internal/design"
 	"hybridmem/internal/exp"
 	"hybridmem/internal/model"
+	"hybridmem/internal/obs"
 	"hybridmem/internal/report"
 	"hybridmem/internal/tech"
 	"hybridmem/internal/workload"
@@ -44,7 +45,13 @@ func main() {
 		nvmName   = flag.String("nvm", "PCM", "NVM technology for figures 1-2 and 5-6 (PCM, STTRAM, FeRAM)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		dilution  = flag.Int("dilution", 0, "L1-hit dilution factor (0 = default)")
+
+		epoch      = flag.Uint64("epoch", 0, "sample an epoch time-series every N references while profiling workloads (0 = off)")
+		timeseries = flag.String("timeseries", "", `write the profiling epoch time-series as long-form CSV here ("-" = stdout; implies -epoch)`)
+		runlog     = flag.String("runlog", "", `write structured JSONL run events here ("-" = stderr)`)
 	)
+	var prof obs.Profile
+	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if !*all && *table == 0 && *figure == 0 {
@@ -52,31 +59,60 @@ func main() {
 		os.Exit(2)
 	}
 
+	stopProf, err := prof.Start()
+	exitOn(err)
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "paperrepro:", err)
+		}
+	}()
+
+	logw, closeLog, err := obs.OpenSink(*runlog, os.Stderr)
+	exitOn(err)
+	defer closeLog()
+	logger := obs.NewLogger(logw)
+
 	llc, err := tech.ByName(*llcName)
 	exitOn(err)
 	nvm, err := tech.ByName(*nvmName)
 	exitOn(err)
 
-	cfg := exp.Config{Scale: *scale, Dilution: *dilution}
+	if *timeseries != "" && *epoch == 0 {
+		*epoch = obs.DefaultEpochRefs
+	}
+	cfg := exp.Config{Scale: *scale, Dilution: *dilution, Epoch: *epoch, Log: logger}
 	if *workloads != "" {
 		cfg.Workloads = strings.Split(*workloads, ",")
 	}
 
-	r := &runner{cfg: cfg, llc: llc, nvm: nvm, csv: *csv}
+	r := &runner{cfg: cfg, llc: llc, nvm: nvm, csv: *csv, log: logger, timeseries: *timeseries}
+
+	runStart := time.Now()
+	logger.Event("run_start", obs.Fields{
+		"cmd": "paperrepro", "all": *all, "table": *table, "figure": *figure,
+		"scale": *scale, "workloads": *workloads, "llc": *llcName, "nvm": *nvmName,
+		"dilution": *dilution, "epoch": *epoch,
+	})
 
 	switch {
 	case *all:
 		for t := 1; t <= 4; t++ {
-			exitOn(r.table(t))
+			exitOn(r.runTable(t))
 		}
 		for f := 1; f <= 10; f++ {
-			exitOn(r.figure(f))
+			exitOn(r.runFigure(f))
 		}
 	case *table != 0:
-		exitOn(r.table(*table))
+		exitOn(r.runTable(*table))
 	default:
-		exitOn(r.figure(*figure))
+		exitOn(r.runFigure(*figure))
 	}
+
+	logger.Event("run_end", obs.Fields{
+		"cmd":            "paperrepro",
+		"wall_ms":        float64(time.Since(runStart)) / float64(time.Millisecond),
+		"refs_processed": obs.RefsProcessed(),
+	})
 }
 
 func exitOn(err error) {
@@ -88,11 +124,13 @@ func exitOn(err error) {
 
 // runner caches the profiled suite across multiple tables/figures.
 type runner struct {
-	cfg   exp.Config
-	llc   tech.Tech
-	nvm   tech.Tech
-	csv   bool
-	suite *exp.Suite
+	cfg        exp.Config
+	llc        tech.Tech
+	nvm        tech.Tech
+	csv        bool
+	log        *obs.Logger
+	timeseries string
+	suite      *exp.Suite
 
 	// cached sweep results, keyed by design family.
 	nmm    []exp.Row
@@ -100,7 +138,8 @@ type runner struct {
 	flcnvm []exp.Row
 }
 
-// Suite lazily profiles the workloads.
+// Suite lazily profiles the workloads; on first profiling it also emits the
+// per-workload epoch time-series when -timeseries was requested.
 func (r *runner) Suite() (*exp.Suite, error) {
 	if r.suite == nil {
 		start := time.Now()
@@ -111,8 +150,49 @@ func (r *runner) Suite() (*exp.Suite, error) {
 		}
 		fmt.Fprintf(os.Stderr, "profiled %d workloads in %s\n", len(s.Profiles), time.Since(start).Round(time.Millisecond))
 		r.suite = s
+		if err := r.emitTimeSeries(s); err != nil {
+			return nil, err
+		}
 	}
 	return r.suite, nil
+}
+
+// emitTimeSeries writes every profiled workload's epoch series as one
+// long-form CSV to the -timeseries destination.
+func (r *runner) emitTimeSeries(s *exp.Suite) error {
+	if r.timeseries == "" {
+		return nil
+	}
+	w, closeTS, err := obs.OpenSink(r.timeseries, os.Stdout)
+	if err != nil {
+		return err
+	}
+	for i, wp := range s.Profiles {
+		if wp.Series == nil {
+			continue
+		}
+		if err := report.WriteEpochLongCSV(w, wp.Name, wp.Series, i == 0); err != nil {
+			closeTS()
+			return err
+		}
+	}
+	return closeTS()
+}
+
+// runTable regenerates one table inside a logging span.
+func (r *runner) runTable(n int) error {
+	done := r.log.Span("table", obs.Fields{"n": n})
+	err := r.table(n)
+	done(obs.Fields{"ok": err == nil})
+	return err
+}
+
+// runFigure regenerates one figure inside a logging span.
+func (r *runner) runFigure(n int) error {
+	done := r.log.Span("figure", obs.Fields{"n": n})
+	err := r.figure(n)
+	done(obs.Fields{"ok": err == nil})
+	return err
 }
 
 // emit renders a table as text or CSV.

@@ -16,10 +16,13 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"hybridmem/internal/design"
 	"hybridmem/internal/exp"
 	"hybridmem/internal/model"
+	"hybridmem/internal/obs"
+	"hybridmem/internal/report"
 	"hybridmem/internal/tech"
 )
 
@@ -28,20 +31,50 @@ func main() {
 		dsgn      = flag.String("design", "all", "design family: nmm, 4lc, 4lcnvm, ndm, all")
 		scale     = flag.Uint64("scale", design.DefaultScale, "capacity co-scaling divisor")
 		workloads = flag.String("workloads", "", "comma-separated workload subset")
+
+		epoch      = flag.Uint64("epoch", 0, "sample an epoch time-series every N references while profiling workloads (0 = off)")
+		timeseries = flag.String("timeseries", "", `write the profiling epoch time-series as long-form CSV here ("-" = stderr-free stdout is taken by sweep rows, so name a file)`)
+		runlog     = flag.String("runlog", "", `write structured JSONL run events here ("-" = stderr)`)
 	)
+	var prof obs.Profile
+	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	cfg := exp.Config{Scale: *scale}
+	stopProf, err := prof.Start()
+	exitOn(err)
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+		}
+	}()
+
+	logw, closeLog, err := obs.OpenSink(*runlog, os.Stderr)
+	exitOn(err)
+	defer closeLog()
+	logger := obs.NewLogger(logw)
+	runStart := time.Now()
+	logger.Event("run_start", obs.Fields{
+		"cmd": "sweep", "design": *dsgn, "scale": *scale,
+		"workloads": *workloads, "epoch": *epoch,
+	})
+
+	if *timeseries != "" && *epoch == 0 {
+		*epoch = obs.DefaultEpochRefs
+	}
+	cfg := exp.Config{Scale: *scale, Epoch: *epoch, Log: logger}
 	if *workloads != "" {
 		cfg.Workloads = strings.Split(*workloads, ",")
 	}
 	fmt.Fprintln(os.Stderr, "profiling workloads...")
 	s, err := exp.NewSuite(cfg)
 	exitOn(err)
+	exitOn(emitTimeSeries(*timeseries, s))
 
 	fmt.Println("design,config,tech,workload,norm_time,norm_energy,norm_edp,amat_ns,dynamic_j,static_j")
 
 	run := func(family string) {
+		done := logger.Span("family_sweep", obs.Fields{"family": family})
+		defer done(nil)
 		switch family {
 		case "nmm":
 			for _, nvm := range tech.NVMs() {
@@ -89,6 +122,38 @@ func main() {
 	} else {
 		run(*dsgn)
 	}
+
+	logger.Event("run_end", obs.Fields{
+		"cmd":            "sweep",
+		"wall_ms":        float64(time.Since(runStart)) / float64(time.Millisecond),
+		"refs_processed": obs.RefsProcessed(),
+	})
+}
+
+// emitTimeSeries writes the long-form epoch CSV (one row per
+// workload/epoch/level) collected during suite profiling to the -timeseries
+// destination.
+func emitTimeSeries(path string, s *exp.Suite) error {
+	if path == "" {
+		return nil
+	}
+	w, closeTS, err := obs.OpenSink(path, os.Stdout)
+	if err != nil {
+		return err
+	}
+	if w == nil {
+		return nil
+	}
+	for i, wp := range s.Profiles {
+		if wp.Series == nil {
+			continue
+		}
+		if err := report.WriteEpochLongCSV(w, wp.Name, wp.Series, i == 0); err != nil {
+			closeTS()
+			return err
+		}
+	}
+	return closeTS()
 }
 
 func emit(family, techName string, s *exp.Suite, rows []exp.Row) {

@@ -101,10 +101,7 @@ func MustHierarchy(levels []Level, mem Memory) *Hierarchy {
 // straddle a top-level line boundary are split, as hardware would.
 func (h *Hierarchy) Access(r trace.Ref) {
 	h.refs++
-	size := uint64(r.Size)
-	if size == 0 {
-		size = 1
-	}
+	size := r.Bytes()
 	write := r.Kind == trace.Store
 	if len(h.levels) == 0 {
 		if write {

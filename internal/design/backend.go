@@ -54,11 +54,36 @@ type MemorySpec struct {
 
 // Build instantiates the backend.
 func (b Backend) Build() (*core.Backend, error) {
-	levels := make([]core.Level, 0, len(b.Caches))
+	levels, mem, err := b.components(nil)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewBackend(levels, mem)
+}
+
+// BuildHierarchy instantiates the backend's cache levels and terminal as a
+// full hierarchy beneath the given prefix levels (typically
+// design.BuildPrefix; nil for a bare backend). Unlike the boundary-replay
+// path, the resulting hierarchy accepts the workload's raw reference stream
+// end to end — the shape online observers (epoch samplers) need to see
+// every level of one run at once.
+func (b Backend) BuildHierarchy(prefix []core.Level) (*core.Hierarchy, error) {
+	levels, mem, err := b.components(prefix)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewHierarchy(levels, mem)
+}
+
+// components instantiates the backend's levels (appended to prefix) and its
+// memory terminal.
+func (b Backend) components(prefix []core.Level) ([]core.Level, core.Memory, error) {
+	levels := make([]core.Level, 0, len(prefix)+len(b.Caches))
+	levels = append(levels, prefix...)
 	for _, s := range b.Caches {
 		l, err := s.build()
 		if err != nil {
-			return nil, fmt.Errorf("design %s: %w", b.Name, err)
+			return nil, nil, fmt.Errorf("design %s: %w", b.Name, err)
 		}
 		levels = append(levels, l)
 	}
@@ -69,20 +94,20 @@ func (b Backend) Build() (*core.Backend, error) {
 			"NVM("+b.Memory.NVMTech.Name+")", b.Memory.NVMTech, b.Memory.NVMCapacity,
 			"DRAM-part", tech.DRAM, b.Memory.DRAMCapacity)
 		if err != nil {
-			return nil, fmt.Errorf("design %s: %w", b.Name, err)
+			return nil, nil, fmt.Errorf("design %s: %w", b.Name, err)
 		}
 		mem = pm
 	case b.Memory.RowBuffer:
 		rb, err := core.NewRowBufferMemory(b.Memory.Name, b.Memory.Tech, b.Memory.Capacity,
 			b.Memory.RowSize, b.Memory.Banks, b.Memory.RowHitFraction)
 		if err != nil {
-			return nil, fmt.Errorf("design %s: %w", b.Name, err)
+			return nil, nil, fmt.Errorf("design %s: %w", b.Name, err)
 		}
 		mem = rb
 	default:
 		mem = core.NewSimpleMemory(b.Memory.Name, b.Memory.Tech, b.Memory.Capacity)
 	}
-	return core.NewBackend(levels, mem)
+	return levels, mem, nil
 }
 
 // WithRowBuffer returns a copy of the backend whose (uniform) terminal uses

@@ -18,6 +18,7 @@ import (
 	"hybridmem/internal/core"
 	"hybridmem/internal/design"
 	"hybridmem/internal/model"
+	"hybridmem/internal/obs"
 	"hybridmem/internal/trace"
 	"hybridmem/internal/workload"
 	"hybridmem/internal/workload/catalog"
@@ -47,6 +48,13 @@ type Config struct {
 	// references are pure L1 hits, so they never change routing below L1).
 	// Zero means DefaultDilution; use NoDilution to disable.
 	Dilution int
+	// Epoch enables epoch-sampled time-series capture during workload
+	// profiling: every Epoch references the prefix simulation's statistics
+	// are snapshotted into the profile's Series. Zero disables sampling.
+	Epoch uint64
+	// Log receives structured JSONL run events (workload profiling spans,
+	// per-design-point timing and throughput). Nil disables logging.
+	Log *obs.Logger
 }
 
 // DefaultDilution is the default ratio of untraced (always-L1-hit)
@@ -101,10 +109,29 @@ type WorkloadProfile struct {
 	Boundary []trace.Ref
 	// TotalRefs is the workload's reference count (AMAT denominator).
 	TotalRefs uint64
+	// Series is the epoch time-series of the prefix simulation, captured
+	// when profiling ran with ProfileOptions.Epoch > 0 (nil otherwise).
+	Series *obs.Series
 
 	// refProfile is the reference system's full profile (prefix +
 	// footprint-sized DRAM), computed once.
 	refProfile model.Profile
+	// log receives per-design-point events from Evaluate (may be nil).
+	log *obs.Logger
+}
+
+// ProfileOptions configures a single-workload profiling pass.
+type ProfileOptions struct {
+	// Scale is the design-space capacity divisor.
+	Scale uint64
+	// Dilution adds that many synthetic always-L1-hit references per
+	// traced reference (see Config.Dilution); 0 means none.
+	Dilution int
+	// Epoch samples the prefix simulation every Epoch references into the
+	// profile's Series. Zero disables sampling.
+	Epoch uint64
+	// Log receives profiling spans and later per-design-point events.
+	Log *obs.Logger
 }
 
 // ProfileWorkload runs w once through the shared SRAM prefix, recording the
@@ -112,7 +139,13 @@ type WorkloadProfile struct {
 // many synthetic always-L1-hit references per traced reference (see
 // Config.Dilution); pass 0 for none.
 func ProfileWorkload(w workload.Workload, scale uint64, dilution int) (*WorkloadProfile, error) {
-	prefix, err := design.BuildPrefix(scale)
+	return ProfileWorkloadOpts(w, ProfileOptions{Scale: scale, Dilution: dilution})
+}
+
+// ProfileWorkloadOpts is ProfileWorkload with observability options: epoch
+// sampling of the prefix stream and structured run logging.
+func ProfileWorkloadOpts(w workload.Workload, opt ProfileOptions) (*WorkloadProfile, error) {
+	prefix, err := design.BuildPrefix(opt.Scale)
 	if err != nil {
 		return nil, err
 	}
@@ -121,8 +154,25 @@ func ProfileWorkload(w workload.Workload, scale uint64, dilution int) (*Workload
 	if err != nil {
 		return nil, err
 	}
-	w.Run(h)
-	h.Flush()
+
+	var sampler *obs.EpochSampler
+	var sink trace.Sink = h
+	if opt.Epoch > 0 {
+		sampler = obs.NewEpochSampler(h, opt.Epoch)
+		sink = sampler
+	}
+	done := opt.Log.Span("workload_profile", obs.Fields{
+		"workload": w.Name(), "scale": opt.Scale, "dilution": opt.Dilution,
+	})
+	start := time.Now()
+	w.Run(sink)
+	if sampler != nil {
+		sampler.Flush()
+	} else {
+		h.Flush()
+		obs.CountRefs(h.Refs())
+	}
+	done(obs.ThroughputFields(h.Refs(), time.Since(start)))
 
 	wp := &WorkloadProfile{
 		Name:      w.Name(),
@@ -132,9 +182,13 @@ func ProfileWorkload(w workload.Workload, scale uint64, dilution int) (*Workload
 		Prefix:    h.Levels(),
 		Boundary:  rec.Refs(),
 		TotalRefs: h.Refs(),
+		log:       opt.Log,
 	}
-	if dilution > 0 {
-		extra := wp.TotalRefs * uint64(dilution)
+	if sampler != nil {
+		wp.Series = sampler.Series()
+	}
+	if opt.Dilution > 0 {
+		extra := wp.TotalRefs * uint64(opt.Dilution)
 		l1 := &wp.Prefix[0].Stats
 		l1.Loads += extra
 		l1.LoadHits += extra
@@ -168,15 +222,31 @@ func (wp *WorkloadProfile) ReferenceEvaluation() model.Evaluation {
 }
 
 // Evaluate replays the boundary stream into a fresh instance of the given
-// back end and applies the full model against the reference.
+// back end and applies the full model against the reference. When the
+// profile carries a run logger, each design point emits a "design_point"
+// event with its wall-clock time and boundary-replay throughput.
 func (wp *WorkloadProfile) Evaluate(b design.Backend) (model.Evaluation, error) {
+	var start time.Time
+	if wp.log != nil {
+		start = time.Now()
+	}
 	built, err := b.Build()
 	if err != nil {
 		return model.Evaluation{}, err
 	}
 	built.Replay(wp.Boundary)
 	p := wp.profileWith(built.Snapshot())
-	return model.Evaluate(b.Name, wp.Name, wp.refProfile, wp.RefTime, p)
+	ev, err := model.Evaluate(b.Name, wp.Name, wp.refProfile, wp.RefTime, p)
+	if wp.log != nil && err == nil {
+		f := obs.ThroughputFields(uint64(len(wp.Boundary)), time.Since(start))
+		f["workload"] = wp.Name
+		f["design"] = b.Name
+		f["norm_time"] = ev.NormTime
+		f["norm_energy"] = ev.NormEnergy
+		f["norm_edp"] = ev.NormEDP
+		wp.log.Event("design_point", f)
+	}
+	return ev, err
 }
 
 // EvaluateProfile applies the model to an analytically constructed back-end
@@ -197,16 +267,25 @@ type Suite struct {
 func NewSuite(cfg Config) (*Suite, error) {
 	cfg = cfg.withDefaults()
 	s := &Suite{Cfg: cfg}
+	done := cfg.Log.Span("suite_profile", obs.Fields{
+		"workloads": cfg.Workloads, "scale": cfg.Scale, "workload_scale": cfg.WorkloadScale,
+	})
+	var totalRefs uint64
+	start := time.Now()
 	for _, name := range cfg.Workloads {
 		w, err := catalog.New(name, workload.Options{Scale: cfg.WorkloadScale, Iters: cfg.Iters})
 		if err != nil {
 			return nil, err
 		}
-		wp, err := ProfileWorkload(w, cfg.Scale, cfg.Dilution)
+		wp, err := ProfileWorkloadOpts(w, ProfileOptions{
+			Scale: cfg.Scale, Dilution: cfg.Dilution, Epoch: cfg.Epoch, Log: cfg.Log,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("exp: profiling %s: %w", name, err)
 		}
+		totalRefs += wp.TotalRefs
 		s.Profiles = append(s.Profiles, wp)
 	}
+	done(obs.ThroughputFields(totalRefs, time.Since(start)))
 	return s, nil
 }

@@ -1,0 +1,47 @@
+// Package obs is the simulator's observability layer: epoch-sampled
+// time-series statistics, structured JSONL run logs, and profiling hooks.
+//
+// The paper's instrument is an online reference stream (PEBIL-instrumented
+// binaries feeding a cache simulator), but end-of-run aggregate counters
+// hide phase behaviour — the very thing that distinguishes Graph500's BFS
+// waves or Velvet's graph construction from the steady-state NPB kernels.
+// This package adds the standard observability layer for this class of
+// simulator:
+//
+//   - EpochSampler tees references into a hierarchy and, every N
+//     references, diffs the hierarchy's cumulative snapshot against the
+//     previous epoch, producing a per-level time-series of hit rate, MPKI,
+//     bytes moved, and dirty write-back traffic. The per-reference path is
+//     a counter increment and a forward — no allocation, no snapshot.
+//   - Logger emits structured JSON-lines events (run/workload/design-point
+//     boundaries, durations, refs/sec throughput, config echo, warnings)
+//     behind any io.Writer, so CLIs can log to stderr or a file.
+//   - Profile wires the standard -cpuprofile/-memprofile/-trace flags, and
+//     an expvar-published live counter tracks references processed.
+//
+// Everything is opt-in: with no sampler wrapped and a nil Logger, the
+// simulator hot path is untouched.
+package obs
+
+import (
+	"expvar"
+	"sync/atomic"
+)
+
+// liveRefs is the expvar-published live counter of simulated references
+// processed by epoch samplers and profiling passes. Attach an HTTP server
+// with the expvar handler (or read it in-process) to watch a long sweep
+// make progress.
+var liveRefs atomic.Uint64
+
+func init() {
+	expvar.Publish("hybridmem.refs_processed", expvar.Func(func() any {
+		return liveRefs.Load()
+	}))
+}
+
+// CountRefs adds n processed references to the live counter.
+func CountRefs(n uint64) { liveRefs.Add(n) }
+
+// RefsProcessed returns the live counter's current value.
+func RefsProcessed() uint64 { return liveRefs.Load() }

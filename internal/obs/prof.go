@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Profile wires the standard Go profiling outputs into a CLI: CPU profile,
+// heap profile, and execution trace. Register the flags, then bracket main
+// with Start/stop:
+//
+//	var prof obs.Profile
+//	prof.RegisterFlags(flag.CommandLine)
+//	flag.Parse()
+//	stop, err := prof.Start()
+//	if err != nil { ... }
+//	defer stop()
+type Profile struct {
+	// CPUPath, MemPath, and TracePath are output file names; empty
+	// disables that output.
+	CPUPath   string
+	MemPath   string
+	TracePath string
+}
+
+// RegisterFlags registers -cpuprofile, -memprofile, and -trace on fs.
+func (p *Profile) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&p.CPUPath, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&p.MemPath, "memprofile", "", "write a heap profile to this file at exit")
+	fs.StringVar(&p.TracePath, "trace", "", "write a runtime execution trace to this file")
+}
+
+// Enabled reports whether any profiling output was requested.
+func (p *Profile) Enabled() bool {
+	return p.CPUPath != "" || p.MemPath != "" || p.TracePath != ""
+}
+
+// Start begins the requested CPU profile and execution trace. The returned
+// stop function ends them and writes the heap profile; it is safe to call
+// exactly once (typically deferred). On error, anything already started is
+// shut down before returning.
+func (p *Profile) Start() (stop func() error, err error) {
+	var cpuF, traceF *os.File
+	cleanup := func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if traceF != nil {
+			trace.Stop()
+			traceF.Close()
+		}
+	}
+	if p.CPUPath != "" {
+		cpuF, err = os.Create(p.CPUPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			cpuF = nil
+			return nil, fmt.Errorf("obs: cpuprofile: %w", err)
+		}
+	}
+	if p.TracePath != "" {
+		traceF, err = os.Create(p.TracePath)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+		if err := trace.Start(traceF); err != nil {
+			traceF.Close()
+			traceF = nil
+			cleanup()
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+	}
+	return func() error {
+		cleanup()
+		if p.MemPath == "" {
+			return nil
+		}
+		f, err := os.Create(p.MemPath)
+		if err != nil {
+			return fmt.Errorf("obs: memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // materialize up-to-date heap statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("obs: memprofile: %w", err)
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestProfileFlagsRegistered(t *testing.T) {
+	var p Profile
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	p.RegisterFlags(fs)
+	if err := fs.Parse([]string{"-cpuprofile", "cpu.out", "-memprofile", "mem.out", "-trace", "t.out"}); err != nil {
+		t.Fatal(err)
+	}
+	if p.CPUPath != "cpu.out" || p.MemPath != "mem.out" || p.TracePath != "t.out" {
+		t.Fatalf("parsed %+v", p)
+	}
+	if !p.Enabled() {
+		t.Fatal("Enabled() = false with all outputs set")
+	}
+	if (&Profile{}).Enabled() {
+		t.Fatal("Enabled() = true with no outputs set")
+	}
+}
+
+func TestProfileStartWritesOutputs(t *testing.T) {
+	dir := t.TempDir()
+	p := Profile{
+		CPUPath:   filepath.Join(dir, "cpu.pprof"),
+		MemPath:   filepath.Join(dir, "mem.pprof"),
+		TracePath: filepath.Join(dir, "run.trace"),
+	}
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU and heap so the profiles have content.
+	s := make([]int, 0, 1024)
+	for i := 0; i < 1<<16; i++ {
+		s = append(s[:0], i)
+	}
+	_ = s
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{p.CPUPath, p.MemPath, p.TracePath} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("missing output %s: %v", path, err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("empty output %s", path)
+		}
+	}
+}
+
+func TestProfileStartNoOutputs(t *testing.T) {
+	var p Profile
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileStartBadPath(t *testing.T) {
+	p := Profile{CPUPath: filepath.Join(t.TempDir(), "no", "such", "dir", "cpu")}
+	if _, err := p.Start(); err == nil {
+		t.Fatal("expected error for uncreatable profile path")
+	}
+}

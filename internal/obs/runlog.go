@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Fields carries the free-form payload of one log event. encoding/json
+// marshals map keys in sorted order, so records are deterministic for a
+// given payload.
+type Fields map[string]any
+
+// Logger emits structured JSON-lines run events: one JSON object per line,
+// each carrying an RFC3339 timestamp ("ts"), an event name ("event"), and
+// the event's fields. A nil *Logger discards everything, so call sites need
+// no guards; a non-nil Logger is safe for concurrent use (the experiment
+// worker pool logs from many goroutines).
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	now func() time.Time
+}
+
+// NewLogger returns a Logger writing JSONL records to w (nil w yields a
+// discard-everything logger).
+func NewLogger(w io.Writer) *Logger {
+	if w == nil {
+		return nil
+	}
+	return &Logger{w: w, now: time.Now}
+}
+
+// Event writes one record. Reserved keys "ts" and "event" in fields are
+// overwritten. Marshal failures degrade to a plain error record rather than
+// aborting the run.
+func (l *Logger) Event(event string, fields Fields) {
+	if l == nil {
+		return
+	}
+	rec := make(Fields, len(fields)+2)
+	for k, v := range fields {
+		rec[k] = v
+	}
+	rec["ts"] = l.now().UTC().Format(time.RFC3339Nano)
+	rec["event"] = event
+	line, err := json.Marshal(rec)
+	if err != nil {
+		line = []byte(fmt.Sprintf(`{"ts":%q,"event":"log_error","error":%q}`,
+			l.now().UTC().Format(time.RFC3339Nano), err.Error()))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.w.Write(line)
+	io.WriteString(l.w, "\n")
+}
+
+// Warn emits a "warning" event with the given message.
+func (l *Logger) Warn(msg string, fields Fields) {
+	if l == nil {
+		return
+	}
+	rec := make(Fields, len(fields)+1)
+	for k, v := range fields {
+		rec[k] = v
+	}
+	rec["message"] = msg
+	l.Event("warning", rec)
+}
+
+// Span emits event+"_start" now and returns a closure that emits
+// event+"_end" carrying the elapsed wall-clock milliseconds plus any extra
+// fields. Start fields are repeated on the end event so each line is
+// self-contained (grep-able without joining).
+func (l *Logger) Span(event string, fields Fields) func(extra Fields) {
+	if l == nil {
+		return func(Fields) {}
+	}
+	l.Event(event+"_start", fields)
+	start := l.now()
+	return func(extra Fields) {
+		end := make(Fields, len(fields)+len(extra)+1)
+		for k, v := range fields {
+			end[k] = v
+		}
+		for k, v := range extra {
+			end[k] = v
+		}
+		end["wall_ms"] = float64(l.now().Sub(start)) / float64(time.Millisecond)
+		l.Event(event+"_end", end)
+	}
+}
+
+// ThroughputFields summarizes a processing interval as standard fields:
+// reference count, wall-clock milliseconds, and refs/sec.
+func ThroughputFields(refs uint64, elapsed time.Duration) Fields {
+	f := Fields{
+		"refs":    refs,
+		"wall_ms": float64(elapsed) / float64(time.Millisecond),
+	}
+	if elapsed > 0 {
+		f["refs_per_sec"] = float64(refs) / elapsed.Seconds()
+	}
+	return f
+}

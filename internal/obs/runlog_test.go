@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// decodeLines parses a JSONL buffer, failing the test on any invalid line.
+func decodeLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", line, err)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+func TestLoggerEmitsValidJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf)
+	l.Event("run_start", Fields{"workload": "CG", "scale": 32})
+	l.Warn("footprint exceeds capacity", Fields{"footprint": 123})
+	l.Event("run_end", nil)
+
+	recs := decodeLines(t, &buf)
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	if recs[0]["event"] != "run_start" || recs[0]["workload"] != "CG" {
+		t.Errorf("bad first record: %v", recs[0])
+	}
+	if _, err := time.Parse(time.RFC3339Nano, recs[0]["ts"].(string)); err != nil {
+		t.Errorf("bad timestamp: %v", err)
+	}
+	if recs[1]["event"] != "warning" || recs[1]["message"] != "footprint exceeds capacity" {
+		t.Errorf("bad warning record: %v", recs[1])
+	}
+	if recs[2]["event"] != "run_end" {
+		t.Errorf("bad final record: %v", recs[2])
+	}
+}
+
+func TestLoggerSpan(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf)
+	done := l.Span("workload_profile", Fields{"workload": "BT"})
+	done(Fields{"refs": 1000})
+
+	recs := decodeLines(t, &buf)
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[0]["event"] != "workload_profile_start" || recs[0]["workload"] != "BT" {
+		t.Errorf("bad span start: %v", recs[0])
+	}
+	end := recs[1]
+	if end["event"] != "workload_profile_end" || end["workload"] != "BT" || end["refs"] != float64(1000) {
+		t.Errorf("bad span end: %v", end)
+	}
+	if _, ok := end["wall_ms"].(float64); !ok {
+		t.Errorf("span end missing wall_ms: %v", end)
+	}
+}
+
+func TestNilLoggerIsSafe(t *testing.T) {
+	var l *Logger
+	l.Event("anything", Fields{"k": "v"})
+	l.Warn("msg", nil)
+	l.Span("span", nil)(Fields{"x": 1})
+	if NewLogger(nil) != nil {
+		t.Fatal("NewLogger(nil) should return nil (discard logger)")
+	}
+}
+
+// TestLoggerConcurrent verifies records never interleave mid-line under
+// concurrent use (the worker pool logs design points from many goroutines).
+func TestLoggerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.Event("design_point", Fields{"worker": g, "i": i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	recs := decodeLines(t, &buf)
+	if len(recs) != 400 {
+		t.Fatalf("got %d records, want 400", len(recs))
+	}
+}
+
+func TestThroughputFields(t *testing.T) {
+	f := ThroughputFields(2000, 2*time.Second)
+	if f["refs"] != uint64(2000) {
+		t.Errorf("refs = %v", f["refs"])
+	}
+	if f["refs_per_sec"] != float64(1000) {
+		t.Errorf("refs_per_sec = %v, want 1000", f["refs_per_sec"])
+	}
+	if f["wall_ms"] != float64(2000) {
+		t.Errorf("wall_ms = %v, want 2000", f["wall_ms"])
+	}
+	if _, ok := ThroughputFields(5, 0)["refs_per_sec"]; ok {
+		t.Error("zero elapsed must omit refs_per_sec")
+	}
+}

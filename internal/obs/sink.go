@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// OpenSink resolves a CLI observability destination flag. An empty path
+// returns a nil writer (output disabled); "-" selects def (the command's
+// conventional stream for that output); "stdout" and "stderr" name the
+// standard streams; anything else creates (truncates) a file. The returned
+// close function flushes and closes only real files — standard streams are
+// left open — and is always non-nil.
+func OpenSink(path string, def *os.File) (io.Writer, func() error, error) {
+	noop := func() error { return nil }
+	switch path {
+	case "":
+		return nil, noop, nil
+	case "-":
+		return def, noop, nil
+	case "stdout":
+		return os.Stdout, noop, nil
+	case "stderr":
+		return os.Stderr, noop, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, noop, fmt.Errorf("obs: open sink: %w", err)
+	}
+	return f, f.Close, nil
+}

@@ -1,0 +1,169 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"hybridmem/internal/obs"
+)
+
+// epochRamp is the shading ramp of the epoch heat-strips, light to dark.
+var epochRamp = []byte(" .:-=+*#%@")
+
+// WriteEpochCSV renders a series in wide per-epoch form: one row per epoch,
+// and for every level the epoch's hit rate, MPKI, load/store bytes, and
+// dirty write-backs — the per-run schema of `memsim -timeseries`.
+func WriteEpochCSV(w io.Writer, s *obs.Series) error {
+	t := &Table{Headers: []string{"epoch", "end_refs", "refs"}}
+	for _, name := range s.Levels {
+		t.Headers = append(t.Headers,
+			name+".hit_rate", name+".mpki", name+".load_bytes", name+".store_bytes", name+".writebacks")
+	}
+	for _, ep := range s.Epochs {
+		cells := []string{
+			fmt.Sprintf("%d", ep.Index),
+			fmt.Sprintf("%d", ep.EndRefs),
+			fmt.Sprintf("%d", ep.Refs),
+		}
+		for _, l := range ep.Levels {
+			cells = append(cells,
+				fmt.Sprintf("%.4f", l.HitRate),
+				fmt.Sprintf("%.3f", l.MPKI),
+				fmt.Sprintf("%d", l.LoadBytes),
+				fmt.Sprintf("%d", l.StoreBytes),
+				fmt.Sprintf("%d", l.WriteBacks))
+		}
+		t.AddRow(cells...)
+	}
+	return t.WriteCSV(w)
+}
+
+// WriteEpochLongCSV renders a series in long form — one row per (epoch,
+// level) with a leading name column — so multiple workloads' series can
+// share one file (`paperrepro`/`sweep -timeseries`). The header is written
+// only when header is true, letting callers concatenate series.
+func WriteEpochLongCSV(w io.Writer, name string, s *obs.Series, header bool) error {
+	var rows [][]string
+	if header {
+		rows = append(rows, []string{
+			"workload", "epoch", "end_refs", "refs", "level",
+			"hit_rate", "mpki", "load_bytes", "store_bytes", "writebacks"})
+	}
+	for _, ep := range s.Epochs {
+		for li, l := range ep.Levels {
+			rows = append(rows, []string{name,
+				fmt.Sprintf("%d", ep.Index),
+				fmt.Sprintf("%d", ep.EndRefs),
+				fmt.Sprintf("%d", ep.Refs),
+				s.Levels[li],
+				fmt.Sprintf("%.4f", l.HitRate),
+				fmt.Sprintf("%.3f", l.MPKI),
+				fmt.Sprintf("%d", l.LoadBytes),
+				fmt.Sprintf("%d", l.StoreBytes),
+				fmt.Sprintf("%d", l.WriteBacks)})
+		}
+	}
+	return writeCSVRows(w, rows)
+}
+
+// heatStripWidth caps the strip at a terminal-friendly width; longer series
+// are downsampled by averaging runs of adjacent epochs into one column.
+const heatStripWidth = 72
+
+// EpochHeatStrip renders the series as one ASCII heat-strip row per level:
+// cache levels shade by epoch miss rate, memory modules by epoch traffic
+// normalized to that module's busiest epoch. Darker means more pressure, so
+// application phase structure (BFS waves, V-cycles, assembly passes) reads
+// directly off the strip.
+func EpochHeatStrip(w io.Writer, s *obs.Series) error {
+	if len(s.Epochs) == 0 {
+		_, err := fmt.Fprintln(w, "epoch heat-strip: no epochs sampled")
+		return err
+	}
+	nameW := len("level")
+	for _, n := range s.Levels {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	perCol := 1
+	if len(s.Epochs) > heatStripWidth {
+		perCol = (len(s.Epochs) + heatStripWidth - 1) / heatStripWidth
+	}
+	if perCol > 1 {
+		fmt.Fprintf(w, "epoch heat-strip (%d epochs x %d refs, %d per column; dark = high miss rate / traffic)\n",
+			len(s.Epochs), s.EveryRefs, perCol)
+	} else {
+		fmt.Fprintf(w, "epoch heat-strip (%d epochs x %d refs; dark = high miss rate / traffic)\n",
+			len(s.Epochs), s.EveryRefs)
+	}
+	for li, name := range s.Levels {
+		metric := "miss"
+		values := make([]float64, len(s.Epochs))
+		if li < s.CacheLevels {
+			for ei, ep := range s.Epochs {
+				values[ei] = 1 - ep.Levels[li].HitRate
+			}
+		} else {
+			metric = "traf"
+			var max float64
+			for _, ep := range s.Epochs {
+				if b := float64(ep.Levels[li].TotalBytes()); b > max {
+					max = b
+				}
+			}
+			if max > 0 {
+				for ei, ep := range s.Epochs {
+					values[ei] = float64(ep.Levels[li].TotalBytes()) / max
+				}
+			}
+		}
+		lo, hi := values[0], values[0]
+		for _, v := range values {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		// Downsampled cache strips average miss rates per column; traffic
+		// strips take the column maximum so short bursts (a BFS wave, one
+		// V-cycle's write-back storm) stay visible instead of diluting.
+		var strip strings.Builder
+		for i := 0; i < len(values); i += perCol {
+			end := i + perCol
+			if end > len(values) {
+				end = len(values)
+			}
+			var v float64
+			if metric == "traf" {
+				for _, x := range values[i:end] {
+					if x > v {
+						v = x
+					}
+				}
+			} else {
+				var sum float64
+				for _, x := range values[i:end] {
+					sum += x
+				}
+				v = sum / float64(end-i)
+			}
+			idx := int(v * float64(len(epochRamp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(epochRamp) {
+				idx = len(epochRamp) - 1
+			}
+			strip.WriteByte(epochRamp[idx])
+		}
+		if _, err := fmt.Fprintf(w, "%-*s [%s] |%s| %.3f..%.3f\n",
+			nameW, name, metric, strip.String(), lo, hi); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"hybridmem/internal/obs"
+)
+
+// testSeries builds a two-level, three-epoch series with a clear phase
+// change in the middle epoch.
+func testSeries() *obs.Series {
+	return &obs.Series{
+		EveryRefs:   100,
+		Levels:      []string{"L1", "DRAM"},
+		CacheLevels: 1,
+		Epochs: []obs.Epoch{
+			{Index: 0, EndRefs: 100, Refs: 100, Levels: []obs.LevelSample{
+				{HitRate: 0.99, MPKI: 10, LoadBytes: 800, StoreBytes: 200, WriteBacks: 1},
+				{HitRate: 1, LoadBytes: 64, StoreBytes: 0},
+			}},
+			{Index: 1, EndRefs: 200, Refs: 100, Levels: []obs.LevelSample{
+				{HitRate: 0.50, MPKI: 500, LoadBytes: 900, StoreBytes: 100, WriteBacks: 40},
+				{HitRate: 1, LoadBytes: 3200, StoreBytes: 640},
+			}},
+			{Index: 2, EndRefs: 250, Refs: 50, Levels: []obs.LevelSample{
+				{HitRate: 0.98, MPKI: 20, LoadBytes: 400, StoreBytes: 100, WriteBacks: 2},
+				{HitRate: 1, LoadBytes: 128, StoreBytes: 64},
+			}},
+		},
+	}
+}
+
+func TestWriteEpochCSV(t *testing.T) {
+	var b strings.Builder
+	if err := WriteEpochCSV(&b, testSeries()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want header + 3 epochs:\n%s", len(lines), b.String())
+	}
+	header := lines[0]
+	for _, col := range []string{"epoch", "end_refs", "refs",
+		"L1.hit_rate", "L1.mpki", "L1.load_bytes", "L1.store_bytes", "L1.writebacks",
+		"DRAM.hit_rate"} {
+		if !strings.Contains(header, col) {
+			t.Errorf("header missing column %q: %s", col, header)
+		}
+	}
+	if !strings.HasPrefix(lines[1], "0,100,100,0.9900,10.000,800,200,1,") {
+		t.Errorf("bad first epoch row: %s", lines[1])
+	}
+	if !strings.HasPrefix(lines[3], "2,250,50,") {
+		t.Errorf("bad final epoch row: %s", lines[3])
+	}
+}
+
+func TestWriteEpochLongCSV(t *testing.T) {
+	var b strings.Builder
+	if err := WriteEpochLongCSV(&b, "Graph500", testSeries(), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEpochLongCSV(&b, "BT", testSeries(), false); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	// header + 2 workloads x 3 epochs x 2 levels
+	if len(lines) != 1+12 {
+		t.Fatalf("got %d lines, want 13:\n%s", len(lines), b.String())
+	}
+	if !strings.HasPrefix(lines[0], "workload,epoch,") {
+		t.Errorf("bad header: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "Graph500,0,100,100,L1,0.9900,") {
+		t.Errorf("bad first row: %s", lines[1])
+	}
+	if !strings.HasPrefix(lines[7], "BT,0,") {
+		t.Errorf("second series must start without a repeated header: %s", lines[7])
+	}
+	if strings.Count(b.String(), "workload,epoch") != 1 {
+		t.Error("header repeated")
+	}
+}
+
+func TestEpochHeatStrip(t *testing.T) {
+	var b strings.Builder
+	if err := EpochHeatStrip(&b, testSeries()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want title + 2 levels:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "L1") || !strings.Contains(lines[1], "[miss]") {
+		t.Errorf("cache strip should shade miss rate: %s", lines[1])
+	}
+	if !strings.Contains(lines[2], "DRAM") || !strings.Contains(lines[2], "[traf]") {
+		t.Errorf("memory strip should shade traffic: %s", lines[2])
+	}
+	// The middle epoch is the hot phase: its shade must be darker (later in
+	// the ramp) than the neighbours on both strips.
+	for _, line := range lines[1:] {
+		start := strings.Index(line, "|")
+		end := strings.LastIndex(line, "|")
+		strip := line[start+1 : end]
+		if len(strip) != 3 {
+			t.Fatalf("strip %q has %d cells, want 3", strip, len(strip))
+		}
+		ramp := " .:-=+*#%@"
+		if strings.IndexByte(ramp, strip[1]) <= strings.IndexByte(ramp, strip[0]) {
+			t.Errorf("hot phase not darker: %q", strip)
+		}
+	}
+}
+
+func TestEpochHeatStripDownsamplesLongSeries(t *testing.T) {
+	s := &obs.Series{EveryRefs: 10, Levels: []string{"L1"}, CacheLevels: 1}
+	for i := 0; i < 1000; i++ {
+		hr := 1.0
+		if i >= 500 {
+			hr = 0 // sharp phase change halfway through
+		}
+		s.Epochs = append(s.Epochs, obs.Epoch{
+			Index: i, EndRefs: uint64(10 * (i + 1)), Refs: 10,
+			Levels: []obs.LevelSample{{HitRate: hr}},
+		})
+	}
+	var b strings.Builder
+	if err := EpochHeatStrip(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	start := strings.Index(lines[1], "|")
+	end := strings.LastIndex(lines[1], "|")
+	strip := lines[1][start+1 : end]
+	if len(strip) > heatStripWidth {
+		t.Fatalf("strip has %d cells, want <= %d", len(strip), heatStripWidth)
+	}
+	// The phase change must survive downsampling: light first half, dark
+	// second half.
+	if strip[2] != ' ' || strip[len(strip)-3] != '@' {
+		t.Errorf("phase shading lost: %q", strip)
+	}
+}
+
+func TestEpochHeatStripEmpty(t *testing.T) {
+	var b strings.Builder
+	s := &obs.Series{EveryRefs: 100, Levels: []string{"L1"}, CacheLevels: 1}
+	if err := EpochHeatStrip(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no epochs") {
+		t.Errorf("empty series output: %q", b.String())
+	}
+}

@@ -63,7 +63,11 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 
 // WriteCSV renders the table as CSV.
 func (t *Table) WriteCSV(w io.Writer) error {
-	rows := append([][]string{t.Headers}, t.Rows...)
+	return writeCSVRows(w, append([][]string{t.Headers}, t.Rows...))
+}
+
+// writeCSVRows writes rows as CSV with minimal quoting.
+func writeCSVRows(w io.Writer, rows [][]string) error {
 	for _, row := range rows {
 		for i, c := range row {
 			if i > 0 {

@@ -37,6 +37,17 @@ type Ref struct {
 	Kind Kind
 }
 
+// Bytes returns the reference's accounted transfer size. A degenerate
+// zero-size reference (a bare address touch) is normalized to one byte so
+// every consumer — the hierarchy simulator, counting sinks, traffic models —
+// charges it identically.
+func (r Ref) Bytes() uint64 {
+	if r.Size == 0 {
+		return 1
+	}
+	return uint64(r.Size)
+}
+
 // Sink consumes a stream of memory references. Implementations include the
 // hierarchy simulator, counting sinks, and tees. Access must tolerate being
 // called many millions of times; implementations should avoid allocation.
@@ -85,10 +96,10 @@ type Counter struct {
 func (c *Counter) Access(r Ref) {
 	if r.Kind == Store {
 		c.Stores++
-		c.StoreBytes += uint64(r.Size)
+		c.StoreBytes += r.Bytes()
 	} else {
 		c.Loads++
-		c.LoadBytes += uint64(r.Size)
+		c.LoadBytes += r.Bytes()
 	}
 }
 

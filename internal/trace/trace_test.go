@@ -44,10 +44,10 @@ func TestCounterMatchesManualSum(t *testing.T) {
 			c.Access(r)
 			if r.Kind == Store {
 				stores++
-				sb += uint64(r.Size)
+				sb += r.Bytes()
 			} else {
 				loads++
-				lb += uint64(r.Size)
+				lb += r.Bytes()
 			}
 		}
 		return c.Loads == loads && c.Stores == stores &&
@@ -55,6 +55,24 @@ func TestCounterMatchesManualSum(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestRefBytesNormalizesZero pins the zero-size convention: a Size==0
+// reference is accounted as one byte everywhere (regression for the old
+// inconsistency where the hierarchy charged 1 byte but Counter charged 0).
+func TestRefBytesNormalizesZero(t *testing.T) {
+	if got := (Ref{Size: 0}).Bytes(); got != 1 {
+		t.Fatalf("zero-size Ref.Bytes() = %d, want 1", got)
+	}
+	if got := (Ref{Size: 8}).Bytes(); got != 8 {
+		t.Fatalf("Ref{Size:8}.Bytes() = %d, want 8", got)
+	}
+	var c Counter
+	c.Access(Ref{Addr: 64, Size: 0, Kind: Load})
+	c.Access(Ref{Addr: 128, Size: 0, Kind: Store})
+	if c.LoadBytes != 1 || c.StoreBytes != 1 {
+		t.Fatalf("zero-size refs counted %d/%d bytes, want 1/1", c.LoadBytes, c.StoreBytes)
 	}
 }
 
@@ -91,6 +109,32 @@ func TestTeeFlushPropagates(t *testing.T) {
 	tee.Flush()
 	if fr.flushes != 1 {
 		t.Fatalf("flushes = %d, want 1", fr.flushes)
+	}
+}
+
+// orderedFlusher records the order in which a shared log saw its flush.
+type orderedFlusher struct {
+	id  int
+	log *[]int
+}
+
+func (o *orderedFlusher) Access(Ref) {}
+func (o *orderedFlusher) Flush()     { *o.log = append(*o.log, o.id) }
+
+// TestTeeFlushOrdering verifies Tee.Flush drains sinks in registration
+// order — callers rely on it to flush upstream levels before downstream
+// consumers of their write-backs.
+func TestTeeFlushOrdering(t *testing.T) {
+	var log []int
+	tee := NewTee(
+		&orderedFlusher{id: 0, log: &log},
+		&Counter{}, // non-Flusher in the middle must be skipped, not abort
+		&orderedFlusher{id: 1, log: &log},
+		&orderedFlusher{id: 2, log: &log},
+	)
+	tee.Flush()
+	if len(log) != 3 || log[0] != 0 || log[1] != 1 || log[2] != 2 {
+		t.Fatalf("flush order = %v, want [0 1 2]", log)
 	}
 }
 
@@ -153,6 +197,40 @@ func TestRecorderReplay(t *testing.T) {
 	rec.Reset()
 	if rec.Len() != 0 {
 		t.Fatalf("Len() after Reset = %d", rec.Len())
+	}
+}
+
+// TestRecorderResetKeepsCapacity verifies Reset drops the refs but retains
+// the backing array, so per-design-point reuse does not reallocate.
+func TestRecorderResetKeepsCapacity(t *testing.T) {
+	rec := &Recorder{}
+	for i := 0; i < 1000; i++ {
+		rec.Access(Ref{Addr: uint64(i), Size: 8})
+	}
+	before := cap(rec.Refs)
+	rec.Reset()
+	if rec.Len() != 0 {
+		t.Fatalf("Len() after Reset = %d, want 0", rec.Len())
+	}
+	if got := cap(rec.Refs); got != before {
+		t.Fatalf("cap after Reset = %d, want %d (capacity must be retained)", got, before)
+	}
+	// The retained capacity must actually be reused.
+	rec.Access(Ref{Addr: 1, Size: 8})
+	if cap(rec.Refs) != before {
+		t.Fatalf("append after Reset reallocated: cap %d, want %d", cap(rec.Refs), before)
+	}
+}
+
+// TestSinkFuncAsFlushTarget verifies a SinkFunc (a non-Flusher) passes
+// through FlushIfPossible untouched and still receives accesses afterwards.
+func TestSinkFuncAsFlushTarget(t *testing.T) {
+	n := 0
+	s := SinkFunc(func(Ref) { n++ })
+	FlushIfPossible(s)
+	s.Access(Ref{Addr: 1, Size: 4})
+	if n != 1 {
+		t.Fatalf("SinkFunc saw %d accesses, want 1", n)
 	}
 }
 
