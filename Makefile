@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build vet test bench repro sweep clean race bench-json
+.PHONY: all build vet test bench repro sweep clean race bench-json doccheck
 
-all: build vet test
+all: build vet test doccheck
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,11 @@ bench-json:
 # Race-detector pass over the full test suite (~2 minutes).
 race:
 	$(GO) test -race ./...
+
+# Godoc hygiene: every package needs a package comment; the listed
+# packages additionally need doc comments on every exported symbol.
+doccheck:
+	$(GO) run ./cmd/doccheck -exported internal/serve,internal/exp,internal/obs,internal/design .
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 repro:

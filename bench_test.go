@@ -11,6 +11,7 @@
 package hybridmem
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -376,7 +377,7 @@ func BenchmarkAblationWorkers(b *testing.B) {
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := exp.RunJobs(jobs, workers); err != nil {
+				if _, err := exp.RunJobs(context.Background(), jobs, workers); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,0 +1,169 @@
+// Command doccheck enforces the repository's godoc conventions:
+//
+//   - every package (including main packages and tests' host packages)
+//     must carry a package comment;
+//   - within the packages named by -exported, every exported top-level
+//     declaration must carry a doc comment.
+//
+// Usage:
+//
+//	doccheck [-exported dir1,dir2,...] [root]
+//
+// It walks root (default ".") for directories containing Go files,
+// skipping vendor, testdata, and hidden directories. Exit status 1 and a
+// file:line listing on any violation; `make doccheck` wires it into CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	exported := flag.String("exported", "", "comma-separated directories whose exported symbols must all carry doc comments")
+	flag.Parse()
+	root := "."
+	if flag.NArg() > 0 {
+		root = flag.Arg(0)
+	}
+	strict := map[string]bool{}
+	for _, d := range strings.Split(*exported, ",") {
+		if d = strings.TrimSpace(d); d != "" {
+			strict[filepath.Clean(d)] = true
+		}
+	}
+
+	dirs, err := goDirs(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(1)
+	}
+	var problems []string
+	for _, dir := range dirs {
+		p, err := checkDir(dir, strict[filepath.Clean(dir)])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(1)
+		}
+		problems = append(problems, p...)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		fmt.Fprintf(os.Stderr, "doccheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// goDirs lists directories under root that contain non-test Go files,
+// skipping hidden, vendor, and testdata trees.
+func goDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "vendor" || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			seen[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(seen))
+	for d := range seen {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// checkDir parses one directory's non-test files and reports missing
+// package comments and (in strict mode) missing exported doc comments.
+func checkDir(dir string, strictExported bool) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", dir, err)
+	}
+	var problems []string
+	for name, pkg := range pkgs {
+		hasDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 0 {
+				hasDoc = true
+				break
+			}
+		}
+		if !hasDoc {
+			problems = append(problems, fmt.Sprintf("%s: package %s has no package comment", dir, name))
+		}
+		if !strictExported {
+			continue
+		}
+		for fname, f := range pkg.Files {
+			problems = append(problems, checkExported(fset, fname, f)...)
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// checkExported flags exported top-level declarations without doc
+// comments. Specs inside a documented const/var/type block inherit the
+// block's comment; undocumented blocks require per-spec comments.
+func checkExported(fset *token.FileSet, fname string, f *ast.File) []string {
+	var problems []string
+	flag := func(pos token.Pos, kind, name string) {
+		problems = append(problems, fmt.Sprintf("%s: exported %s %s has no doc comment",
+			fset.Position(pos), kind, name))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Name.IsExported() && d.Doc == nil {
+				flag(d.Pos(), "function", d.Name.Name)
+			}
+		case *ast.GenDecl:
+			blockDocumented := d.Doc != nil
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && !blockDocumented && s.Doc == nil {
+						flag(s.Pos(), "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					if blockDocumented || s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							flag(n.Pos(), "value", n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return problems
+}

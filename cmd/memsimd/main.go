@@ -1,0 +1,142 @@
+// Command memsimd serves design-point evaluations over HTTP: the
+// simulation-as-a-service front end of the exp harness (see internal/serve
+// and the "Serving" section of README.md).
+//
+// Usage:
+//
+//	memsimd                          # listen on :8080
+//	memsimd -addr 127.0.0.1:9090     # custom listen address
+//	memsimd -warm Graph500           # profile one workload before readying
+//	memsimd -runlog -                # JSONL request/profiling events to stderr
+//
+// Evaluate a design point:
+//
+//	curl -s localhost:8080/v1/evaluate -d '{"design":"4LC/EH4","workload":"Graph500"}'
+//
+// Identical requests are answered from an LRU cache (X-Memsimd-Cache: hit)
+// without re-replaying the boundary stream; /debug/vars exports request,
+// cache-hit, and replay-seconds-saved counters. SIGINT/SIGTERM trigger a
+// graceful drain of in-flight evaluations.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hybridmem/internal/obs"
+	"hybridmem/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		cacheN    = flag.Int("cache", serve.DefaultCacheEntries, "result-cache entries (LRU)")
+		profiles  = flag.Int("profiles", serve.DefaultMaxProfiles, "cached workload profiles (LRU; each holds a boundary stream)")
+		inflight  = flag.Int("max-inflight", 0, "max concurrently executing evaluations (0 = GOMAXPROCS); excess requests get 429")
+		timeout   = flag.Duration("timeout", serve.DefaultTimeout, "per-request evaluation deadline (negative = none)")
+		warm      = flag.String("warm", "", "workload name to profile before reporting ready (optional)")
+		warmScale = flag.Uint64("warm-scale", 0, "design scale for the warmup profile (0 = default)")
+		runlog    = flag.String("runlog", "", `write structured JSONL run events here ("-" = stderr)`)
+		drainFor  = flag.Duration("drain", 30*time.Second, "max time to wait for in-flight evaluations on shutdown")
+	)
+	var prof obs.Profile
+	prof.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+
+	stopProf, err := prof.Start()
+	exitOn(err)
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "memsimd:", err)
+		}
+	}()
+
+	logw, closeLog, err := obs.OpenSink(*runlog, os.Stderr)
+	exitOn(err)
+	defer closeLog()
+	logger := obs.NewLogger(logw)
+
+	ev := serve.NewEvaluator(*profiles, logger)
+	srv := serve.New(serve.Config{
+		Runner:       ev,
+		CacheEntries: *cacheN,
+		MaxInFlight:  *inflight,
+		Timeout:      *timeout,
+		Log:          logger,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	logger.Event("serve_start", obs.Fields{
+		"addr": *addr, "cache": *cacheN, "max_inflight": *inflight,
+		"timeout_ms": timeout.Milliseconds(),
+	})
+	fmt.Fprintf(os.Stderr, "memsimd: listening on %s\n", *addr)
+
+	if *warm != "" {
+		srv.SetReady(false)
+		go func() {
+			start := time.Now()
+			req := serve.EvalRequest{
+				Design:   serve.DesignSpec{Family: "reference"},
+				Workload: *warm,
+				Scale:    *warmScale,
+			}
+			if err := warmup(ev, &req); err != nil {
+				logger.Warn("warmup failed", obs.Fields{"workload": *warm, "error": err.Error()})
+			} else {
+				logger.Event("warmup_done", obs.Fields{
+					"workload": *warm,
+					"wall_ms":  float64(time.Since(start)) / float64(time.Millisecond),
+				})
+			}
+			srv.SetReady(true)
+		}()
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain gracefully.
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		exitOn(err)
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "memsimd: %v, draining (up to %s)...\n", sig, *drainFor)
+		srv.BeginShutdown()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "memsimd: drain:", err)
+		}
+		if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "memsimd: shutdown:", err)
+		}
+		logger.Event("serve_end", obs.Fields{"requests": obs.NewCounter("memsimd.requests_total").Value()})
+	}
+}
+
+// warmup profiles the warm flag's workload through the evaluator so the
+// first real request hits a warm profile cache.
+func warmup(ev *serve.Evaluator, req *serve.EvalRequest) error {
+	if apiErr := req.Normalize(); apiErr != nil {
+		return apiErr
+	}
+	_, err := ev.Evaluate(context.Background(), req)
+	return err
+}
+
+// exitOn aborts the process on startup errors.
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memsimd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sync"
@@ -158,7 +159,7 @@ func TestRunJobsOrderAndParallel(t *testing.T) {
 			wantDesigns = append(wantDesigns, b.Name)
 		}
 	}
-	results, err := RunJobs(jobs, 4)
+	results, err := RunJobs(context.Background(), jobs, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,13 +183,51 @@ func TestRunJobsPropagatesErrors(t *testing.T) {
 		Caches: []design.LevelSpec{{Name: "x", Tech: tech.EDRAM, Size: 100, Line: 64, Assoc: 1}}, // size not multiple of line
 		Memory: design.MemorySpec{Name: "m", Tech: tech.DRAM, Capacity: 1},
 	}
-	_, err := RunJobs([]Job{{WP: s.Profiles[0], B: bad}}, 2)
+	_, err := RunJobs(context.Background(), []Job{{WP: s.Profiles[0], B: bad}}, 2)
 	if err == nil {
 		t.Fatal("broken backend should surface an error")
 	}
 	var target error = err
 	if target == nil || errors.Is(err, nil) {
 		t.Fatal("unreachable")
+	}
+}
+
+func TestRunJobsHonorsCancellation(t *testing.T) {
+	s := suite(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before any dispatch
+	var jobs []Job
+	for _, cfg := range design.NConfigs {
+		for _, wp := range s.Profiles {
+			jobs = append(jobs, Job{WP: wp, B: design.NMM(cfg, tech.PCM, s.Cfg.Scale, wp.Footprint)})
+		}
+	}
+	if _, err := RunJobs(ctx, jobs, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunJobs on cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+func TestEvaluateCtxAbortsReplay(t *testing.T) {
+	s := suite(t)
+	wp := s.Profiles[0]
+	b := design.NMM(design.NConfigs[0], tech.PCM, s.Cfg.Scale, wp.Footprint)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := wp.EvaluateCtx(ctx, b); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EvaluateCtx on cancelled ctx = %v, want context.Canceled", err)
+	}
+	// A live context evaluates identically to the ctx-free path.
+	e1, err := wp.EvaluateCtx(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := wp.Evaluate(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Fatalf("EvaluateCtx diverges from Evaluate:\n%+v\n%+v", e1, e2)
 	}
 }
 

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"sync"
 
 	"hybridmem/internal/design"
@@ -17,7 +18,12 @@ type Job struct {
 // evaluations in job order. Each worker builds its own back-end instances,
 // so no simulator state is shared; the recorded boundary streams are only
 // read. The first error cancels the run.
-func RunJobs(jobs []Job, workers int) ([]model.Evaluation, error) {
+//
+// Cancelling ctx stops dispatching new jobs and aborts in-flight boundary
+// replays at the next replay chunk boundary (see EvaluateCtx); RunJobs then
+// returns ctx.Err(). CLI sweeps that have no cancellation story pass
+// context.Background().
+func RunJobs(ctx context.Context, jobs []Job, workers int) ([]model.Evaluation, error) {
 	if workers <= 0 {
 		workers = 1
 	}
@@ -33,7 +39,7 @@ func RunJobs(jobs []Job, workers int) ([]model.Evaluation, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
-				ev, err := jobs[i].WP.Evaluate(jobs[i].B)
+				ev, err := jobs[i].WP.EvaluateCtx(ctx, jobs[i].B)
 				if err != nil {
 					errCh <- err
 					return
@@ -46,6 +52,8 @@ func RunJobs(jobs []Job, workers int) ([]model.Evaluation, error) {
 feed:
 	for i := range jobs {
 		select {
+		case <-ctx.Done():
+			break feed
 		case err := <-errCh:
 			errCh <- err
 			break feed
@@ -58,6 +66,9 @@ feed:
 	case err := <-errCh:
 		return nil, err
 	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return results, nil
 }

@@ -11,6 +11,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -226,6 +227,20 @@ func (wp *WorkloadProfile) ReferenceEvaluation() model.Evaluation {
 // profile carries a run logger, each design point emits a "design_point"
 // event with its wall-clock time and boundary-replay throughput.
 func (wp *WorkloadProfile) Evaluate(b design.Backend) (model.Evaluation, error) {
+	return wp.EvaluateCtx(context.Background(), b)
+}
+
+// replayChunk is the number of boundary references replayed between
+// cancellation checks in EvaluateCtx. Large enough that the per-chunk
+// ctx.Err() call is invisible in replay throughput, small enough that a
+// cancelled request aborts within a few milliseconds of simulated work.
+const replayChunk = 1 << 16
+
+// EvaluateCtx is Evaluate with cooperative cancellation: the boundary
+// replay proceeds in replayChunk-sized slices and aborts with ctx.Err()
+// as soon as the context is done, so server request timeouts genuinely
+// stop in-flight simulation work instead of letting it run to completion.
+func (wp *WorkloadProfile) EvaluateCtx(ctx context.Context, b design.Backend) (model.Evaluation, error) {
 	var start time.Time
 	if wp.log != nil {
 		start = time.Now()
@@ -234,7 +249,19 @@ func (wp *WorkloadProfile) Evaluate(b design.Backend) (model.Evaluation, error) 
 	if err != nil {
 		return model.Evaluation{}, err
 	}
-	built.Replay(wp.Boundary)
+	for lo := 0; lo < len(wp.Boundary); lo += replayChunk {
+		if err := ctx.Err(); err != nil {
+			return model.Evaluation{}, err
+		}
+		hi := lo + replayChunk
+		if hi > len(wp.Boundary) {
+			hi = len(wp.Boundary)
+		}
+		for _, r := range wp.Boundary[lo:hi] {
+			built.Access(r)
+		}
+	}
+	built.Flush()
 	p := wp.profileWith(built.Snapshot())
 	ev, err := model.Evaluate(b.Name, wp.Name, wp.refProfile, wp.RefTime, p)
 	if wp.log != nil && err == nil {

@@ -96,16 +96,19 @@ type sharedPort struct {
 	count  uint64
 }
 
+// Load forwards a load into the shared hierarchy at the core's offset.
 func (p *sharedPort) Load(addr, size uint64) {
 	p.count++
 	p.shared.Access(trace.Ref{Addr: addr + p.offset, Size: uint32(size), Kind: trace.Load})
 }
 
+// Store forwards a store into the shared hierarchy at the core's offset.
 func (p *sharedPort) Store(addr, size uint64) {
 	p.count++
 	p.shared.Access(trace.Ref{Addr: addr + p.offset, Size: uint32(size), Kind: trace.Store})
 }
 
+// Modules reports no private modules; the shared hierarchy owns all stats.
 func (p *sharedPort) Modules() []core.LevelStats { return nil }
 
 // Run simulates the given workloads sharing one chip. Each workload runs on

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"expvar"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNewCounterIsIdempotentPerName(t *testing.T) {
+	a := NewCounter("test.metrics.counter")
+	b := NewCounter("test.metrics.counter")
+	if a != b {
+		t.Fatal("same name must return the same counter")
+	}
+	a.Add(3)
+	b.Add(4)
+	if a.Value() != 7 {
+		t.Fatalf("Value = %d, want 7", a.Value())
+	}
+	v := expvar.Get("test.metrics.counter")
+	if v == nil {
+		t.Fatal("counter not published to expvar")
+	}
+	if got := v.String(); !strings.Contains(got, "7") {
+		t.Fatalf("expvar value = %s", got)
+	}
+}
+
+func TestCounterConcurrentAdd(t *testing.T) {
+	c := NewCounter("test.metrics.concurrent")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("Value = %d, want 8000", c.Value())
+	}
+}
+
+func TestPublishFuncIdempotent(t *testing.T) {
+	PublishFunc("test.metrics.ratio", func() any { return 0.5 })
+	PublishFunc("test.metrics.ratio", func() any { return 0.9 }) // must not panic
+	v := expvar.Get("test.metrics.ratio")
+	if v == nil {
+		t.Fatal("func not published")
+	}
+	if got := v.String(); got != "0.5" {
+		t.Fatalf("first publish should win, got %s", got)
+	}
+}

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// lruCache is a bounded, mutex-guarded LRU map from canonical request keys
+// to finished evaluation results. Hits promote; inserts beyond the bound
+// evict the least recently used entry.
+type lruCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List               // front = most recent; values are *lruEntry
+	items map[string]*list.Element // key -> element in order
+}
+
+// lruEntry is one cached result plus the miss cost it saves on each hit.
+type lruEntry struct {
+	key string
+	res *EvalResult
+}
+
+// newLRUCache builds a cache bounded to max entries (max <= 0 means 1).
+func newLRUCache(max int) *lruCache {
+	if max <= 0 {
+		max = 1
+	}
+	return &lruCache{max: max, order: list.New(), items: map[string]*list.Element{}}
+}
+
+// Get returns the cached result for key, promoting it.
+func (c *lruCache) Get(key string) (*EvalResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).res, true
+}
+
+// Add inserts (or refreshes) key, evicting the LRU entry when full.
+func (c *lruCache) Add(key string, res *EvalResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, res: res})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Len returns the current entry count.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// flightGroup collapses concurrent duplicate work: the first caller of a
+// key becomes the leader and runs fn; followers block until the leader
+// finishes and share its result. Unlike golang.org/x/sync/singleflight
+// (not vendored here), followers stop waiting when their own context is
+// done — the leader's work continues and still populates the cache.
+type flightGroup[T any] struct {
+	mu      sync.Mutex
+	flights map[string]*flight[T]
+}
+
+// flight is one in-progress computation.
+type flight[T any] struct {
+	done chan struct{}
+	res  T
+	err  error
+}
+
+// newFlightGroup builds an empty group.
+func newFlightGroup[T any]() *flightGroup[T] {
+	return &flightGroup[T]{flights: map[string]*flight[T]{}}
+}
+
+// Do runs fn for key unless an identical flight is already in progress, in
+// which case it waits for that flight instead. The boolean reports whether
+// this caller led the flight (ran fn itself). When ctx ends before the
+// shared flight does, Do returns ctx.Err() while the leader keeps running.
+func (g *flightGroup[T]) Do(ctx context.Context, key string, fn func() (T, error)) (res T, led bool, err error) {
+	g.mu.Lock()
+	if f, ok := g.flights[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.res, false, f.err
+		case <-ctx.Done():
+			var zero T
+			return zero, false, ctx.Err()
+		}
+	}
+	f := &flight[T]{done: make(chan struct{})}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	f.res, f.err = fn()
+	g.mu.Lock()
+	delete(g.flights, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.res, true, f.err
+}

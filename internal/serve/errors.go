@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Error codes returned in the "error.code" field of failed responses.
+// Clients should branch on these rather than on messages or HTTP status.
+const (
+	// CodeInvalidRequest marks malformed JSON or out-of-range fields.
+	CodeInvalidRequest = "invalid_request"
+	// CodeUnknownWorkload marks a workload name not in the catalog.
+	CodeUnknownWorkload = "unknown_workload"
+	// CodeUnknownDesign marks an unknown design family or table row.
+	CodeUnknownDesign = "unknown_design"
+	// CodeUnknownTech marks an unknown memory technology name.
+	CodeUnknownTech = "unknown_tech"
+	// CodeOverloaded means the in-flight evaluation limit is reached;
+	// retry after the Retry-After header's delay.
+	CodeOverloaded = "overloaded"
+	// CodeTimeout means the per-request deadline expired; the in-flight
+	// replay was aborted.
+	CodeTimeout = "timeout"
+	// CodeCanceled means the client went away mid-evaluation.
+	CodeCanceled = "canceled"
+	// CodeShuttingDown means the server is draining and accepts no new
+	// evaluations.
+	CodeShuttingDown = "shutting_down"
+	// CodeInternal marks unexpected evaluation failures.
+	CodeInternal = "internal"
+)
+
+// APIError is the typed error body of every non-200 response:
+//
+//	{"error": {"code": "invalid_request", "field": "scale", "message": "..."}}
+type APIError struct {
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Field names the offending request field, when one is identifiable.
+	Field string `json:"field,omitempty"`
+	// Message is a human-readable explanation.
+	Message string `json:"message"`
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	if e.Field != "" {
+		return e.Code + " (" + e.Field + "): " + e.Message
+	}
+	return e.Code + ": " + e.Message
+}
+
+// errField builds an APIError pinned to one request field.
+func errField(code, field, msg string) *APIError {
+	return &APIError{Code: code, Field: field, Message: msg}
+}
+
+// httpStatus maps an error code to its HTTP status.
+func httpStatus(code string) int {
+	switch code {
+	case CodeInvalidRequest, CodeUnknownTech:
+		return http.StatusBadRequest
+	case CodeUnknownWorkload, CodeUnknownDesign:
+		return http.StatusNotFound
+	case CodeOverloaded:
+		return http.StatusTooManyRequests
+	case CodeTimeout, CodeCanceled:
+		return http.StatusGatewayTimeout
+	case CodeShuttingDown:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeError emits the typed error JSON with its mapped status.
+func writeError(w http.ResponseWriter, apiErr *APIError) {
+	w.Header().Set("Content-Type", "application/json")
+	if apiErr.Code == CodeOverloaded {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(httpStatus(apiErr.Code))
+	json.NewEncoder(w).Encode(struct {
+		Error *APIError `json:"error"`
+	}{apiErr})
+}

@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybridmem/internal/exp"
+	"hybridmem/internal/model"
+	"hybridmem/internal/obs"
+	"hybridmem/internal/workload"
+	"hybridmem/internal/workload/catalog"
+)
+
+// EvalResult is the outcome of one design-point evaluation — the value the
+// server caches and returns. Metrics always carries the full metric set;
+// the handler filters it down to the request's metric selection at
+// response time, so differently filtered requests share one cache entry.
+type EvalResult struct {
+	// Design is the resolved design-point label (e.g. "4LC/EH4/eDRAM").
+	Design string `json:"design"`
+	// Workload names the evaluated workload.
+	Workload string `json:"workload"`
+	// Scale and WorkloadScale echo the resolved co-scaling divisors.
+	Scale         uint64 `json:"scale"`
+	WorkloadScale uint64 `json:"workload_scale"`
+	// Key is the canonical cache key this result is stored under.
+	Key string `json:"key"`
+	// Metrics maps metric names (MetricNames) to values.
+	Metrics map[string]float64 `json:"metrics"`
+	// ReplayRefs is how many boundary references the evaluation replayed
+	// (zero when answered from a cached reference evaluation).
+	ReplayRefs uint64 `json:"replay_refs"`
+	// EvalMS is the wall-clock cost of computing this result on its
+	// cache miss; every later hit reports it as replay time saved.
+	EvalMS float64 `json:"eval_ms"`
+}
+
+// DefaultMaxProfiles bounds the evaluator's workload-profile cache. A
+// profile holds a recorded boundary stream (tens of MB at paper scale), so
+// the bound is deliberately small; profiles evict LRU-first.
+const DefaultMaxProfiles = 16
+
+// Evaluator turns normalized evaluation requests into results on top of
+// the exp harness. It caches workload profiles — the expensive full-stream
+// prefix simulation — across requests, deduplicates concurrent profiling
+// of the same workload, and counts boundary replays so callers can observe
+// exactly how much simulation work each request triggered.
+//
+// Cancellation: the boundary replay honors ctx (see exp.EvaluateCtx). The
+// profiling pass itself runs a workload kernel to completion and is not
+// interruptible; its cost is paid at most once per (workload, parameters)
+// tuple and is shared by all waiters.
+type Evaluator struct {
+	// Log receives profiling and design-point events (may be nil).
+	Log *obs.Logger
+
+	maxProfiles int
+	mu          sync.Mutex
+	profiles    map[string]*exp.WorkloadProfile
+	profileUse  map[string]uint64 // LRU clock per profile key
+	useClock    uint64
+	profFlight  *flightGroup[*exp.WorkloadProfile]
+
+	replays      atomic.Uint64
+	replayedRefs atomic.Uint64
+	profilesRun  atomic.Uint64
+}
+
+// NewEvaluator builds an evaluator bounded to maxProfiles cached workload
+// profiles (<=0 selects DefaultMaxProfiles).
+func NewEvaluator(maxProfiles int, log *obs.Logger) *Evaluator {
+	if maxProfiles <= 0 {
+		maxProfiles = DefaultMaxProfiles
+	}
+	return &Evaluator{
+		Log:         log,
+		maxProfiles: maxProfiles,
+		profiles:    map[string]*exp.WorkloadProfile{},
+		profileUse:  map[string]uint64{},
+		profFlight:  newFlightGroup[*exp.WorkloadProfile](),
+	}
+}
+
+// Replays returns how many boundary replays this evaluator has performed —
+// the instrumentation behind cache-effectiveness assertions: a request
+// answered from the result cache leaves this counter untouched.
+func (e *Evaluator) Replays() uint64 { return e.replays.Load() }
+
+// ReplayedRefs returns the cumulative number of boundary references
+// replayed across all evaluations.
+func (e *Evaluator) ReplayedRefs() uint64 { return e.replayedRefs.Load() }
+
+// ProfilesRun returns how many workload profiling passes have executed.
+func (e *Evaluator) ProfilesRun() uint64 { return e.profilesRun.Load() }
+
+// profileKey canonicalizes the profile-cache key: every request field that
+// changes the profiled stream.
+func profileKey(r *EvalRequest) string {
+	return fmt.Sprintf("%s|s%d|w%d|i%d|d%d", r.Workload, r.Scale, r.WorkloadScale, r.Iters, r.Dilution)
+}
+
+// profile returns the cached profile for the request's workload tuple,
+// profiling it once (deduplicated across concurrent requests) on a miss.
+func (e *Evaluator) profile(ctx context.Context, r *EvalRequest) (*exp.WorkloadProfile, error) {
+	key := profileKey(r)
+	e.mu.Lock()
+	if wp, ok := e.profiles[key]; ok {
+		e.useClock++
+		e.profileUse[key] = e.useClock
+		e.mu.Unlock()
+		return wp, nil
+	}
+	e.mu.Unlock()
+
+	wp, _, err := e.profFlight.Do(ctx, key, func() (*exp.WorkloadProfile, error) {
+		w, err := catalog.New(r.Workload, workload.Options{Scale: r.WorkloadScale, Iters: r.Iters})
+		if err != nil {
+			return nil, err
+		}
+		dilution := r.Dilution
+		switch dilution {
+		case 0:
+			dilution = exp.DefaultDilution
+		case -1:
+			dilution = 0
+		}
+		wp, err := exp.ProfileWorkloadOpts(w, exp.ProfileOptions{
+			Scale: r.Scale, Dilution: dilution, Log: e.Log,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.profilesRun.Add(1)
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		e.useClock++
+		e.profiles[key] = wp
+		e.profileUse[key] = e.useClock
+		for len(e.profiles) > e.maxProfiles {
+			var oldestKey string
+			var oldest uint64
+			for k, use := range e.profileUse {
+				if oldestKey == "" || use < oldest {
+					oldestKey, oldest = k, use
+				}
+			}
+			delete(e.profiles, oldestKey)
+			delete(e.profileUse, oldestKey)
+		}
+		return wp, nil
+	})
+	return wp, err
+}
+
+// Evaluate computes the result for a normalized request: profile (or reuse
+// the profiled) workload, replay its boundary stream through the requested
+// back end, and apply the paper's models. The returned metrics are exactly
+// what exp/paperrepro would compute for the same configuration.
+func (e *Evaluator) Evaluate(ctx context.Context, r *EvalRequest) (*EvalResult, error) {
+	start := time.Now()
+	wp, err := e.profile(ctx, r)
+	if err != nil {
+		return nil, err
+	}
+	b, needsReplay, err := r.Design.backend(r.Scale, wp.Footprint)
+	if err != nil {
+		return nil, err
+	}
+	var ev model.Evaluation
+	var replayed uint64
+	if needsReplay {
+		ev, err = wp.EvaluateCtx(ctx, b)
+		if err != nil {
+			return nil, err
+		}
+		replayed = uint64(len(wp.Boundary))
+		e.replays.Add(1)
+		e.replayedRefs.Add(replayed)
+	} else {
+		ev = wp.ReferenceEvaluation()
+	}
+	return &EvalResult{
+		Design:        ev.Design,
+		Workload:      r.Workload,
+		Scale:         r.Scale,
+		WorkloadScale: r.WorkloadScale,
+		Key:           r.Key(),
+		Metrics: map[string]float64{
+			"amat_ns":     ev.AMATNanos,
+			"runtime_sec": ev.RuntimeSec,
+			"dynamic_j":   ev.DynamicJ,
+			"static_j":    ev.StaticJ,
+			"total_j":     ev.TotalJ,
+			"edp":         ev.EDP,
+			"norm_time":   ev.NormTime,
+			"norm_energy": ev.NormEnergy,
+			"norm_edp":    ev.NormEDP,
+		},
+		ReplayRefs: replayed,
+		EvalMS:     float64(time.Since(start)) / float64(time.Millisecond),
+	}, nil
+}

@@ -1,0 +1,438 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"hybridmem/internal/design"
+	"hybridmem/internal/tech"
+	"hybridmem/internal/workload/catalog"
+)
+
+// EvalRequest is the body of POST /v1/evaluate: one design point to
+// evaluate against one workload. Zero-valued knobs resolve to the same
+// defaults the CLI tools use (design.DefaultScale, co-scaled workloads,
+// default dilution), so a minimal request needs only a design and a
+// workload.
+type EvalRequest struct {
+	// Design selects the hierarchy below the shared SRAM prefix. It
+	// accepts either a path string ("4LC/EH4", "NMM/N6/PCM",
+	// "4LCNVM/EH4/eDRAM/PCM", "reference") or a structured object; see
+	// DesignSpec.
+	Design DesignSpec `json:"design"`
+	// Workload names a catalog workload (Table 4 names plus LU and
+	// STREAM).
+	Workload string `json:"workload"`
+	// Scale is the design-space capacity co-scaling divisor (power of
+	// two in [1,64]; 0 = design.DefaultScale).
+	Scale uint64 `json:"scale,omitempty"`
+	// WorkloadScale divides workload footprints (0 = Scale, the paper's
+	// co-scaling; larger values shrink the simulation for smoke tests).
+	WorkloadScale uint64 `json:"workload_scale,omitempty"`
+	// Iters overrides workload iteration counts (0 = workload default).
+	Iters int `json:"iters,omitempty"`
+	// Dilution is the synthetic L1-hit dilution factor (0 = default,
+	// -1 = disabled; see exp.Config.Dilution).
+	Dilution int `json:"dilution,omitempty"`
+	// Metrics filters which metrics appear in the response (empty =
+	// all). Metric names: see MetricNames.
+	Metrics []string `json:"metrics,omitempty"`
+}
+
+// DesignSpec names a design point: a family plus its configuration-table
+// row and technology choices, or a fully custom hierarchy. In JSON it may
+// be given as a "family/config[/llc][/nvm]" path string instead of an
+// object.
+type DesignSpec struct {
+	// Family is "reference", "4LC", "NMM", "4LCNVM", or "custom".
+	Family string `json:"family"`
+	// Config is the configuration-table row: EH1-EH8 for 4LC/4LCNVM
+	// (Table 2), N1-N9 for NMM (Table 3).
+	Config string `json:"config,omitempty"`
+	// LLC is the fourth-level-cache technology for 4LC and 4LCNVM
+	// (eDRAM or HMC; empty = eDRAM).
+	LLC string `json:"llc,omitempty"`
+	// NVM is the main-memory technology for NMM and 4LCNVM (PCM,
+	// STTRAM, or FeRAM; empty = PCM).
+	NVM string `json:"nvm,omitempty"`
+	// Custom describes an arbitrary hierarchy (Family "custom").
+	Custom *CustomSpec `json:"custom,omitempty"`
+}
+
+// CustomSpec is a user-defined back end: zero or more cache levels below
+// the shared SRAM prefix, then a uniform main memory.
+type CustomSpec struct {
+	// Name labels the design in responses (empty = "custom").
+	Name string `json:"name,omitempty"`
+	// Caches are instantiated top-down between L3 and memory.
+	Caches []CustomLevel `json:"caches,omitempty"`
+	// Memory is the terminal module.
+	Memory CustomMemory `json:"memory"`
+}
+
+// CustomLevel is one cache level of a custom hierarchy.
+type CustomLevel struct {
+	// Name labels the level in breakdowns (empty = "Lx").
+	Name string `json:"name,omitempty"`
+	// Tech is a technology name from Table 1 (see tech.Names).
+	Tech string `json:"tech"`
+	// SizeBytes and LineBytes size the cache; Assoc is its
+	// associativity (0 = 16 ways, the page-cache default).
+	SizeBytes uint64 `json:"size_bytes"`
+	LineBytes uint64 `json:"line_bytes"`
+	Assoc     int    `json:"assoc,omitempty"`
+	// WriteThrough selects write-through/no-write-allocate.
+	WriteThrough bool `json:"write_through,omitempty"`
+	// PrefetchNext enables a next-N-line prefetcher.
+	PrefetchNext int `json:"prefetch_next,omitempty"`
+}
+
+// CustomMemory is the terminal module of a custom hierarchy.
+type CustomMemory struct {
+	// Tech is a technology name from Table 1.
+	Tech string `json:"tech"`
+	// CapacityBytes is the module capacity (0 = sized to the workload
+	// footprint, like the reference system's DRAM).
+	CapacityBytes uint64 `json:"capacity_bytes,omitempty"`
+}
+
+// UnmarshalJSON accepts either a path string ("NMM/N6/PCM") or the
+// structured object form.
+func (d *DesignSpec) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		return d.parsePath(s)
+	}
+	type raw DesignSpec // drop methods to avoid recursion
+	var r raw
+	if err := json.Unmarshal(b, &r); err != nil {
+		return err
+	}
+	*d = DesignSpec(r)
+	return nil
+}
+
+// parsePath fills d from a "family/config[/llc][/nvm]" path.
+func (d *DesignSpec) parsePath(s string) error {
+	parts := strings.Split(s, "/")
+	d.Family = parts[0]
+	switch d.Family {
+	case "reference":
+		if len(parts) > 1 {
+			return fmt.Errorf("design path %q: reference takes no segments", s)
+		}
+	case "4LC":
+		if len(parts) < 2 || len(parts) > 3 {
+			return fmt.Errorf("design path %q: want 4LC/<EHn>[/<llc>]", s)
+		}
+		d.Config = parts[1]
+		if len(parts) == 3 {
+			d.LLC = parts[2]
+		}
+	case "NMM":
+		if len(parts) < 2 || len(parts) > 3 {
+			return fmt.Errorf("design path %q: want NMM/<Nn>[/<nvm>]", s)
+		}
+		d.Config = parts[1]
+		if len(parts) == 3 {
+			d.NVM = parts[2]
+		}
+	case "4LCNVM":
+		if len(parts) < 2 || len(parts) > 4 {
+			return fmt.Errorf("design path %q: want 4LCNVM/<EHn>[/<llc>[/<nvm>]]", s)
+		}
+		d.Config = parts[1]
+		if len(parts) >= 3 {
+			d.LLC = parts[2]
+		}
+		if len(parts) == 4 {
+			d.NVM = parts[3]
+		}
+	default:
+		return fmt.Errorf("design path %q: unknown family %q", s, d.Family)
+	}
+	return nil
+}
+
+// MetricNames lists the metric keys an evaluation response can carry, in
+// canonical order.
+var MetricNames = []string{
+	"amat_ns", "runtime_sec", "dynamic_j", "static_j", "total_j", "edp",
+	"norm_time", "norm_energy", "norm_edp",
+}
+
+var metricSet = func() map[string]bool {
+	m := make(map[string]bool, len(MetricNames))
+	for _, n := range MetricNames {
+		m[n] = true
+	}
+	return m
+}()
+
+var workloadSet = func() map[string]bool {
+	m := map[string]bool{}
+	for _, n := range catalog.ExtendedNames {
+		m[n] = true
+	}
+	return m
+}()
+
+// Normalize validates the request in place, resolves defaulted fields to
+// their concrete values, and returns the first validation failure as an
+// *APIError (nil on success). After Normalize returns nil the request is
+// fully canonical: two requests asking the same question marshal to
+// identical bytes, which is what makes Key a sound cache key. The HTTP
+// handler normalizes every request; in-process callers (cmd/memsimd's
+// warmup, tests) must do it themselves before Evaluator.Evaluate.
+func (r *EvalRequest) Normalize() *APIError {
+	if r.Workload == "" {
+		return errField(CodeInvalidRequest, "workload", "workload is required")
+	}
+	if !workloadSet[r.Workload] {
+		return errField(CodeUnknownWorkload, "workload",
+			fmt.Sprintf("unknown workload %q (known: %s)", r.Workload, strings.Join(catalog.ExtendedNames, ", ")))
+	}
+	if r.Scale == 0 {
+		r.Scale = design.DefaultScale
+	}
+	if err := design.ValidateScale(r.Scale); err != nil {
+		return errField(CodeInvalidRequest, "scale", err.Error())
+	}
+	if r.WorkloadScale == 0 {
+		r.WorkloadScale = r.Scale
+	}
+	if r.WorkloadScale&(r.WorkloadScale-1) != 0 {
+		return errField(CodeInvalidRequest, "workload_scale",
+			fmt.Sprintf("workload_scale %d must be a power of two", r.WorkloadScale))
+	}
+	if r.Iters < 0 {
+		return errField(CodeInvalidRequest, "iters", "iters must be >= 0")
+	}
+	if r.Dilution < -1 {
+		return errField(CodeInvalidRequest, "dilution", "dilution must be >= -1")
+	}
+	for _, m := range r.Metrics {
+		if !metricSet[m] {
+			return errField(CodeInvalidRequest, "metrics",
+				fmt.Sprintf("unknown metric %q (known: %s)", m, strings.Join(MetricNames, ", ")))
+		}
+	}
+	return r.Design.normalize()
+}
+
+// normalize validates the design spec and resolves defaulted technologies.
+func (d *DesignSpec) normalize() *APIError {
+	checkTech := func(field, name string, allowed []tech.Tech) *APIError {
+		for _, t := range allowed {
+			if t.Name == name {
+				return nil
+			}
+		}
+		var names []string
+		for _, t := range allowed {
+			names = append(names, t.Name)
+		}
+		return errField(CodeUnknownTech, field,
+			fmt.Sprintf("unknown technology %q (known: %s)", name, strings.Join(names, ", ")))
+	}
+	switch d.Family {
+	case "reference":
+		if d.Config != "" || d.LLC != "" || d.NVM != "" || d.Custom != nil {
+			return errField(CodeInvalidRequest, "design", "reference takes no config, llc, nvm, or custom")
+		}
+	case "4LC":
+		if _, err := design.EHByName(d.Config); err != nil {
+			return errField(CodeUnknownDesign, "design.config", err.Error())
+		}
+		if d.LLC == "" {
+			d.LLC = tech.EDRAM.Name
+		}
+		if err := checkTech("design.llc", d.LLC, tech.LLCs()); err != nil {
+			return err
+		}
+		if d.NVM != "" {
+			return errField(CodeInvalidRequest, "design.nvm", "4LC has a DRAM main memory; nvm does not apply")
+		}
+	case "NMM":
+		if _, err := design.NByName(d.Config); err != nil {
+			return errField(CodeUnknownDesign, "design.config", err.Error())
+		}
+		if d.NVM == "" {
+			d.NVM = tech.PCM.Name
+		}
+		if err := checkTech("design.nvm", d.NVM, tech.NVMs()); err != nil {
+			return err
+		}
+		if d.LLC != "" {
+			return errField(CodeInvalidRequest, "design.llc", "NMM has no fourth-level cache; llc does not apply")
+		}
+	case "4LCNVM":
+		if _, err := design.EHByName(d.Config); err != nil {
+			return errField(CodeUnknownDesign, "design.config", err.Error())
+		}
+		if d.LLC == "" {
+			d.LLC = tech.EDRAM.Name
+		}
+		if err := checkTech("design.llc", d.LLC, tech.LLCs()); err != nil {
+			return err
+		}
+		if d.NVM == "" {
+			d.NVM = tech.PCM.Name
+		}
+		if err := checkTech("design.nvm", d.NVM, tech.NVMs()); err != nil {
+			return err
+		}
+	case "custom":
+		if d.Custom == nil {
+			return errField(CodeInvalidRequest, "design.custom", `family "custom" requires a custom spec`)
+		}
+		if d.Config != "" || d.LLC != "" || d.NVM != "" {
+			return errField(CodeInvalidRequest, "design", "custom designs take only the custom spec")
+		}
+		if d.Custom.Name == "" {
+			d.Custom.Name = "custom"
+		}
+		for i, l := range d.Custom.Caches {
+			field := fmt.Sprintf("design.custom.caches[%d]", i)
+			if _, err := tech.ByName(l.Tech); err != nil {
+				return errField(CodeUnknownTech, field+".tech", err.Error())
+			}
+			if l.SizeBytes == 0 || l.LineBytes == 0 {
+				return errField(CodeInvalidRequest, field, "size_bytes and line_bytes must be > 0")
+			}
+			if l.SizeBytes%l.LineBytes != 0 {
+				return errField(CodeInvalidRequest, field, "size_bytes must be a multiple of line_bytes")
+			}
+			if l.Assoc < 0 || l.PrefetchNext < 0 {
+				return errField(CodeInvalidRequest, field, "assoc and prefetch_next must be >= 0")
+			}
+		}
+		if _, err := tech.ByName(d.Custom.Memory.Tech); err != nil {
+			return errField(CodeUnknownTech, "design.custom.memory.tech", err.Error())
+		}
+	case "":
+		return errField(CodeInvalidRequest, "design.family", "design family is required")
+	default:
+		return errField(CodeUnknownDesign, "design.family",
+			fmt.Sprintf("unknown design family %q (known: reference, 4LC, NMM, 4LCNVM, custom)", d.Family))
+	}
+	return nil
+}
+
+// cacheKeyRequest is the canonical tuple hashed into the result-cache key.
+// Metrics are deliberately excluded: the underlying evaluation is identical
+// regardless of which metrics the caller asked to see.
+type cacheKeyRequest struct {
+	Design        DesignSpec `json:"design"`
+	Workload      string     `json:"workload"`
+	Scale         uint64     `json:"scale"`
+	WorkloadScale uint64     `json:"workload_scale"`
+	Iters         int        `json:"iters"`
+	Dilution      int        `json:"dilution"`
+}
+
+// Key returns the canonical cache key of a normalized request: the
+// SHA-256 hex digest of its defaults-resolved (config, workload,
+// parameters) tuple. Requests that resolve to the same evaluation hash to
+// the same key regardless of spelling (path vs. object design, omitted
+// vs. explicit defaults).
+func (r *EvalRequest) Key() string {
+	b, err := json.Marshal(cacheKeyRequest{
+		Design:        r.Design,
+		Workload:      r.Workload,
+		Scale:         r.Scale,
+		WorkloadScale: r.WorkloadScale,
+		Iters:         r.Iters,
+		Dilution:      r.Dilution,
+	})
+	if err != nil {
+		// cacheKeyRequest contains only marshalable fields; unreachable.
+		panic(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// backend resolves the normalized spec into a buildable design.Backend.
+// footprint is the profiled workload's footprint (custom memories with
+// zero capacity and all family designs size their terminal from it).
+// Reference designs return ok=false: they are answered from the profile's
+// cached reference evaluation without a replay.
+func (d *DesignSpec) backend(scale, footprint uint64) (b design.Backend, ok bool, err error) {
+	switch d.Family {
+	case "reference":
+		return design.Backend{}, false, nil
+	case "4LC":
+		cfg, err := design.EHByName(d.Config)
+		if err != nil {
+			return design.Backend{}, false, err
+		}
+		llc, err := tech.ByName(d.LLC)
+		if err != nil {
+			return design.Backend{}, false, err
+		}
+		return design.FourLC(cfg, llc, scale, footprint), true, nil
+	case "NMM":
+		cfg, err := design.NByName(d.Config)
+		if err != nil {
+			return design.Backend{}, false, err
+		}
+		nvm, err := tech.ByName(d.NVM)
+		if err != nil {
+			return design.Backend{}, false, err
+		}
+		return design.NMM(cfg, nvm, scale, footprint), true, nil
+	case "4LCNVM":
+		cfg, err := design.EHByName(d.Config)
+		if err != nil {
+			return design.Backend{}, false, err
+		}
+		llc, err := tech.ByName(d.LLC)
+		if err != nil {
+			return design.Backend{}, false, err
+		}
+		nvm, err := tech.ByName(d.NVM)
+		if err != nil {
+			return design.Backend{}, false, err
+		}
+		return design.FourLCNVM(cfg, llc, nvm, scale, footprint), true, nil
+	case "custom":
+		b := design.Backend{Name: "custom/" + d.Custom.Name}
+		for i, l := range d.Custom.Caches {
+			lt, err := tech.ByName(l.Tech)
+			if err != nil {
+				return design.Backend{}, false, err
+			}
+			name := l.Name
+			if name == "" {
+				name = fmt.Sprintf("L%d", i+4)
+			}
+			assoc := l.Assoc
+			if assoc == 0 {
+				assoc = 16
+			}
+			b.Caches = append(b.Caches, design.LevelSpec{
+				Name: name, Tech: lt, Size: l.SizeBytes, Line: l.LineBytes,
+				Assoc: assoc, WriteThrough: l.WriteThrough, PrefetchNext: l.PrefetchNext,
+			})
+		}
+		mt, err := tech.ByName(d.Custom.Memory.Tech)
+		if err != nil {
+			return design.Backend{}, false, err
+		}
+		capacity := d.Custom.Memory.CapacityBytes
+		if capacity == 0 {
+			capacity = footprint
+		}
+		b.Memory = design.MemorySpec{Name: mt.Name + "-mem", Tech: mt, Capacity: capacity}
+		return b, true, nil
+	default:
+		return design.Backend{}, false, fmt.Errorf("serve: unknown design family %q", d.Family)
+	}
+}

@@ -1,0 +1,367 @@
+// Package serve is the simulation-as-a-service layer: a long-running HTTP
+// JSON API (mounted by cmd/memsimd) that evaluates design points on demand
+// instead of re-replaying the whole reference stream per CLI invocation.
+//
+// The expensive work — profiling a workload through the shared SRAM prefix
+// and replaying its recorded boundary stream into a design back end — runs
+// on the same exp harness the CLI tools use, so server results are
+// bit-identical to paperrepro's. Around that core the package adds the
+// production hygiene a design-space exploration service needs:
+//
+//   - an LRU result cache keyed by a canonical SHA-256 hash of the
+//     (design, workload, parameters) tuple, with singleflight-style
+//     deduplication so concurrent identical requests trigger one replay;
+//   - request validation with typed JSON error responses (APIError);
+//   - per-request timeouts and cancellation that genuinely abort in-flight
+//     replays (exp.EvaluateCtx's chunked replay);
+//   - a bounded in-flight evaluation limit with 429 backpressure;
+//   - graceful shutdown that drains active evaluations;
+//   - /healthz and /readyz probes, expvar counters (request totals, cache
+//     hit ratio, replay milliseconds saved), and obs.Logger run events.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybridmem/internal/design"
+	"hybridmem/internal/obs"
+	"hybridmem/internal/tech"
+	"hybridmem/internal/workload/catalog"
+)
+
+// Runner computes evaluation results. *Evaluator is the production
+// implementation; the indirection lets tests substitute slow or failing
+// runners to exercise backpressure, timeout, and drain behaviour.
+type Runner interface {
+	Evaluate(ctx context.Context, req *EvalRequest) (*EvalResult, error)
+}
+
+// DefaultCacheEntries bounds the result cache when Config.CacheEntries is
+// zero. Results are small (one metric map each), so the default is roomy.
+const DefaultCacheEntries = 4096
+
+// DefaultTimeout is the per-request evaluation deadline when
+// Config.Timeout is zero.
+const DefaultTimeout = 2 * time.Minute
+
+// Config assembles a Server.
+type Config struct {
+	// Runner evaluates requests (required; typically NewEvaluator).
+	Runner Runner
+	// CacheEntries bounds the LRU result cache (0 = DefaultCacheEntries).
+	CacheEntries int
+	// MaxInFlight bounds concurrently executing evaluations; requests
+	// beyond it receive 429 (0 = GOMAXPROCS).
+	MaxInFlight int
+	// Timeout is the per-request evaluation deadline (0 = DefaultTimeout,
+	// negative = no deadline).
+	Timeout time.Duration
+	// Log receives http_request events (may be nil).
+	Log *obs.Logger
+}
+
+// Server is the HTTP evaluation service. Create with New, mount Handler,
+// and on shutdown call BeginShutdown followed by Drain.
+type Server struct {
+	cfg      Config
+	cache    *lruCache
+	flight   *flightGroup[*EvalResult]
+	inflight chan struct{}
+	ready    atomic.Bool
+	draining atomic.Bool
+	active   sync.WaitGroup
+
+	requests   *obs.Counter
+	hits       *obs.Counter
+	misses     *obs.Counter
+	rejected   *obs.Counter
+	savedMS    *obs.Counter
+	evalErrors *obs.Counter
+}
+
+// errOverloaded is the internal sentinel for a full in-flight limit.
+var errOverloaded = errors.New("serve: in-flight evaluation limit reached")
+
+// New builds a Server from cfg, resolving zero fields to defaults.
+func New(cfg Config) *Server {
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = DefaultCacheEntries
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	s := &Server{
+		cfg:      cfg,
+		cache:    newLRUCache(cfg.CacheEntries),
+		flight:   newFlightGroup[*EvalResult](),
+		inflight: make(chan struct{}, cfg.MaxInFlight),
+
+		requests:   obs.NewCounter("memsimd.requests_total"),
+		hits:       obs.NewCounter("memsimd.cache_hits"),
+		misses:     obs.NewCounter("memsimd.cache_misses"),
+		rejected:   obs.NewCounter("memsimd.rejected_total"),
+		savedMS:    obs.NewCounter("memsimd.replay_ms_saved"),
+		evalErrors: obs.NewCounter("memsimd.eval_errors"),
+	}
+	s.ready.Store(true)
+	obs.PublishFunc("memsimd.cache_hit_ratio", func() any {
+		h, m := s.hits.Value(), s.misses.Value()
+		if h+m == 0 {
+			return 0.0
+		}
+		return float64(h) / float64(h+m)
+	})
+	return s
+}
+
+// SetReady flips the /readyz state; cmd/memsimd holds the server not-ready
+// until its optional warmup profiling completes.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// BeginShutdown marks the server draining: /readyz turns 503 (so load
+// balancers stop routing here) and new evaluation requests are refused
+// with CodeShuttingDown. In-flight evaluations continue; wait for them
+// with Drain.
+func (s *Server) BeginShutdown() {
+	s.draining.Store(true)
+	s.ready.Store(false)
+}
+
+// Drain blocks until every in-flight evaluation request has finished or
+// ctx expires.
+func (s *Server) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.active.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Handler returns the service's routes:
+//
+//	GET  /healthz      liveness (always 200 while the process runs)
+//	GET  /readyz       readiness (503 while warming up or draining)
+//	GET  /v1/workloads catalog workload names
+//	GET  /v1/designs   design families, table rows, technologies
+//	POST /v1/evaluate  evaluate one design point (EvalRequest/EvalResult)
+//	GET  /debug/vars   expvar counters, including the cache hit ratio
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, "not ready\n")
+			return
+		}
+		io.WriteString(w, "ready\n")
+	})
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /v1/designs", s.handleDesigns)
+	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+// handleWorkloads lists the evaluable workloads.
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"workloads": catalog.Names,
+		"extended":  catalog.ExtendedNames,
+	})
+}
+
+// handleDesigns lists the design space: families, their configuration-table
+// rows, and the technology axes.
+func (s *Server) handleDesigns(w http.ResponseWriter, r *http.Request) {
+	ehNames := make([]string, len(design.EHConfigs))
+	for i, c := range design.EHConfigs {
+		ehNames[i] = c.Name
+	}
+	nNames := make([]string, len(design.NConfigs))
+	for i, c := range design.NConfigs {
+		nNames[i] = c.Name
+	}
+	var llcs, nvms []string
+	for _, t := range tech.LLCs() {
+		llcs = append(llcs, t.Name)
+	}
+	for _, t := range tech.NVMs() {
+		nvms = append(nvms, t.Name)
+	}
+	writeJSON(w, map[string]any{
+		"families": map[string]any{
+			"reference": map[string]any{},
+			"4LC":       map[string]any{"configs": ehNames, "llc": llcs},
+			"NMM":       map[string]any{"configs": nNames, "nvm": nvms},
+			"4LCNVM":    map[string]any{"configs": ehNames, "llc": llcs, "nvm": nvms},
+			"custom":    map[string]any{"note": "free-form hierarchy; see DesignSpec.Custom"},
+		},
+		"techs":   tech.Names(),
+		"metrics": MetricNames,
+	})
+}
+
+// maxBodyBytes bounds evaluate request bodies.
+const maxBodyBytes = 1 << 20
+
+// handleEvaluate is the core endpoint: validate, consult the result cache,
+// and on a miss run (or join) the deduplicated evaluation flight.
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.requests.Add(1)
+	if s.draining.Load() {
+		s.logRequest(r, http.StatusServiceUnavailable, start, "", nil)
+		writeError(w, &APIError{Code: CodeShuttingDown, Message: "server is shutting down"})
+		return
+	}
+	s.active.Add(1)
+	defer s.active.Done()
+
+	var req EvalRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		apiErr := errField(CodeInvalidRequest, "", "invalid JSON body: "+err.Error())
+		s.logRequest(r, httpStatus(apiErr.Code), start, "", &req)
+		writeError(w, apiErr)
+		return
+	}
+	if apiErr := req.Normalize(); apiErr != nil {
+		s.logRequest(r, httpStatus(apiErr.Code), start, "", &req)
+		writeError(w, apiErr)
+		return
+	}
+	key := req.Key()
+
+	if res, ok := s.cache.Get(key); ok {
+		s.hits.Add(1)
+		s.savedMS.Add(uint64(res.EvalMS))
+		s.logRequest(r, http.StatusOK, start, "hit", &req)
+		s.writeResult(w, &req, res, "hit")
+		return
+	}
+
+	ctx := r.Context()
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	}
+	res, led, err := s.flight.Do(ctx, key, func() (*EvalResult, error) {
+		select {
+		case s.inflight <- struct{}{}:
+		default:
+			return nil, errOverloaded
+		}
+		defer func() { <-s.inflight }()
+		return s.cfg.Runner.Evaluate(ctx, &req)
+	})
+	if err != nil {
+		apiErr := toAPIError(err)
+		if apiErr.Code == CodeOverloaded {
+			s.rejected.Add(1)
+		} else if apiErr.Code == CodeInternal {
+			s.evalErrors.Add(1)
+		}
+		s.logRequest(r, httpStatus(apiErr.Code), start, "", &req)
+		writeError(w, apiErr)
+		return
+	}
+	if led {
+		s.misses.Add(1)
+		s.cache.Add(key, res)
+		s.logRequest(r, http.StatusOK, start, "miss", &req)
+		s.writeResult(w, &req, res, "miss")
+		return
+	}
+	// Follower of a deduplicated flight: the leader replayed once and
+	// cached; report the shared result as a hit.
+	s.hits.Add(1)
+	s.savedMS.Add(uint64(res.EvalMS))
+	s.logRequest(r, http.StatusOK, start, "dedup", &req)
+	s.writeResult(w, &req, res, "dedup")
+}
+
+// toAPIError maps evaluation-path failures onto typed API errors.
+func toAPIError(err error) *APIError {
+	var apiErr *APIError
+	switch {
+	case errors.As(err, &apiErr):
+		return apiErr
+	case errors.Is(err, errOverloaded):
+		return &APIError{Code: CodeOverloaded, Message: "evaluation capacity exhausted; retry shortly"}
+	case errors.Is(err, context.DeadlineExceeded):
+		return &APIError{Code: CodeTimeout, Message: "evaluation deadline exceeded; in-flight replay aborted"}
+	case errors.Is(err, context.Canceled):
+		return &APIError{Code: CodeCanceled, Message: "request canceled; in-flight replay aborted"}
+	default:
+		return &APIError{Code: CodeInternal, Message: err.Error()}
+	}
+}
+
+// writeResult emits a 200 evaluation response, filtering metrics to the
+// request's selection and stamping the cache-status headers the quickstart
+// documents.
+func (s *Server) writeResult(w http.ResponseWriter, req *EvalRequest, res *EvalResult, status string) {
+	out := *res
+	if len(req.Metrics) > 0 {
+		filtered := make(map[string]float64, len(req.Metrics))
+		for _, m := range req.Metrics {
+			if v, ok := res.Metrics[m]; ok {
+				filtered[m] = v
+			}
+		}
+		out.Metrics = filtered
+	}
+	w.Header().Set("X-Memsimd-Cache", status)
+	w.Header().Set("X-Memsimd-Key", res.Key)
+	writeJSON(w, out)
+}
+
+// writeJSON emits v as a 200 JSON response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// logRequest emits one http_request run-log event (nil logger = no-op).
+func (s *Server) logRequest(r *http.Request, status int, start time.Time, cache string, req *EvalRequest) {
+	if s.cfg.Log == nil {
+		return
+	}
+	f := obs.Fields{
+		"method":  r.Method,
+		"path":    r.URL.Path,
+		"status":  status,
+		"wall_ms": float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if cache != "" {
+		f["cache"] = cache
+	}
+	if req != nil && req.Workload != "" {
+		f["workload"] = req.Workload
+		f["design"] = req.Design.Family + "/" + req.Design.Config
+	}
+	s.cfg.Log.Event("http_request", f)
+}
