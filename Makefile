@@ -36,7 +36,7 @@ race:
 # Godoc hygiene: every package needs a package comment; the listed
 # packages additionally need doc comments on every exported symbol.
 doccheck:
-	$(GO) run ./cmd/doccheck -exported internal/serve,internal/exp,internal/obs,internal/design .
+	$(GO) run ./cmd/doccheck -exported internal/serve,internal/exp,internal/obs,internal/design,internal/trace,internal/cache,internal/core .
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 repro:

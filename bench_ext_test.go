@@ -132,7 +132,7 @@ func BenchmarkExtReuseProfiler(b *testing.B) {
 // BenchmarkExtTraceCodec measures trace encode and decode throughput.
 func BenchmarkExtTraceCodec(b *testing.B) {
 	s := suite(b)
-	refs := s.Profiles[0].Boundary
+	refs := s.Profiles[0].Boundary.Refs()
 	b.Run("encode", func(b *testing.B) {
 		var buf bytes.Buffer
 		for i := 0; i < b.N; i++ {

@@ -287,6 +287,58 @@ func BenchmarkAblationBoundaryReplay(b *testing.B) {
 	})
 }
 
+// BenchmarkBoundaryReplayScalar replays a profiled workload's boundary
+// store one reference at a time through the trace.Sink interface — the
+// pre-batching delivery contract, kept as the baseline the batch-first
+// engine is measured against. Both replay benchmarks read the same packed
+// boundary store (the only boundary representation the harness keeps), so
+// the refs/s difference isolates delivery mode: per-reference interface
+// dispatch here versus the monomorphic batch walk in
+// BenchmarkBoundaryReplayBatch.
+func BenchmarkBoundaryReplayScalar(b *testing.B) {
+	s := suite(b)
+	wp := s.Profiles[0]
+	backend := design.Reference(wp.Footprint)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		built, err := backend.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sink trace.Sink = built
+		wp.Boundary.Batches(nil, func(refs []trace.Ref) error {
+			for _, r := range refs {
+				sink.Access(r)
+			}
+			return nil
+		})
+		built.Flush()
+	}
+	b.ReportMetric(float64(wp.Boundary.Len())*float64(b.N)/b.Elapsed().Seconds(), "refs/s")
+}
+
+// BenchmarkBoundaryReplayBatch replays the same boundary store the way the
+// harness now does: each decoded block flows through the batch entry point
+// (core.Hierarchy.AccessBatch) with the level walk hoisted out of the
+// per-reference boundary. The refs/s metric is directly comparable to
+// BenchmarkBoundaryReplayScalar; packedB/ref is the resident boundary-store
+// cost per reference (16 B/ref raw).
+func BenchmarkBoundaryReplayBatch(b *testing.B) {
+	s := suite(b)
+	wp := s.Profiles[0]
+	backend := design.Reference(wp.Footprint)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		built, err := backend.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		built.Replay(wp.Boundary)
+	}
+	b.ReportMetric(float64(wp.Boundary.Len())*float64(b.N)/b.Elapsed().Seconds(), "refs/s")
+	b.ReportMetric(float64(wp.Boundary.PackedBytes())/float64(wp.Boundary.Len()), "packedB/ref")
+}
+
 // BenchmarkAblationPageGranularity shows the cost/benefit of page-organized
 // caching: replaying the same boundary stream into DRAM caches with 64B
 // versus 4KB pages, reporting the hit rates.

@@ -261,7 +261,7 @@ func (r *runner) table(n int) error {
 				fmt.Sprintf("%.1f MB", float64(wp.Footprint)/(1<<20)),
 				fmt.Sprintf("%.1f", wp.RefTime.Seconds()),
 				fmt.Sprintf("%d", wp.TotalRefs),
-				fmt.Sprintf("%d", len(wp.Boundary)))
+				fmt.Sprintf("%d", wp.Boundary.Len()))
 		}
 		return r.emit(t)
 	default:

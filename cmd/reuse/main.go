@@ -57,9 +57,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "profiling %s...\n", *wlName)
 			wp, err := exp.ProfileWorkload(w, *scale, exp.NoDilution)
 			exitOn(err)
-			for _, r := range wp.Boundary {
-				p.Access(r)
-			}
+			wp.Boundary.Replay(p)
 		} else {
 			w.Run(p)
 		}

@@ -66,9 +66,7 @@ func doCapture(name, out string, scale uint64) {
 	defer f.Close()
 	tw, err := trace.NewWriter(f)
 	exitOn(err)
-	for _, r := range wp.Boundary {
-		tw.Access(r)
-	}
+	wp.Boundary.Replay(tw)
 	exitOn(tw.Flush())
 	info, err := f.Stat()
 	exitOn(err)

@@ -98,7 +98,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("%s: %d refs, %.1f MB footprint, %d boundary refs\n",
-		app.Name(), profile.TotalRefs, float64(profile.Footprint)/(1<<20), len(profile.Boundary))
+		app.Name(), profile.TotalRefs, float64(profile.Footprint)/(1<<20), profile.Boundary.Len())
 
 	// Placement A: everything on DRAM (the reference).
 	ref, err := profile.Evaluate(hybridmem.ReferenceDesign(profile.Footprint))

@@ -30,7 +30,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("simulated %d references; %d reached memory\n\n", profile.TotalRefs, len(profile.Boundary))
+	fmt.Printf("simulated %d references; %d reached memory\n\n", profile.TotalRefs, profile.Boundary.Len())
 
 	// ...and every design point below replays just that stream.
 	for _, llc := range hybridmem.LLCs() {

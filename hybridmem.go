@@ -141,6 +141,18 @@ type (
 	Sink = trace.Sink
 )
 
+// Batch-first streaming: BatchSink consumes references many at a time,
+// Stream walks a replayable source in batches, RefSlice adapts a raw []Ref
+// to Stream, and Packed is the delta-encoded boundary-store representation
+// WorkloadProfile records into. See the internal/trace package comment for
+// the pipeline description.
+type (
+	BatchSink = trace.BatchSink
+	Stream    = trace.Stream
+	RefSlice  = trace.RefSlice
+	Packed    = trace.Packed
+)
+
 // Reference kinds.
 const (
 	Load  = trace.Load

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+
 	"hybridmem/internal/cache"
 	"hybridmem/internal/tech"
 	"hybridmem/internal/trace"
@@ -12,11 +14,15 @@ import (
 // NVM, a bare or partitioned main memory) would observe, so one expensive
 // full-stream simulation per workload serves every design point.
 //
+// The stream is captured directly into a trace.Packed — the delta-encoded
+// block representation — so even a multi-hundred-million-reference boundary
+// never materializes as raw 16-byte Refs while recording.
+//
 // The recorded stream preserves load/store distinction: loads are L3 line
 // fetches; stores are dirty L3 evictions — the two traffic classes of the
 // paper's Section III.B accounting.
 type RecordingMemory struct {
-	Recorder trace.Recorder
+	stream   trace.Packed
 	lineSize uint32
 	ms       memStats
 }
@@ -27,27 +33,47 @@ func NewRecordingMemory(lineSize uint64) *RecordingMemory {
 	return &RecordingMemory{lineSize: uint32(lineSize)}
 }
 
+// record appends one reference, splitting requests whose size exceeds the
+// Ref size field (uint32) into 2 GiB chunks rather than silently truncating
+// them. Such requests cannot come from a cache level (lines are small) but
+// can come from a workload streamed into a zero-level recording hierarchy.
+func (m *RecordingMemory) record(addr, sizeBytes uint64, kind trace.Kind) {
+	const chunk = 1 << 31
+	for sizeBytes > math.MaxUint32 {
+		m.stream.Access(trace.Ref{Addr: addr, Size: chunk, Kind: kind})
+		addr += chunk
+		sizeBytes -= chunk
+	}
+	m.stream.Access(trace.Ref{Addr: addr, Size: uint32(sizeBytes), Kind: kind})
+}
+
 // Load records a read reference.
 func (m *RecordingMemory) Load(addr, sizeBytes uint64) {
 	m.ms.load(sizeBytes)
-	m.Recorder.Access(trace.Ref{Addr: addr, Size: uint32(sizeBytes), Kind: trace.Load})
+	m.record(addr, sizeBytes, trace.Load)
 }
 
 // Store records a write reference.
 func (m *RecordingMemory) Store(addr, sizeBytes uint64) {
 	m.ms.store(sizeBytes)
-	m.Recorder.Access(trace.Ref{Addr: addr, Size: uint32(sizeBytes), Kind: trace.Store})
+	m.record(addr, sizeBytes, trace.Store)
 }
 
 // Modules reports the stream the recorder absorbed, attributed to a
-// placeholder technology; callers normally discard it and replay
-// Recorder.Refs into real back ends.
+// placeholder technology; callers normally discard it and replay Stream()
+// into real back ends.
 func (m *RecordingMemory) Modules() []LevelStats {
 	return []LevelStats{{Name: "boundary", Tech: tech.DRAM, Stats: m.ms.stats}}
 }
 
-// Refs returns the recorded boundary stream.
-func (m *RecordingMemory) Refs() []trace.Ref { return m.Recorder.Refs }
+// Stream returns the recorded boundary stream in its packed form. The
+// returned value shares the recorder's storage; record nothing further after
+// taking it.
+func (m *RecordingMemory) Stream() *trace.Packed { return &m.stream }
+
+// Refs materializes the recorded boundary stream as a raw slice; replay
+// paths should use Stream instead.
+func (m *RecordingMemory) Refs() []trace.Ref { return m.stream.Refs() }
 
 // Backend is a partial hierarchy: the levels below the shared SRAM prefix
 // plus the memory terminal. Replaying a recorded boundary stream into a
@@ -66,16 +92,21 @@ func NewBackend(levels []Level, mem Memory) (*Backend, error) {
 	return &Backend{h: h}, nil
 }
 
-// Replay streams refs through the backend and flushes residual dirty state.
-func (b *Backend) Replay(refs []trace.Ref) {
-	for _, r := range refs {
-		b.h.Access(r)
-	}
+// Replay streams st through the backend batch by batch and flushes residual
+// dirty state. A raw []trace.Ref replays via trace.RefSlice.
+func (b *Backend) Replay(st trace.Stream) {
+	st.Batches(nil, func(refs []trace.Ref) error {
+		b.h.AccessBatch(refs)
+		return nil
+	})
 	b.h.Flush()
 }
 
 // Access feeds one reference (for online use without recording).
 func (b *Backend) Access(r trace.Ref) { b.h.Access(r) }
+
+// AccessBatch feeds a batch of references; it implements trace.BatchSink.
+func (b *Backend) AccessBatch(refs []trace.Ref) { b.h.AccessBatch(refs) }
 
 // Flush drains dirty lines downward.
 func (b *Backend) Flush() { b.h.Flush() }

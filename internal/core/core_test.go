@@ -294,7 +294,7 @@ func TestBoundaryReplayEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	backend.Replay(rec.Refs())
+	backend.Replay(rec.Stream())
 
 	// Backend cache statistics must be identical.
 	gotL3 := backend.Snapshot()[0].Stats

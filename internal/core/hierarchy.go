@@ -125,6 +125,70 @@ func (h *Hierarchy) Access(r trace.Ref) {
 	}
 }
 
+// AccessBatch feeds a batch of references into the top of the hierarchy,
+// producing exactly the state len(refs) consecutive Access calls would. It
+// implements trace.BatchSink: the level-0 walk — cache pointer, line size,
+// write-through policy — is hoisted out of the per-reference path, so the
+// inner loop makes monomorphic calls into cache.Cache.Access with no
+// interface hop, and zero-level hierarchies accumulate whole batches into
+// the memory terminal with a single statistics update.
+func (h *Hierarchy) AccessBatch(refs []trace.Ref) {
+	if len(refs) == 0 {
+		return
+	}
+	h.refs += uint64(len(refs))
+	if len(h.levels) == 0 {
+		h.memBatch(refs)
+		return
+	}
+	lv := &h.levels[0]
+	c := lv.Cache
+	lineSize := c.LineSize()
+	writeThrough := c.Config().WriteThrough
+	for i := range refs {
+		addr := refs[i].Addr
+		size := refs[i].Bytes()
+		write := refs[i].Kind == trace.Store
+		if addr&(lineSize-1)+size <= lineSize {
+			// Fast path: the reference fits in one level-0 line (the
+			// overwhelmingly common case — boundary streams are
+			// line-sized by construction).
+			h.levelAccess(0, lv, c, addr, size, write, writeThrough)
+			continue
+		}
+		for size > 0 {
+			chunk := lineSize - addr&(lineSize-1)
+			if chunk > size {
+				chunk = size
+			}
+			h.levelAccess(0, lv, c, addr, chunk, write, writeThrough)
+			addr += chunk
+			size -= chunk
+		}
+	}
+}
+
+// memBatch delivers a batch straight to the terminal of a zero-level
+// hierarchy. The type switch recovers monomorphic calls for the concrete
+// memories every design table uses; SimpleMemory additionally folds the
+// whole batch into one statistics update.
+func (h *Hierarchy) memBatch(refs []trace.Ref) {
+	switch m := h.mem.(type) {
+	case *SimpleMemory:
+		m.accessBatch(refs)
+	case *PartitionedMemory:
+		m.accessBatch(refs)
+	default:
+		for i := range refs {
+			if refs[i].Kind == trace.Store {
+				h.mem.Store(refs[i].Addr, refs[i].Bytes())
+			} else {
+				h.mem.Load(refs[i].Addr, refs[i].Bytes())
+			}
+		}
+	}
+}
+
 // request delivers a request of sizeBytes at addr to the given level,
 // recursing downward on misses and dirty evictions. A request never crosses
 // a line boundary of the level it targets (callers guarantee it for level 0;
@@ -140,9 +204,15 @@ func (h *Hierarchy) request(level int, addr, sizeBytes uint64, write bool) {
 		return
 	}
 	lv := &h.levels[level]
-	c := lv.Cache
+	h.levelAccess(level, lv, lv.Cache, addr, sizeBytes, write, lv.Cache.Config().WriteThrough)
+}
+
+// levelAccess is the per-level body of request with the level's hot state
+// (cache pointer, write-through policy) passed in, so the batch path can
+// hoist those loads out of its inner loop.
+func (h *Hierarchy) levelAccess(level int, lv *Level, c *cache.Cache, addr, sizeBytes uint64, write, writeThrough bool) {
 	hit, victim := c.Access(addr, sizeBytes, write)
-	if write && c.Config().WriteThrough {
+	if write && writeThrough {
 		// Write-through: the store always propagates downstream, and
 		// store misses did not allocate.
 		h.request(level+1, addr, sizeBytes, true)

@@ -6,6 +6,7 @@ import (
 
 	"hybridmem/internal/cache"
 	"hybridmem/internal/tech"
+	"hybridmem/internal/trace"
 )
 
 // memStats accumulates terminal-memory statistics in cache.Stats form so the
@@ -49,6 +50,30 @@ func (m *SimpleMemory) Load(addr, sizeBytes uint64) { m.ms.load(sizeBytes) }
 
 // Store records a write.
 func (m *SimpleMemory) Store(addr, sizeBytes uint64) { m.ms.store(sizeBytes) }
+
+// accessBatch folds a whole batch of terminal references into the module's
+// statistics with one update: counts and bit totals accumulate in locals so
+// the inner loop touches no shared state.
+func (m *SimpleMemory) accessBatch(refs []trace.Ref) {
+	var loads, stores, loadBits, storeBits uint64
+	for i := range refs {
+		bits := refs[i].Bytes() * 8
+		if refs[i].Kind == trace.Store {
+			stores++
+			storeBits += bits
+		} else {
+			loads++
+			loadBits += bits
+		}
+	}
+	s := &m.ms.stats
+	s.Loads += loads
+	s.LoadHits += loads
+	s.LoadBits += loadBits
+	s.Stores += stores
+	s.StoreHits += stores
+	s.StoreBits += storeBits
+}
 
 // Modules returns the single module's statistics.
 func (m *SimpleMemory) Modules() []LevelStats {
@@ -152,6 +177,22 @@ func (m *PartitionedMemory) Store(addr, sizeBytes uint64) {
 		m.rangeMS.store(sizeBytes)
 	} else {
 		m.otherMS.store(sizeBytes)
+	}
+}
+
+// accessBatch delivers a batch of terminal references without the per-call
+// Memory interface hop; the range lookup still runs per reference.
+func (m *PartitionedMemory) accessBatch(refs []trace.Ref) {
+	for i := range refs {
+		ms := &m.otherMS
+		if m.inRange(refs[i].Addr) {
+			ms = &m.rangeMS
+		}
+		if refs[i].Kind == trace.Store {
+			ms.store(refs[i].Bytes())
+		} else {
+			ms.load(refs[i].Bytes())
+		}
 	}
 }
 

@@ -72,11 +72,11 @@ func TestProfileWorkloadBasics(t *testing.T) {
 		if wp.TotalRefs == 0 {
 			t.Fatalf("%s: no refs", wp.Name)
 		}
-		if len(wp.Boundary) == 0 {
+		if wp.Boundary.Len() == 0 {
 			t.Fatalf("%s: empty boundary stream", wp.Name)
 		}
-		if uint64(len(wp.Boundary)) >= wp.TotalRefs {
-			t.Fatalf("%s: boundary (%d) not smaller than total (%d)", wp.Name, len(wp.Boundary), wp.TotalRefs)
+		if uint64(wp.Boundary.Len()) >= wp.TotalRefs {
+			t.Fatalf("%s: boundary (%d) not smaller than total (%d)", wp.Name, wp.Boundary.Len(), wp.TotalRefs)
 		}
 		if wp.Footprint == 0 || len(wp.Regions) == 0 {
 			t.Fatalf("%s: missing metadata", wp.Name)
@@ -101,8 +101,8 @@ func TestDilutionAccounting(t *testing.T) {
 		t.Fatalf("diluted refs = %d, want 5x %d", diluted.TotalRefs, raw.TotalRefs)
 	}
 	// Dilution must not change the boundary stream.
-	if len(diluted.Boundary) != len(raw.Boundary) {
-		t.Fatalf("dilution changed boundary: %d vs %d", len(diluted.Boundary), len(raw.Boundary))
+	if diluted.Boundary.Len() != raw.Boundary.Len() {
+		t.Fatalf("dilution changed boundary: %d vs %d", diluted.Boundary.Len(), raw.Boundary.Len())
 	}
 	// Extra refs are all L1 load hits.
 	extra := diluted.TotalRefs - raw.TotalRefs

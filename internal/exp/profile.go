@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"hybridmem/internal/core"
@@ -106,8 +107,10 @@ type WorkloadProfile struct {
 	// Prefix holds L1/L2/L3 statistics from the full-stream simulation.
 	Prefix []core.LevelStats
 	// Boundary is the recorded post-L3 stream (loads = L3 fetches,
-	// stores = dirty L3 evictions).
-	Boundary []trace.Ref
+	// stores = dirty L3 evictions), held in its packed delta-encoded form —
+	// a few bytes per reference instead of 16 — and decoded block by block
+	// into reusable batch buffers at replay time.
+	Boundary *trace.Packed
 	// TotalRefs is the workload's reference count (AMAT denominator).
 	TotalRefs uint64
 	// Series is the epoch time-series of the prefix simulation, captured
@@ -173,7 +176,12 @@ func ProfileWorkloadOpts(w workload.Workload, opt ProfileOptions) (*WorkloadProf
 		h.Flush()
 		obs.CountRefs(h.Refs())
 	}
-	done(obs.ThroughputFields(h.Refs(), time.Since(start)))
+	boundary := rec.Stream()
+	f := obs.ThroughputFields(h.Refs(), time.Since(start))
+	f["boundary_refs"] = boundary.Len()
+	f["boundary_packed_bytes"] = boundary.PackedBytes()
+	f["boundary_raw_bytes"] = boundary.RawBytes()
+	done(f)
 
 	wp := &WorkloadProfile{
 		Name:      w.Name(),
@@ -181,7 +189,7 @@ func ProfileWorkloadOpts(w workload.Workload, opt ProfileOptions) (*WorkloadProf
 		RefTime:   w.RefTime(),
 		Regions:   w.Regions(),
 		Prefix:    h.Levels(),
-		Boundary:  rec.Refs(),
+		Boundary:  boundary,
 		TotalRefs: h.Refs(),
 		log:       opt.Log,
 	}
@@ -230,16 +238,17 @@ func (wp *WorkloadProfile) Evaluate(b design.Backend) (model.Evaluation, error) 
 	return wp.EvaluateCtx(context.Background(), b)
 }
 
-// replayChunk is the number of boundary references replayed between
-// cancellation checks in EvaluateCtx. Large enough that the per-chunk
-// ctx.Err() call is invisible in replay throughput, small enough that a
-// cancelled request aborts within a few milliseconds of simulated work.
-const replayChunk = 1 << 16
+// replayBufPool recycles block-sized decode buffers across EvaluateCtx
+// calls, so concurrent replay workers each borrow one resident buffer
+// instead of allocating a fresh 1 MiB slice per design point.
+var replayBufPool = sync.Pool{
+	New: func() any { return make([]trace.Ref, 0, trace.BlockRefs) },
+}
 
-// EvaluateCtx is Evaluate with cooperative cancellation: the boundary
-// replay proceeds in replayChunk-sized slices and aborts with ctx.Err()
-// as soon as the context is done, so server request timeouts genuinely
-// stop in-flight simulation work instead of letting it run to completion.
+// EvaluateCtx is Evaluate with cooperative cancellation: the packed
+// boundary stream decodes and replays one block at a time, checking
+// ctx.Err() between blocks, so server request timeouts genuinely stop
+// in-flight simulation work instead of letting it run to completion.
 func (wp *WorkloadProfile) EvaluateCtx(ctx context.Context, b design.Backend) (model.Evaluation, error) {
 	var start time.Time
 	if wp.log != nil {
@@ -249,23 +258,23 @@ func (wp *WorkloadProfile) EvaluateCtx(ctx context.Context, b design.Backend) (m
 	if err != nil {
 		return model.Evaluation{}, err
 	}
-	for lo := 0; lo < len(wp.Boundary); lo += replayChunk {
+	buf := replayBufPool.Get().([]trace.Ref)
+	err = wp.Boundary.Batches(buf, func(refs []trace.Ref) error {
 		if err := ctx.Err(); err != nil {
-			return model.Evaluation{}, err
+			return err
 		}
-		hi := lo + replayChunk
-		if hi > len(wp.Boundary) {
-			hi = len(wp.Boundary)
-		}
-		for _, r := range wp.Boundary[lo:hi] {
-			built.Access(r)
-		}
+		built.AccessBatch(refs)
+		return nil
+	})
+	replayBufPool.Put(buf)
+	if err != nil {
+		return model.Evaluation{}, err
 	}
 	built.Flush()
 	p := wp.profileWith(built.Snapshot())
 	ev, err := model.Evaluate(b.Name, wp.Name, wp.refProfile, wp.RefTime, p)
 	if wp.log != nil && err == nil {
-		f := obs.ThroughputFields(uint64(len(wp.Boundary)), time.Since(start))
+		f := obs.ThroughputFields(uint64(wp.Boundary.Len()), time.Since(start))
 		f["workload"] = wp.Name
 		f["design"] = b.Name
 		f["norm_time"] = ev.NormTime

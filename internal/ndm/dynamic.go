@@ -94,9 +94,11 @@ type DynamicResult struct {
 
 // SimulateDynamic runs the epoch-based policy over a post-L3 boundary
 // stream. The stream is the same one the static oracle profiles, so the
-// two approaches are directly comparable.
-func SimulateDynamic(refs []trace.Ref, cfg DynamicConfig) (DynamicResult, error) {
-	cfg = cfg.withDefaults(len(refs))
+// two approaches are directly comparable; a raw []trace.Ref simulates via
+// trace.RefSlice.
+func SimulateDynamic(st trace.Stream, cfg DynamicConfig) (DynamicResult, error) {
+	streamLen := st.Len()
+	cfg = cfg.withDefaults(streamLen)
 	if cfg.ChunkBytes&(cfg.ChunkBytes-1) != 0 {
 		return DynamicResult{}, fmt.Errorf("ndm: chunk size %d not a power of two", cfg.ChunkBytes)
 	}
@@ -170,25 +172,31 @@ func SimulateDynamic(refs []trace.Ref, cfg DynamicConfig) (DynamicResult, error)
 	for cb := cfg.ChunkBytes; cb > 1; cb >>= 1 {
 		chunkShift++
 	}
-	for i, r := range refs {
-		chunk := r.Addr >> chunkShift
-		epochHits[chunk]++
-		size := uint64(r.Size)
-		if size == 0 {
-			size = 1
+	i := 0
+	st.Batches(nil, func(refs []trace.Ref) error {
+		for k := range refs {
+			r := refs[k]
+			chunk := r.Addr >> chunkShift
+			epochHits[chunk]++
+			size := uint64(r.Size)
+			if size == 0 {
+				size = 1
+			}
+			appAccesses++
+			if inDRAM[chunk] {
+				res.DRAM.add(size, r.Kind == trace.Store)
+			} else {
+				nvmAccesses++
+				res.NVM.add(size, r.Kind == trace.Store)
+			}
+			i++
+			if i%cfg.EpochRefs == 0 {
+				endEpoch()
+			}
 		}
-		appAccesses++
-		if inDRAM[chunk] {
-			res.DRAM.add(size, r.Kind == trace.Store)
-		} else {
-			nvmAccesses++
-			res.NVM.add(size, r.Kind == trace.Store)
-		}
-		if (i+1)%cfg.EpochRefs == 0 {
-			endEpoch()
-		}
-	}
-	if len(refs)%cfg.EpochRefs != 0 {
+		return nil
+	})
+	if streamLen%cfg.EpochRefs != 0 {
 		endEpoch()
 	}
 	res.ResidentDRAMBytes = uint64(len(inDRAM)) * cfg.ChunkBytes

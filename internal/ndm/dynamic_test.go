@@ -8,7 +8,7 @@ import (
 )
 
 // mkStream builds a stream with a hot region and a cold scan.
-func mkStream(n int, hotBase, hotSpan, coldBase, coldSpan uint64, seed uint64) []trace.Ref {
+func mkStream(n int, hotBase, hotSpan, coldBase, coldSpan uint64, seed uint64) trace.RefSlice {
 	rng := rand.New(rand.NewPCG(seed, 1))
 	refs := make([]trace.Ref, n)
 	for i := range refs {
@@ -28,7 +28,7 @@ func mkStream(n int, hotBase, hotSpan, coldBase, coldSpan uint64, seed uint64) [
 }
 
 func TestDynamicValidation(t *testing.T) {
-	_, err := SimulateDynamic(nil, DynamicConfig{ChunkBytes: 3000})
+	_, err := SimulateDynamic(trace.RefSlice(nil), DynamicConfig{ChunkBytes: 3000})
 	if err == nil {
 		t.Fatal("non-power-of-two chunk should fail")
 	}

@@ -41,26 +41,31 @@ func (r RangeStats) Accesses() uint64 { return r.Loads + r.Stores }
 
 // Profile counts a post-L3 boundary stream into the given candidate ranges.
 // References outside every range are accumulated into the returned "other"
-// bucket (they stay on DRAM in every placement).
-func Profile(ranges []RangeStats, refs []trace.Ref) (out []RangeStats, other RangeStats) {
+// bucket (they stay on DRAM in every placement). The stream is walked batch
+// by batch; a raw []trace.Ref profiles via trace.RefSlice.
+func Profile(ranges []RangeStats, st trace.Stream) (out []RangeStats, other RangeStats) {
 	out = append([]RangeStats(nil), ranges...)
 	sort.Slice(out, func(i, j int) bool { return out[i].Range.Start < out[j].Range.Start })
 	other = RangeStats{Name: "other"}
-	for _, r := range refs {
-		b := findRange(out, r.Addr)
-		tgt := &other
-		if b >= 0 {
-			tgt = &out[b]
+	st.Batches(nil, func(refs []trace.Ref) error {
+		for i := range refs {
+			r := refs[i]
+			b := findRange(out, r.Addr)
+			tgt := &other
+			if b >= 0 {
+				tgt = &out[b]
+			}
+			bits := uint64(r.Size) * 8
+			if r.Kind == trace.Store {
+				tgt.Stores++
+				tgt.StoreBits += bits
+			} else {
+				tgt.Loads++
+				tgt.LoadBits += bits
+			}
 		}
-		bits := uint64(r.Size) * 8
-		if r.Kind == trace.Store {
-			tgt.Stores++
-			tgt.StoreBits += bits
-		} else {
-			tgt.Loads++
-			tgt.LoadBits += bits
-		}
-	}
+		return nil
+	})
 	return out, other
 }
 

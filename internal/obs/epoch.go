@@ -120,6 +120,27 @@ func (s *EpochSampler) Access(r trace.Ref) {
 	}
 }
 
+// AccessBatch forwards refs to the target batch-first, splitting the batch
+// exactly at interval boundaries so the resulting Series is identical to
+// per-reference delivery. The splits forward subslices of refs — the
+// default sampling path stays allocation-free.
+func (s *EpochSampler) AccessBatch(refs []trace.Ref) {
+	for len(refs) > 0 {
+		room := s.every - s.since
+		if n := uint64(len(refs)); n < room {
+			trace.SinkBatch(s.target, refs)
+			s.refs += n
+			s.since += n
+			return
+		}
+		trace.SinkBatch(s.target, refs[:room])
+		s.refs += room
+		s.since += room
+		s.cut()
+		refs = refs[room:]
+	}
+}
+
 // Flush flushes the target (draining residual dirty lines downstream) and
 // closes the final epoch so flush traffic is attributed rather than lost.
 // When the run ended exactly on an epoch boundary and the flush moved no

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"reflect"
 	"testing"
 
 	"hybridmem/internal/cache"
@@ -171,5 +172,48 @@ func TestEpochSamplerHotPathAllocs(t *testing.T) {
 	allocs := testing.AllocsPerRun(1000, func() { s.Access(r) })
 	if allocs != 0 {
 		t.Fatalf("Access allocates %v objects/op, want 0", allocs)
+	}
+}
+
+// TestEpochSamplerBatchEquivalence pins the batch path's exact-split
+// contract: delivering a stream through AccessBatch in arbitrary batch
+// sizes (including batches spanning several epoch boundaries) yields a
+// Series identical to per-reference delivery.
+func TestEpochSamplerBatchEquivalence(t *testing.T) {
+	state := uint64(42)
+	refs := make([]trace.Ref, 5000)
+	for i := range refs {
+		state = state*6364136223846793005 + 1442695040888963407
+		kind := trace.Load
+		if state%3 == 0 {
+			kind = trace.Store
+		}
+		refs[i] = trace.Ref{Addr: (state >> 16) % (64 << 10), Size: 8, Kind: kind}
+	}
+
+	perRef := NewEpochSampler(testHierarchy(t), 64)
+	for _, r := range refs {
+		perRef.Access(r)
+	}
+	perRef.Flush()
+
+	batched := NewEpochSampler(testHierarchy(t), 64)
+	// Ragged batch sizes: below, equal to, and far above the epoch interval.
+	for i, rest := 0, refs; len(rest) > 0; i++ {
+		n := []int{1, 63, 64, 65, 300, 7}[i%6]
+		if n > len(rest) {
+			n = len(rest)
+		}
+		batched.AccessBatch(rest[:n])
+		rest = rest[n:]
+	}
+	batched.Flush()
+
+	a, b := perRef.Series(), batched.Series()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("batched Series diverges from per-ref:\nper-ref %+v\nbatched %+v", a, b)
+	}
+	if perRef.Refs() != batched.Refs() {
+		t.Fatalf("ref counts diverge: %d vs %d", perRef.Refs(), batched.Refs())
 	}
 }

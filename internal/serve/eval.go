@@ -67,6 +67,13 @@ type Evaluator struct {
 	replays      atomic.Uint64
 	replayedRefs atomic.Uint64
 	profilesRun  atomic.Uint64
+
+	// Process-global expvar gauges of the boundary-store footprint across
+	// every profile this process has recorded: packed (resident) bytes
+	// against the raw []trace.Ref bytes the packed encoding replaced.
+	boundaryRefs        *obs.Counter
+	boundaryPackedBytes *obs.Counter
+	boundaryRawBytes    *obs.Counter
 }
 
 // NewEvaluator builds an evaluator bounded to maxProfiles cached workload
@@ -81,6 +88,10 @@ func NewEvaluator(maxProfiles int, log *obs.Logger) *Evaluator {
 		profiles:    map[string]*exp.WorkloadProfile{},
 		profileUse:  map[string]uint64{},
 		profFlight:  newFlightGroup[*exp.WorkloadProfile](),
+
+		boundaryRefs:        obs.NewCounter("memsimd.boundary_refs"),
+		boundaryPackedBytes: obs.NewCounter("memsimd.boundary_packed_bytes"),
+		boundaryRawBytes:    obs.NewCounter("memsimd.boundary_raw_bytes"),
 	}
 }
 
@@ -134,6 +145,9 @@ func (e *Evaluator) profile(ctx context.Context, r *EvalRequest) (*exp.WorkloadP
 			return nil, err
 		}
 		e.profilesRun.Add(1)
+		e.boundaryRefs.Add(uint64(wp.Boundary.Len()))
+		e.boundaryPackedBytes.Add(wp.Boundary.PackedBytes())
+		e.boundaryRawBytes.Add(wp.Boundary.RawBytes())
 		e.mu.Lock()
 		defer e.mu.Unlock()
 		e.useClock++
@@ -176,7 +190,7 @@ func (e *Evaluator) Evaluate(ctx context.Context, r *EvalRequest) (*EvalResult, 
 		if err != nil {
 			return nil, err
 		}
-		replayed = uint64(len(wp.Boundary))
+		replayed = uint64(wp.Boundary.Len())
 		e.replays.Add(1)
 		e.replayedRefs.Add(replayed)
 	} else {

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSinkBatchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	refs := randRefs(rng, 10000)
+
+	// Batch-native sink: Counter.
+	var perRef, batched Counter
+	for _, r := range refs {
+		perRef.Access(r)
+	}
+	SinkBatch(&batched, refs)
+	if perRef != batched {
+		t.Fatalf("Counter batch diverges: %+v vs %+v", batched, perRef)
+	}
+
+	// Per-ref-only sink: SinkFunc must see every ref in order.
+	var order []Ref
+	SinkBatch(SinkFunc(func(r Ref) { order = append(order, r) }), refs)
+	if len(order) != len(refs) {
+		t.Fatalf("SinkFunc saw %d refs, want %d", len(order), len(refs))
+	}
+	for i := range refs {
+		if order[i] != refs[i] {
+			t.Fatalf("SinkFunc ref %d = %+v, want %+v", i, order[i], refs[i])
+		}
+	}
+}
+
+func TestBatcherDrainsInOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	refs := randRefs(rng, 1000)
+
+	var got []Ref
+	b := NewBatcher(SinkFunc(func(r Ref) { got = append(got, r) }), 64)
+	for i, r := range refs {
+		b.Access(r)
+		if b.Buffered() >= 64 {
+			t.Fatalf("buffer exceeded capacity at ref %d", i)
+		}
+	}
+	b.Drain()
+	if len(got) != len(refs) {
+		t.Fatalf("drained %d refs, want %d", len(got), len(refs))
+	}
+	for i := range refs {
+		if got[i] != refs[i] {
+			t.Fatalf("ref %d = %+v, want %+v", i, got[i], refs[i])
+		}
+	}
+}
+
+func TestBatcherAccessBatchPreservesOrder(t *testing.T) {
+	var rec Recorder
+	b := NewBatcher(&rec, 8)
+	b.Access(Ref{Addr: 1, Size: 8})
+	b.Access(Ref{Addr: 2, Size: 8})
+	b.AccessBatch([]Ref{{Addr: 3, Size: 8}, {Addr: 4, Size: 8}})
+	b.Access(Ref{Addr: 5, Size: 8})
+	b.Drain()
+	if rec.Len() != 5 {
+		t.Fatalf("recorded %d refs, want 5", rec.Len())
+	}
+	for i, want := range []uint64{1, 2, 3, 4, 5} {
+		if rec.Refs[i].Addr != want {
+			t.Fatalf("ref %d addr = %d, want %d", i, rec.Refs[i].Addr, want)
+		}
+	}
+}
+
+// flushSpy records whether Flush reached the destination sink.
+type flushSpy struct {
+	Counter
+	flushed int
+}
+
+func (f *flushSpy) Flush() { f.flushed++ }
+
+func TestBatcherDrainVsFlush(t *testing.T) {
+	var spy flushSpy
+	b := NewBatcher(&spy, 8)
+	b.Access(Ref{Addr: 1, Size: 8})
+	b.Drain()
+	if spy.flushed != 0 {
+		t.Fatal("Drain must not flush the destination")
+	}
+	if spy.Total() != 1 {
+		t.Fatalf("Drain delivered %d refs, want 1", spy.Total())
+	}
+	b.Access(Ref{Addr: 2, Size: 8})
+	b.Flush()
+	if spy.flushed != 1 {
+		t.Fatalf("Flush reached destination %d times, want 1", spy.flushed)
+	}
+	if spy.Total() != 2 {
+		t.Fatalf("total %d refs, want 2", spy.Total())
+	}
+}
+
+func TestRefSliceStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	refs := randRefs(rng, 5000)
+	s := RefSlice(refs)
+	if s.Len() != len(refs) {
+		t.Fatalf("Len() = %d", s.Len())
+	}
+	buf := make([]Ref, 0, 512)
+	var seen, batches int
+	s.Batches(buf, func(b []Ref) error {
+		if len(b) > 512 {
+			t.Fatalf("batch of %d exceeds buffer capacity", len(b))
+		}
+		seen += len(b)
+		batches++
+		return nil
+	})
+	if seen != len(refs) || batches != (len(refs)+511)/512 {
+		t.Fatalf("seen=%d batches=%d", seen, batches)
+	}
+}
+
+func TestTeeAndRecorderBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	refs := randRefs(rng, 3000)
+
+	var c Counter
+	var rec Recorder
+	tee := NewTee(&c, &rec)
+	SinkBatch(tee, refs)
+
+	var want Counter
+	for _, r := range refs {
+		want.Access(r)
+	}
+	if c != want {
+		t.Fatalf("Tee batch count %+v, want %+v", c, want)
+	}
+	if rec.Len() != len(refs) {
+		t.Fatalf("Recorder got %d refs, want %d", rec.Len(), len(refs))
+	}
+
+	// Recorder.Replay through the batch bridge must match a scalar replay.
+	var c2 Counter
+	rec.Replay(&c2)
+	if c2 != want {
+		t.Fatalf("Replay count %+v, want %+v", c2, want)
+	}
+}

@@ -94,6 +94,13 @@ func (w *Writer) Access(r Ref) {
 	w.count++
 }
 
+// AccessBatch encodes refs in order. It implements BatchSink.
+func (w *Writer) AccessBatch(refs []Ref) {
+	for i := range refs {
+		w.Access(refs[i])
+	}
+}
+
 // Count returns the number of references written.
 func (w *Writer) Count() uint64 { return w.count }
 

@@ -6,6 +6,18 @@
 // trace on disk. This package reproduces that architecture: workloads are
 // instrumented Go kernels that push references into a Sink as they compute,
 // and the simulator is a Sink. Nothing is buffered beyond small batches.
+//
+// The pipeline is batch-first. Producers accumulate references into a
+// Batcher and hand them downstream DefaultBatchRefs at a time through
+// BatchSink.AccessBatch, so the cost of crossing the sink boundary — an
+// interface dispatch, a bounds check, a stats update — is paid once per
+// batch instead of once per reference. Every sink in this package is
+// batch-native (Counter, Tee, Recorder, Writer, Packed), SinkBatch bridges
+// batches onto legacy per-reference sinks, and Stream abstracts replayable
+// sources (RefSlice over a raw slice, Packed over the delta-encoded
+// boundary store) so consumers replay either representation identically.
+// Batched delivery is semantically transparent: a batch of n references
+// produces exactly the state n consecutive Access calls would.
 package trace
 
 // Kind distinguishes loads from stores. The distinction is essential to the
@@ -83,6 +95,9 @@ type Null struct{}
 // Access discards r.
 func (Null) Access(Ref) {}
 
+// AccessBatch discards refs.
+func (Null) AccessBatch([]Ref) {}
+
 // Counter is a Sink that counts loads, stores, and bytes moved. The zero
 // value is ready to use.
 type Counter struct {
@@ -101,6 +116,25 @@ func (c *Counter) Access(r Ref) {
 		c.Loads++
 		c.LoadBytes += r.Bytes()
 	}
+}
+
+// AccessBatch counts refs, accumulating into locals so the counter fields
+// are touched once per batch rather than once per reference.
+func (c *Counter) AccessBatch(refs []Ref) {
+	var loads, stores, loadB, storeB uint64
+	for i := range refs {
+		if refs[i].Kind == Store {
+			stores++
+			storeB += refs[i].Bytes()
+		} else {
+			loads++
+			loadB += refs[i].Bytes()
+		}
+	}
+	c.Loads += loads
+	c.Stores += stores
+	c.LoadBytes += loadB
+	c.StoreBytes += storeB
 }
 
 // Total returns the total number of references seen.
@@ -124,6 +158,14 @@ func (t *Tee) Access(r Ref) {
 	}
 }
 
+// AccessBatch forwards the whole batch to every sink, in order, using each
+// sink's batch entry point when it has one.
+func (t *Tee) AccessBatch(refs []Ref) {
+	for _, s := range t.Sinks {
+		SinkBatch(s, refs)
+	}
+}
+
 // Flush flushes every sink that supports it.
 func (t *Tee) Flush() {
 	for _, s := range t.Sinks {
@@ -142,11 +184,13 @@ type Recorder struct {
 // Access appends r.
 func (rec *Recorder) Access(r Ref) { rec.Refs = append(rec.Refs, r) }
 
-// Replay pushes every recorded reference into sink and flushes it.
+// AccessBatch appends a copy of refs.
+func (rec *Recorder) AccessBatch(refs []Ref) { rec.Refs = append(rec.Refs, refs...) }
+
+// Replay pushes every recorded reference into sink and flushes it, using the
+// sink's batch entry point when it has one.
 func (rec *Recorder) Replay(sink Sink) {
-	for _, r := range rec.Refs {
-		sink.Access(r)
-	}
+	SinkBatch(sink, rec.Refs)
 	FlushIfPossible(sink)
 }
 

@@ -100,7 +100,8 @@ func (l *level) idx(i, j, k int) int { return (i*l.n+j)*l.n + k }
 
 // Run executes the configured number of V-cycles, emitting references.
 func (w *Workload) Run(sink trace.Sink) {
-	mem := workload.Mem{S: sink}
+	mem := workload.NewMem(sink)
+	defer mem.Flush()
 	// Reset solution so every Run emits an identical stream.
 	for _, l := range w.levels {
 		for i := range l.u {

@@ -103,7 +103,8 @@ func (w *Workload) VisitedTotal() int64 { return w.visitedTotal }
 // level-synchronous queue algorithm, emitting a reference for every parent
 // check/update, adjacency fetch, and queue operation.
 func (w *Workload) Run(sink trace.Sink) {
-	mem := workload.Mem{S: sink}
+	mem := workload.NewMem(sink)
+	defer mem.Flush()
 	g := w.g
 	parent := make([]int64, g.N)
 	queue := make([]int64, 0, g.N)

@@ -109,7 +109,8 @@ func mix(x uint64) uint64 {
 // with linear probing. Every key-stream read, probe load, and slot store is
 // traced.
 func (w *Workload) Run(sink trace.Sink) {
-	mem := workload.Mem{S: sink}
+	mem := workload.NewMem(sink)
+	defer mem.Flush()
 	mask := w.capacity - 1
 	table := make([]uint64, w.capacity) // keys; 0 = empty
 	rng := rand.New(rand.NewPCG(w.seed, 0x2545F4914F6CDD1D))

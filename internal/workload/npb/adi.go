@@ -40,7 +40,8 @@ func (a *adi) Regions() []workload.Region { return a.g.regions() }
 
 // Run executes the solver, emitting references online.
 func (a *adi) Run(sink trace.Sink) {
-	mem := workload.Mem{S: sink}
+	mem := workload.NewMem(sink)
+	defer mem.Flush()
 	for it := 0; it < a.iters; it++ {
 		a.computeRHS(mem)
 		a.sweep(mem, 0) // x: stride n² cells

@@ -80,7 +80,8 @@ func (c *cg) Regions() []workload.Region { return c.arena.Regions() }
 // Run executes the traced conjugate-gradient solve. The arithmetic mirrors
 // sparse.CG exactly; every array access additionally emits its reference.
 func (c *cg) Run(sink trace.Sink) {
-	mem := workload.Mem{S: sink}
+	mem := workload.NewMem(sink)
+	defer mem.Flush()
 	m := c.m
 	n := m.N
 	x := make([]float64, n)

@@ -60,7 +60,8 @@ func (l *lu) Checksum() float64 { return l.g.checksum() }
 // Run executes SSOR iterations: rhs evaluation, a lower-triangular wavefront
 // sweep, an upper-triangular wavefront sweep, and the solution update.
 func (l *lu) Run(sink trace.Sink) {
-	mem := workload.Mem{S: sink}
+	mem := workload.NewMem(sink)
+	defer mem.Flush()
 	const omega = 1.2
 	g := l.g
 	n := g.n

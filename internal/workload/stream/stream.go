@@ -81,7 +81,8 @@ func (w *Workload) Checksum() float64 { return w.checksum }
 // Run executes the four kernels per iteration: Copy (c=a), Scale (b=k*c),
 // Add (c=a+b), Triad (a=b+k*c).
 func (w *Workload) Run(sink trace.Sink) {
-	mem := workload.Mem{S: sink}
+	mem := workload.NewMem(sink)
+	defer mem.Flush()
 	const k = 3.0
 	// Reset state so repeated runs emit identical streams.
 	for i := range w.a {

@@ -110,7 +110,8 @@ func mix(x uint64) uint64 {
 
 // Run executes both assembler phases with traced references.
 func (w *Workload) Run(sink trace.Sink) {
-	mem := workload.Mem{S: sink}
+	mem := workload.NewMem(sink)
+	defer mem.Flush()
 	mask := w.slots - 1
 	kmerMask := uint64(1)<<(2*K) - 1
 

@@ -148,37 +148,48 @@ func (a *Arena) Footprint() uint64 {
 	return total
 }
 
-// Mem emits references for a kernel: a thin wrapper around a sink with
-// fixed-size load/store helpers for the common 8-byte (float64/int64) and
-// 4-byte (int32) element sizes.
+// Mem emits references for a kernel: fixed-size load/store helpers for the
+// common 8-byte (float64/int64) and 4-byte (int32) element sizes over a
+// batching emitter, so kernels deliver references to the simulator
+// trace.DefaultBatchRefs at a time instead of one interface call each. Mem
+// is a value type sharing one buffer; kernels pass it freely to helper
+// functions and call Flush once when their stream ends.
 type Mem struct {
-	S trace.Sink
+	b *trace.Batcher
 }
 
+// NewMem returns an emitter delivering batches into sink.
+func NewMem(sink trace.Sink) Mem { return Mem{b: trace.NewBatcher(sink, 0)} }
+
+// Flush drains buffered references downstream. It intentionally does not
+// flush the sink itself: draining simulator state (dirty cache lines) is the
+// profiler's decision, made after the kernel finishes.
+func (m Mem) Flush() { m.b.Drain() }
+
 // Load8 emits an 8-byte load at addr.
-func (m Mem) Load8(addr uint64) { m.S.Access(trace.Ref{Addr: addr, Size: 8, Kind: trace.Load}) }
+func (m Mem) Load8(addr uint64) { m.b.Access(trace.Ref{Addr: addr, Size: 8, Kind: trace.Load}) }
 
 // Store8 emits an 8-byte store at addr.
-func (m Mem) Store8(addr uint64) { m.S.Access(trace.Ref{Addr: addr, Size: 8, Kind: trace.Store}) }
+func (m Mem) Store8(addr uint64) { m.b.Access(trace.Ref{Addr: addr, Size: 8, Kind: trace.Store}) }
 
 // Load4 emits a 4-byte load at addr.
-func (m Mem) Load4(addr uint64) { m.S.Access(trace.Ref{Addr: addr, Size: 4, Kind: trace.Load}) }
+func (m Mem) Load4(addr uint64) { m.b.Access(trace.Ref{Addr: addr, Size: 4, Kind: trace.Load}) }
 
 // Store4 emits a 4-byte store at addr.
-func (m Mem) Store4(addr uint64) { m.S.Access(trace.Ref{Addr: addr, Size: 4, Kind: trace.Store}) }
+func (m Mem) Store4(addr uint64) { m.b.Access(trace.Ref{Addr: addr, Size: 4, Kind: trace.Store}) }
 
 // Load1 emits a 1-byte load at addr.
-func (m Mem) Load1(addr uint64) { m.S.Access(trace.Ref{Addr: addr, Size: 1, Kind: trace.Load}) }
+func (m Mem) Load1(addr uint64) { m.b.Access(trace.Ref{Addr: addr, Size: 1, Kind: trace.Load}) }
 
 // Store1 emits a 1-byte store at addr.
-func (m Mem) Store1(addr uint64) { m.S.Access(trace.Ref{Addr: addr, Size: 1, Kind: trace.Store}) }
+func (m Mem) Store1(addr uint64) { m.b.Access(trace.Ref{Addr: addr, Size: 1, Kind: trace.Store}) }
 
 // LoadN emits an n-byte load at addr.
 func (m Mem) LoadN(addr, n uint64) {
-	m.S.Access(trace.Ref{Addr: addr, Size: uint32(n), Kind: trace.Load})
+	m.b.Access(trace.Ref{Addr: addr, Size: uint32(n), Kind: trace.Load})
 }
 
 // StoreN emits an n-byte store at addr.
 func (m Mem) StoreN(addr, n uint64) {
-	m.S.Access(trace.Ref{Addr: addr, Size: uint32(n), Kind: trace.Store})
+	m.b.Access(trace.Ref{Addr: addr, Size: uint32(n), Kind: trace.Store})
 }

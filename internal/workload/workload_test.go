@@ -92,7 +92,7 @@ func TestRegionAddrPanicsOutOfBounds(t *testing.T) {
 
 func TestMemEmission(t *testing.T) {
 	var refs []trace.Ref
-	m := Mem{S: trace.SinkFunc(func(r trace.Ref) { refs = append(refs, r) })}
+	m := NewMem(trace.SinkFunc(func(r trace.Ref) { refs = append(refs, r) }))
 	m.Load8(100)
 	m.Store8(200)
 	m.Load4(300)
@@ -101,6 +101,7 @@ func TestMemEmission(t *testing.T) {
 	m.Store1(600)
 	m.LoadN(700, 40)
 	m.StoreN(800, 24)
+	m.Flush()
 	wantSizes := []uint32{8, 8, 4, 4, 1, 1, 40, 24}
 	wantKinds := []trace.Kind{trace.Load, trace.Store, trace.Load, trace.Store, trace.Load, trace.Store, trace.Load, trace.Store}
 	if len(refs) != len(wantSizes) {
