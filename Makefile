@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test bench repro sweep clean race bench-json doccheck
+.PHONY: all build vet test bench repro sweep clean race bench-json doccheck chaos
 
 all: build vet test doccheck
 
@@ -33,10 +33,18 @@ bench-json:
 race:
 	$(GO) test -race ./...
 
+# Chaos harness: drive CHAOS_REQUESTS mixed requests (poisoned designs that
+# panic, injected transient faults, NVM device-fault specs) through the
+# serving path under the race detector. Asserts zero process exits, breaker
+# containment, bounded uncorrectable rates, and same-seed determinism.
+CHAOS_REQUESTS ?= 1000
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos' ./internal/serve -chaos-requests=$(CHAOS_REQUESTS) -v
+
 # Godoc hygiene: every package needs a package comment; the listed
 # packages additionally need doc comments on every exported symbol.
 doccheck:
-	$(GO) run ./cmd/doccheck -exported internal/serve,internal/exp,internal/obs,internal/design,internal/trace,internal/cache,internal/core .
+	$(GO) run ./cmd/doccheck -exported internal/serve,internal/exp,internal/obs,internal/design,internal/trace,internal/cache,internal/core,internal/fault .
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 repro:

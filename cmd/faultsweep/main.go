@@ -1,0 +1,164 @@
+// Command faultsweep sweeps NVM design points against injected device-fault
+// rates: every Table 3 configuration (N1-N9) of the NMM design — and
+// optionally the NDM write-aware placement, which can gracefully remap
+// retired pages into its DRAM partition — is replayed under the seeded
+// fault model of package fault at each requested bit-error rate.
+//
+// The output reports, per (configuration, error rate), both the paper's
+// normalized metrics and the fault model's outcomes: ECC-corrected errors,
+// detected-uncorrectable errors, wear-induced stuck lines, retired pages,
+// and remapped accesses. Runs are deterministic: the same -seed reproduces
+// identical fault statistics.
+//
+// Usage:
+//
+//	faultsweep                                   # Graph500 x N1-N9 x default BERs
+//	faultsweep -workload BT -nvm STTRAM
+//	faultsweep -bers 1e-12,1e-10,1e-8 -seed 7
+//	faultsweep -endurance 50000                  # add wear-driven stuck-at faults
+//	faultsweep -csv > sweep.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hybridmem/internal/design"
+	"hybridmem/internal/exp"
+	"hybridmem/internal/fault"
+	"hybridmem/internal/model"
+	"hybridmem/internal/ndm"
+	"hybridmem/internal/obs"
+	"hybridmem/internal/report"
+	"hybridmem/internal/tech"
+	"hybridmem/internal/workload"
+	"hybridmem/internal/workload/catalog"
+)
+
+func main() {
+	var (
+		wl        = flag.String("workload", "Graph500", "workload to sweep")
+		nvmName   = flag.String("nvm", "PCM", "NVM technology (PCM, STTRAM, FeRAM)")
+		scale     = flag.Uint64("scale", design.DefaultScale, "capacity co-scaling divisor")
+		wScale    = flag.Uint64("workload-scale", 0, "workload footprint divisor (0 = scale)")
+		iters     = flag.Int("iters", 0, "workload iteration override (0 = default)")
+		bers      = flag.String("bers", "0,1e-12,1e-10,1e-8", "comma-separated bit-error rates to sweep")
+		endurance = flag.Uint64("endurance", 0, "mean per-line write endurance before stuck-at faults (0 = off)")
+		seed      = flag.Uint64("seed", 1, "fault-injection seed (same seed = identical statistics)")
+		withNDM   = flag.Bool("ndm", true, "include the NDM write-aware placement (retired pages remap to DRAM)")
+		csv       = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		runlog    = flag.String("runlog", "", `write structured JSONL run events here ("-" = stderr)`)
+	)
+	flag.Parse()
+
+	rates, err := parseRates(*bers)
+	exitOn(err)
+	nvm, err := tech.ByName(*nvmName)
+	exitOn(err)
+
+	logw, closeLog, err := obs.OpenSink(*runlog, os.Stderr)
+	exitOn(err)
+	defer closeLog()
+	logger := obs.NewLogger(logw)
+
+	w, err := catalog.New(*wl, workload.Options{Scale: orDefault(*wScale, *scale), Iters: *iters})
+	exitOn(err)
+	fmt.Fprintf(os.Stderr, "faultsweep: profiling %s...\n", *wl)
+	wp, err := exp.ProfileWorkloadOpts(w, exp.ProfileOptions{Scale: *scale, Log: logger})
+	exitOn(err)
+
+	backends := []design.Backend{}
+	for _, cfg := range design.NConfigs {
+		backends = append(backends, design.NMM(cfg, nvm, *scale, wp.Footprint))
+	}
+	if *withNDM {
+		cands := ndm.Candidates(wp.Regions, 0, 3)
+		profiled, _ := ndm.Profile(cands, wp.Boundary)
+		p := ndm.WriteAwarePlacement(profiled, design.NDMDRAMCapacity / *scale)
+		backends = append(backends,
+			design.NDM(nvm, p.NVMRanges(), p.NVMBytes(), wp.Footprint, "write-aware"))
+	}
+
+	type row struct {
+		ber float64
+		ev  model.Evaluation
+	}
+	var rows []row
+	for _, b := range backends {
+		for _, ber := range rates {
+			fb := b.WithFault(fault.Config{
+				Seed:            *seed,
+				BitErrorRate:    ber,
+				EnduranceWrites: *endurance,
+			})
+			ev, err := wp.Evaluate(fb)
+			exitOn(err)
+			rows = append(rows, row{ber: ber, ev: ev})
+		}
+	}
+
+	if *csv {
+		fmt.Println("design,workload,ber,endurance,seed,norm_time,norm_energy,norm_edp," +
+			"accesses,corrected,uncorrected,stuck_lines,retired_pages,remapped,uncorr_rate")
+		for _, r := range rows {
+			s := r.ev.Fault
+			fmt.Printf("%s,%s,%g,%d,%d,%.6f,%.6f,%.6f,%d,%d,%d,%d,%d,%d,%.6e\n",
+				r.ev.Design, r.ev.Workload, r.ber, *endurance, *seed,
+				r.ev.NormTime, r.ev.NormEnergy, r.ev.NormEDP,
+				s.Accesses, s.Corrected, s.Uncorrected, s.StuckLines,
+				s.RetiredPages, s.Remapped, s.UncorrectedRate())
+		}
+		return
+	}
+	evals := make([]model.Evaluation, len(rows))
+	for i, r := range rows {
+		evals[i] = r.ev
+		evals[i].Design = fmt.Sprintf("%s@ber=%g", r.ev.Design, r.ber)
+	}
+	t := report.FaultTable(
+		fmt.Sprintf("device-fault sweep: %s on %s (seed %d, endurance %d)",
+			*wl, nvm.Name, *seed, *endurance),
+		evals)
+	t.WriteTo(os.Stdout)
+}
+
+// parseRates parses the comma-separated -bers list.
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad bit-error rate %q: %w", part, err)
+		}
+		if v < 0 || v >= 1 {
+			return nil, fmt.Errorf("bit-error rate %g out of [0, 1)", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no bit-error rates given")
+	}
+	return out, nil
+}
+
+// orDefault resolves a zero workload scale to the design scale.
+func orDefault(v, def uint64) uint64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultsweep:", err)
+		os.Exit(1)
+	}
+}

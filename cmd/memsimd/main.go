@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"hybridmem/internal/fault"
 	"hybridmem/internal/obs"
 	"hybridmem/internal/serve"
 )
@@ -45,6 +46,15 @@ func main() {
 		warmScale = flag.Uint64("warm-scale", 0, "design scale for the warmup profile (0 = default)")
 		runlog    = flag.String("runlog", "", `write structured JSONL run events here ("-" = stderr)`)
 		drainFor  = flag.Duration("drain", 30*time.Second, "max time to wait for in-flight evaluations on shutdown")
+
+		brkThreshold = flag.Int("breaker-threshold", fault.DefaultBreakerThreshold, "consecutive evaluation failures that open a design point's circuit breaker (negative = disabled)")
+		brkCooldown  = flag.Duration("breaker-cooldown", fault.DefaultBreakerCooldown, "open-breaker cooldown before a half-open probe is admitted")
+		retryN       = flag.Int("retry-attempts", fault.DefaultRetryAttempts, "total attempts per evaluation for transient faults (1 = no retries)")
+		retryBase    = flag.Duration("retry-base", fault.DefaultRetryBase, "first retry backoff delay (doubles per attempt, jittered)")
+
+		chaosPanic     = flag.Float64("chaos-panic", 0, "TESTING: fraction of request keys whose evaluation always panics")
+		chaosTransient = flag.Float64("chaos-transient", 0, "TESTING: per-call transient failure probability")
+		chaosSeed      = flag.Uint64("chaos-seed", 1, "TESTING: seed for the chaos plan's deterministic decisions")
 	)
 	var prof obs.Profile
 	prof.RegisterFlags(flag.CommandLine)
@@ -63,12 +73,26 @@ func main() {
 	defer closeLog()
 	logger := obs.NewLogger(logw)
 
+	var chaos *fault.ServicePlan
+	if *chaosPanic > 0 || *chaosTransient > 0 {
+		chaos = &fault.ServicePlan{
+			Seed:              *chaosSeed,
+			PanicFraction:     *chaosPanic,
+			TransientFraction: *chaosTransient,
+		}
+		fmt.Fprintf(os.Stderr, "memsimd: CHAOS MODE: panic=%g transient=%g seed=%d\n",
+			*chaosPanic, *chaosTransient, *chaosSeed)
+	}
+
 	ev := serve.NewEvaluator(*profiles, logger)
 	srv := serve.New(serve.Config{
 		Runner:       ev,
 		CacheEntries: *cacheN,
 		MaxInFlight:  *inflight,
 		Timeout:      *timeout,
+		Breaker:      fault.BreakerConfig{Threshold: *brkThreshold, Cooldown: *brkCooldown},
+		Retry:        fault.RetryPolicy{Attempts: *retryN, BaseDelay: *retryBase},
+		Chaos:        chaos,
 		Log:          logger,
 	})
 

@@ -114,6 +114,11 @@ func (b *Backend) Flush() { b.h.Flush() }
 // Snapshot returns the backend's level and memory statistics.
 func (b *Backend) Snapshot() []LevelStats { return b.h.Snapshot() }
 
+// Memory returns the backend's memory terminal, letting callers reach
+// through to decorators (e.g. the fault layer's device-fault wrapper) after
+// a replay.
+func (b *Backend) Memory() Memory { return b.h.Memory() }
+
 // CacheStats returns statistics of the backend's cache levels only.
 func (b *Backend) CacheStats() []cache.Stats {
 	ls := b.h.Levels()

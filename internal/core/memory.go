@@ -110,8 +110,14 @@ func (r AddrRange) String() string { return fmt.Sprintf("[%#x,%#x)", r.Start, r.
 // partitioned address space in which the listed ranges live on one
 // technology (typically NVM) and everything else on the other (typically
 // DRAM). The paper's oracle placement decides the ranges.
+//
+// PartitionedMemory also implements the fault layer's graceful-degradation
+// seam: RetirePage remaps a failed NVM-side page onto the other-side module,
+// so a design point keeps serving (at DRAM energy/latency for that page)
+// instead of dying with the device.
 type PartitionedMemory struct {
-	ranges []AddrRange // sorted by Start; addresses here go to rangeTech
+	ranges  []AddrRange // sorted by Start; addresses here go to rangeTech
+	retired []AddrRange // sorted by Start; subset of ranges remapped to other
 
 	rangeName string
 	rangeTech tech.Tech
@@ -144,16 +150,16 @@ func NewPartitionedMemory(ranges []AddrRange,
 	}, nil
 }
 
-// inRange reports whether addr belongs to the range-side module, by binary
-// search over the sorted ranges.
-func (m *PartitionedMemory) inRange(addr uint64) bool {
-	lo, hi := 0, len(m.ranges)
+// contains reports whether addr falls in any of the sorted, non-overlapping
+// ranges, by binary search.
+func contains(ranges []AddrRange, addr uint64) bool {
+	lo, hi := 0, len(ranges)
 	for lo < hi {
 		mid := (lo + hi) / 2
 		switch {
-		case addr < m.ranges[mid].Start:
+		case addr < ranges[mid].Start:
 			hi = mid
-		case addr >= m.ranges[mid].End:
+		case addr >= ranges[mid].End:
 			lo = mid + 1
 		default:
 			return true
@@ -161,6 +167,46 @@ func (m *PartitionedMemory) inRange(addr uint64) bool {
 	}
 	return false
 }
+
+// inRange reports whether addr belongs to the range-side module: inside a
+// partition range and not remapped away by a page retirement.
+func (m *PartitionedMemory) inRange(addr uint64) bool {
+	if !contains(m.ranges, addr) {
+		return false
+	}
+	return !contains(m.retired, addr)
+}
+
+// RetirePage remaps the page [start, start+size) from the range-side module
+// onto the other-side module, implementing the fault layer's PageRetirer
+// seam. It reports whether the remap took effect: the page must lie inside a
+// partition range (only the NVM side wears out) and must not already be
+// retired. Capacity follows the page — rangeCap shrinks and otherCap grows
+// by the retired bytes (clamped to what remains), so the design point's
+// total provisioned capacity is invariant under retirement.
+func (m *PartitionedMemory) RetirePage(start, size uint64) bool {
+	if size == 0 || !contains(m.ranges, start) {
+		return false
+	}
+	if contains(m.retired, start) || contains(m.retired, start+size-1) {
+		return false
+	}
+	page := AddrRange{Start: start, End: start + size}
+	i := sort.Search(len(m.retired), func(i int) bool { return m.retired[i].Start >= start })
+	m.retired = append(m.retired, AddrRange{})
+	copy(m.retired[i+1:], m.retired[i:])
+	m.retired[i] = page
+	moved := size
+	if moved > m.rangeCap {
+		moved = m.rangeCap
+	}
+	m.rangeCap -= moved
+	m.otherCap += moved
+	return true
+}
+
+// RetiredPages returns the number of pages retired so far.
+func (m *PartitionedMemory) RetiredPages() int { return len(m.retired) }
 
 // Load records a read against the module owning addr.
 func (m *PartitionedMemory) Load(addr, sizeBytes uint64) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hybridmem/internal/core"
+	"hybridmem/internal/fault"
 	"hybridmem/internal/tech"
 )
 
@@ -18,6 +19,10 @@ type Backend struct {
 	Caches []LevelSpec
 	// Memory describes the terminal.
 	Memory MemorySpec
+	// Fault, when non-nil, wraps the terminal in the seeded device-fault
+	// injector (transient bit errors, wear-driven stuck-at cells, ECC,
+	// page retirement — see package fault). Nil means a fault-free device.
+	Fault *fault.Config
 }
 
 // MemorySpec describes a main-memory terminal: either a single uniform
@@ -107,7 +112,17 @@ func (b Backend) components(prefix []core.Level) ([]core.Level, core.Memory, err
 	default:
 		mem = core.NewSimpleMemory(b.Memory.Name, b.Memory.Tech, b.Memory.Capacity)
 	}
+	if b.Fault != nil {
+		mem = fault.Wrap(mem, *b.Fault)
+	}
 	return levels, mem, nil
+}
+
+// WithFault returns a copy of the backend whose terminal is wrapped in the
+// device-fault injector with the given configuration.
+func (b Backend) WithFault(cfg fault.Config) Backend {
+	b.Fault = &cfg
+	return b
 }
 
 // WithRowBuffer returns a copy of the backend whose (uniform) terminal uses

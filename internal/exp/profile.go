@@ -19,6 +19,7 @@ import (
 
 	"hybridmem/internal/core"
 	"hybridmem/internal/design"
+	"hybridmem/internal/fault"
 	"hybridmem/internal/model"
 	"hybridmem/internal/obs"
 	"hybridmem/internal/trace"
@@ -147,8 +148,11 @@ func ProfileWorkload(w workload.Workload, scale uint64, dilution int) (*Workload
 }
 
 // ProfileWorkloadOpts is ProfileWorkload with observability options: epoch
-// sampling of the prefix stream and structured run logging.
-func ProfileWorkloadOpts(w workload.Workload, opt ProfileOptions) (*WorkloadProfile, error) {
+// sampling of the prefix stream and structured run logging. A kernel panic
+// (e.g. a typed workload.RegionError from an out-of-region reference)
+// is recovered into the returned error; the process survives.
+func ProfileWorkloadOpts(w workload.Workload, opt ProfileOptions) (wp *WorkloadProfile, err error) {
+	defer fault.RecoverTo(&err, "profile "+w.Name())
 	prefix, err := design.BuildPrefix(opt.Scale)
 	if err != nil {
 		return nil, err
@@ -183,7 +187,7 @@ func ProfileWorkloadOpts(w workload.Workload, opt ProfileOptions) (*WorkloadProf
 	f["boundary_raw_bytes"] = boundary.RawBytes()
 	done(f)
 
-	wp := &WorkloadProfile{
+	wp = &WorkloadProfile{
 		Name:      w.Name(),
 		Footprint: w.Footprint(),
 		RefTime:   w.RefTime(),
@@ -249,7 +253,16 @@ var replayBufPool = sync.Pool{
 // boundary stream decodes and replays one block at a time, checking
 // ctx.Err() between blocks, so server request timeouts genuinely stop
 // in-flight simulation work instead of letting it run to completion.
-func (wp *WorkloadProfile) EvaluateCtx(ctx context.Context, b design.Backend) (model.Evaluation, error) {
+//
+// EvaluateCtx is also a resilience boundary: a panic raised during replay
+// (a typed wear.LineError, workload.RegionError, or any other defect in a
+// design point) is recovered into a *fault.PanicError return, so one bad
+// design point fails its own evaluation instead of killing the worker pool.
+// When the backend injects device faults (design.Backend.Fault), the
+// terminal's fault counters are copied into the evaluation's Fault field and
+// logged with the design_point event.
+func (wp *WorkloadProfile) EvaluateCtx(ctx context.Context, b design.Backend) (ev model.Evaluation, err error) {
+	defer fault.RecoverTo(&err, "evaluate "+b.Name+" on "+wp.Name)
 	var start time.Time
 	if wp.log != nil {
 		start = time.Now()
@@ -272,7 +285,13 @@ func (wp *WorkloadProfile) EvaluateCtx(ctx context.Context, b design.Backend) (m
 	}
 	built.Flush()
 	p := wp.profileWith(built.Snapshot())
-	ev, err := model.Evaluate(b.Name, wp.Name, wp.refProfile, wp.RefTime, p)
+	ev, err = model.Evaluate(b.Name, wp.Name, wp.refProfile, wp.RefTime, p)
+	var fs *fault.Stats
+	if fm, ok := built.Memory().(*fault.Memory); ok && err == nil {
+		s := fm.FaultStats()
+		fs = &s
+		ev.Fault = s
+	}
 	if wp.log != nil && err == nil {
 		f := obs.ThroughputFields(uint64(wp.Boundary.Len()), time.Since(start))
 		f["workload"] = wp.Name
@@ -280,6 +299,13 @@ func (wp *WorkloadProfile) EvaluateCtx(ctx context.Context, b design.Backend) (m
 		f["norm_time"] = ev.NormTime
 		f["norm_energy"] = ev.NormEnergy
 		f["norm_edp"] = ev.NormEDP
+		if fs != nil {
+			f["fault_corrected"] = fs.Corrected
+			f["fault_uncorrected"] = fs.Uncorrected
+			f["fault_stuck_lines"] = fs.StuckLines
+			f["fault_retired_pages"] = fs.RetiredPages
+			f["fault_remapped"] = fs.Remapped
+		}
 		wp.log.Event("design_point", f)
 	}
 	return ev, err

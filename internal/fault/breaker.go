@@ -1,0 +1,220 @@
+package fault
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states.
+const (
+	// StateClosed passes requests through, counting consecutive failures.
+	StateClosed State = iota
+	// StateOpen rejects requests until the cooldown elapses.
+	StateOpen
+	// StateHalfOpen admits a single probe; its outcome closes or reopens.
+	StateHalfOpen
+)
+
+// State is a circuit breaker's position.
+type State int
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// DefaultBreakerThreshold is the consecutive-failure count that opens a
+// breaker when BreakerConfig.Threshold is zero.
+const DefaultBreakerThreshold = 5
+
+// DefaultBreakerCooldown is the open-state duration before a probe is
+// admitted, when BreakerConfig.Cooldown is zero.
+const DefaultBreakerCooldown = 15 * time.Second
+
+// BreakerConfig parameterizes a Breaker (and every breaker of a
+// BreakerSet). The zero value selects the defaults; Threshold < 0 disables
+// breaking entirely.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that trips the breaker
+	// open (0 = DefaultBreakerThreshold, < 0 = disabled).
+	Threshold int
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe (0 = DefaultBreakerCooldown).
+	Cooldown time.Duration
+	// Now is the clock (nil = time.Now); tests inject a fake.
+	Now func() time.Time
+}
+
+// withDefaults resolves zero fields.
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold == 0 {
+		c.Threshold = DefaultBreakerThreshold
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = DefaultBreakerCooldown
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a consecutive-failure circuit breaker: Threshold failures in a
+// row trip it open; after Cooldown one probe is admitted (half-open); the
+// probe's success closes it, failure reopens it. A poisoned design point
+// trips its breaker instead of burning the worker pool on every request.
+type Breaker struct {
+	mu       sync.Mutex
+	cfg      BreakerConfig
+	state    State
+	fails    int
+	openedAt time.Time
+	probing  bool
+}
+
+// NewBreaker builds a breaker from cfg (zero value = defaults).
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether a request may proceed. When it may not, retryAfter
+// is how long until the breaker will admit a probe. Each admitted request
+// must be concluded with Record.
+func (b *Breaker) Allow() (retryAfter time.Duration, ok bool) {
+	if b.cfg.Threshold < 0 {
+		return 0, true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return 0, true
+	case StateOpen:
+		wait := b.cfg.Cooldown - b.cfg.Now().Sub(b.openedAt)
+		if wait > 0 {
+			return wait, false
+		}
+		b.state = StateHalfOpen
+		b.probing = true
+		return 0, true
+	default: // StateHalfOpen
+		if b.probing {
+			// One probe is already in flight; hold the rest back for
+			// roughly the remaining cooldown.
+			return b.cfg.Cooldown, false
+		}
+		b.probing = true
+		return 0, true
+	}
+}
+
+// Record concludes an admitted request. opened reports whether this record
+// tripped the breaker open (for metrics).
+func (b *Breaker) Record(success bool) (opened bool) {
+	if b.cfg.Threshold < 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateHalfOpen {
+		b.probing = false
+		if success {
+			b.state = StateClosed
+			b.fails = 0
+			return false
+		}
+		b.state = StateOpen
+		b.openedAt = b.cfg.Now()
+		return true
+	}
+	if success {
+		b.fails = 0
+		return false
+	}
+	b.fails++
+	if b.state == StateClosed && b.fails >= b.cfg.Threshold {
+		b.state = StateOpen
+		b.openedAt = b.cfg.Now()
+		return true
+	}
+	return false
+}
+
+// State returns the breaker's current position (open breakers past their
+// cooldown still report open until a probe is admitted).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// maxBreakers bounds a BreakerSet's key space; beyond it, new keys pass
+// through untracked (custom design names are caller-controlled, so the map
+// must not grow without bound).
+const maxBreakers = 4096
+
+// BreakerSet is a keyed collection of breakers sharing one configuration —
+// the serving layer keys it by design point.
+type BreakerSet struct {
+	mu  sync.Mutex
+	cfg BreakerConfig
+	m   map[string]*Breaker
+}
+
+// NewBreakerSet builds an empty set (zero cfg = defaults).
+func NewBreakerSet(cfg BreakerConfig) *BreakerSet {
+	return &BreakerSet{cfg: cfg.withDefaults(), m: map[string]*Breaker{}}
+}
+
+// get returns the breaker for key, creating it under the set bound.
+func (s *BreakerSet) get(key string) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.m[key]; ok {
+		return b
+	}
+	if len(s.m) >= maxBreakers {
+		return nil
+	}
+	b := NewBreaker(s.cfg)
+	s.m[key] = b
+	return b
+}
+
+// Allow reports whether a request against key may proceed (see
+// Breaker.Allow). Keys beyond the set bound always proceed, untracked.
+func (s *BreakerSet) Allow(key string) (retryAfter time.Duration, ok bool) {
+	b := s.get(key)
+	if b == nil {
+		return 0, true
+	}
+	return b.Allow()
+}
+
+// Record concludes an admitted request against key; opened reports whether
+// this record tripped the key's breaker.
+func (s *BreakerSet) Record(key string, success bool) (opened bool) {
+	b := s.get(key)
+	if b == nil {
+		return false
+	}
+	return b.Record(success)
+}
+
+// State returns the breaker state for key (closed for untracked keys).
+func (s *BreakerSet) State(key string) State {
+	b := s.get(key)
+	if b == nil {
+		return StateClosed
+	}
+	return b.State()
+}

@@ -1,0 +1,301 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHashDeterministicAndSpread(t *testing.T) {
+	if hash(1, 2, 3) != hash(1, 2, 3) {
+		t.Fatal("hash is not deterministic")
+	}
+	if hash(1, 2, 3) == hash(1, 2, 4) || hash(1, 2) == hash(2, 1) {
+		t.Fatal("hash ignores coordinates")
+	}
+	if hashString("NMM/N6") != hashString("NMM/N6") {
+		t.Fatal("hashString is not deterministic")
+	}
+	// unit stays in [0, 1) over a sample of inputs.
+	for i := uint64(0); i < 1000; i++ {
+		u := unit(hash(i))
+		if u < 0 || u >= 1 {
+			t.Fatalf("unit(hash(%d)) = %g out of [0,1)", i, u)
+		}
+	}
+}
+
+func TestTransientErrorTaxonomy(t *testing.T) {
+	base := errors.New("connection reset")
+	err := Transient("replay", base)
+	if !IsTransient(err) {
+		t.Fatal("Transient error not detected by IsTransient")
+	}
+	if !errors.Is(err, base) {
+		t.Fatal("TransientError does not unwrap to its cause")
+	}
+	if IsTransient(base) || IsTransient(nil) {
+		t.Fatal("IsTransient misfires on plain errors")
+	}
+	// Wrapped transients still register.
+	if !IsTransient(fmt.Errorf("outer: %w", err)) {
+		t.Fatal("wrapped TransientError not detected")
+	}
+}
+
+func TestRecoverToCapturesTypedPanicValues(t *testing.T) {
+	typed := errors.New("typed device fault")
+	f := func() (err error) {
+		defer RecoverTo(&err, "evaluate X")
+		panic(typed)
+	}
+	err := f()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %T, want *PanicError", err)
+	}
+	if pe.Op != "evaluate X" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError missing op/stack: %+v", pe)
+	}
+	if !errors.Is(err, typed) {
+		t.Fatal("panic value that is an error must unwrap through PanicError")
+	}
+	if !strings.Contains(pe.Error(), "evaluate X") {
+		t.Fatalf("Error() = %q does not name the operation", pe.Error())
+	}
+}
+
+func TestRecoverToLeavesNormalReturnsAlone(t *testing.T) {
+	want := errors.New("ordinary failure")
+	f := func() (err error) {
+		defer RecoverTo(&err, "op")
+		return want
+	}
+	if err := f(); !errors.Is(err, want) {
+		t.Fatalf("RecoverTo clobbered a normal error return: %v", err)
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(0, 0)
+	cfg := BreakerConfig{Threshold: 3, Cooldown: time.Minute, Now: func() time.Time { return now }}
+	b := NewBreaker(cfg)
+
+	for i := 0; i < 2; i++ {
+		if _, ok := b.Allow(); !ok {
+			t.Fatalf("closed breaker rejected request %d", i)
+		}
+		if opened := b.Record(false); opened {
+			t.Fatalf("breaker opened after %d failures, threshold is 3", i+1)
+		}
+	}
+	// A success resets the consecutive count.
+	b.Allow()
+	b.Record(true)
+	for i := 0; i < 2; i++ {
+		b.Allow()
+		if b.Record(false) {
+			t.Fatal("breaker opened early after a reset")
+		}
+	}
+	b.Allow()
+	if !b.Record(false) {
+		t.Fatal("third consecutive failure did not open the breaker")
+	}
+	if b.State() != StateOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+
+	// Open: rejected with a bounded retry hint.
+	retryAfter, ok := b.Allow()
+	if ok || retryAfter <= 0 || retryAfter > time.Minute {
+		t.Fatalf("open breaker: Allow = (%v, %v)", retryAfter, ok)
+	}
+
+	// After the cooldown one probe is admitted, the rest held back.
+	now = now.Add(2 * time.Minute)
+	if _, ok := b.Allow(); !ok {
+		t.Fatal("cooldown elapsed but no probe admitted")
+	}
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if _, ok := b.Allow(); ok {
+		t.Fatal("second concurrent probe admitted in half-open")
+	}
+
+	// Failed probe reopens; successful probe closes.
+	if !b.Record(false) {
+		t.Fatal("failed probe did not report reopening")
+	}
+	now = now.Add(2 * time.Minute)
+	b.Allow()
+	b.Record(true)
+	if b.State() != StateClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	if _, ok := b.Allow(); !ok {
+		t.Fatal("closed breaker rejects requests after recovery")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: -1})
+	for i := 0; i < 100; i++ {
+		if _, ok := b.Allow(); !ok {
+			t.Fatal("disabled breaker rejected a request")
+		}
+		if b.Record(false) {
+			t.Fatal("disabled breaker opened")
+		}
+	}
+}
+
+func TestBreakerSetIsolatesKeys(t *testing.T) {
+	s := NewBreakerSet(BreakerConfig{Threshold: 1, Cooldown: time.Hour})
+	s.Allow("bad")
+	if !s.Record("bad", false) {
+		t.Fatal("threshold-1 breaker did not open on first failure")
+	}
+	if _, ok := s.Allow("bad"); ok {
+		t.Fatal("open key still admits requests")
+	}
+	if _, ok := s.Allow("good"); !ok {
+		t.Fatal("unrelated key rejected")
+	}
+	if s.State("bad") != StateOpen || s.State("good") != StateClosed {
+		t.Fatalf("states: bad=%v good=%v", s.State("bad"), s.State("good"))
+	}
+}
+
+func TestRetryDelayJitterBounds(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Seed: 7}
+	prevCap := time.Duration(0)
+	for attempt := 1; attempt <= 6; attempt++ {
+		d := p.Delay("key", attempt)
+		full := p.BaseDelay << (attempt - 1)
+		if full <= 0 || full > p.MaxDelay {
+			full = p.MaxDelay
+		}
+		if d < full/2 || d >= full {
+			t.Fatalf("attempt %d delay %v out of [%v, %v)", attempt, d, full/2, full)
+		}
+		if d != p.Delay("key", attempt) {
+			t.Fatalf("attempt %d delay is not deterministic", attempt)
+		}
+		if full >= prevCap {
+			prevCap = full
+		}
+	}
+	if p.Delay("key", 1) == p.Delay("other", 1) {
+		t.Fatal("different keys drew identical jitter (decorrelation broken)")
+	}
+}
+
+func TestRetryDoRetriesOnlyTransient(t *testing.T) {
+	instant := func(ctx context.Context, d time.Duration) error { return nil }
+
+	// Transient failures consume the attempt budget.
+	calls := 0
+	p := RetryPolicy{Attempts: 3, Sleep: instant}
+	err := p.Do(context.Background(), "k", func(attempt int) error {
+		if attempt != calls {
+			t.Fatalf("attempt = %d, want %d", attempt, calls)
+		}
+		calls++
+		return Transient("op", nil)
+	})
+	if calls != 3 || !IsTransient(err) {
+		t.Fatalf("calls = %d err = %v, want 3 attempts ending transient", calls, err)
+	}
+
+	// Permanent failures return immediately.
+	calls = 0
+	perm := errors.New("permanent")
+	err = p.Do(context.Background(), "k", func(int) error { calls++; return perm })
+	if calls != 1 || !errors.Is(err, perm) {
+		t.Fatalf("permanent failure retried: calls = %d err = %v", calls, err)
+	}
+
+	// Success after a transient failure stops the loop.
+	calls = 0
+	err = p.Do(context.Background(), "k", func(attempt int) error {
+		calls++
+		if attempt == 0 {
+			return Transient("op", nil)
+		}
+		return nil
+	})
+	if calls != 2 || err != nil {
+		t.Fatalf("recovery path: calls = %d err = %v", calls, err)
+	}
+}
+
+func TestRetryDoHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := RetryPolicy{Attempts: 5}
+	calls := 0
+	err := p.Do(ctx, "k", func(int) error { calls++; return Transient("op", nil) })
+	if calls != 1 || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled ctx: calls = %d err = %v, want 1 call and ctx error", calls, err)
+	}
+}
+
+func TestServicePlanDeterministicAndProportional(t *testing.T) {
+	p := &ServicePlan{Seed: 42, PanicFraction: 0.25, TransientFraction: 0.1}
+	poisoned := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		a := p.Poisoned(key)
+		if a != p.Poisoned(key) {
+			t.Fatal("Poisoned is not deterministic")
+		}
+		if a {
+			poisoned++
+			if p.Decide(key, 0) != ActPanic || p.Decide(key, 99) != ActPanic {
+				t.Fatal("poisoned key did not order a panic on every call")
+			}
+		}
+	}
+	frac := float64(poisoned) / n
+	if frac < 0.18 || frac > 0.32 {
+		t.Fatalf("poisoned fraction = %.3f, want ~0.25", frac)
+	}
+
+	// Transients fire on non-poisoned keys at roughly their fraction, and
+	// depend on the call number (so a retry can dodge one).
+	transients, healthyCalls := 0, 0
+	varies := false
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if p.Poisoned(key) {
+			continue
+		}
+		first := p.Decide(key, 0)
+		if first == ActTransient {
+			transients++
+		}
+		if first != p.Decide(key, 1) {
+			varies = true
+		}
+		healthyCalls++
+	}
+	tfrac := float64(transients) / float64(healthyCalls)
+	if tfrac < 0.05 || tfrac > 0.16 {
+		t.Fatalf("transient fraction = %.3f, want ~0.10", tfrac)
+	}
+	if !varies {
+		t.Fatal("transient decisions never vary across call numbers; retries could never help")
+	}
+
+	// A nil plan is inert.
+	var nilPlan *ServicePlan
+	if nilPlan.Poisoned("x") || nilPlan.Decide("x", 0) != ActNone {
+		t.Fatal("nil ServicePlan injected a fault")
+	}
+}

@@ -1,0 +1,254 @@
+package fault
+
+import (
+	"hybridmem/internal/core"
+	"hybridmem/internal/wear"
+)
+
+// DefaultPageBytes is the page-retirement granularity when Config.PageBytes
+// is zero (a 4KB device page).
+const DefaultPageBytes = 4096
+
+// DefaultLineBytes is the fault-tracking line granularity when
+// Config.LineBytes is zero (one 64B ECC word / cache sector).
+const DefaultLineBytes = 64
+
+// Config parameterizes the NVM device-fault model applied to a terminal
+// memory. The zero value injects nothing; Seed makes every probabilistic
+// decision deterministic (see the package comment).
+type Config struct {
+	// Seed drives all probabilistic decisions. Two evaluations of the same
+	// stream with the same Seed produce identical Stats.
+	Seed uint64
+	// BitErrorRate is the transient (soft) bit-error probability per bit
+	// accessed. Single-bit errors are corrected by the SECDED ECC model;
+	// double-bit errors — and single-bit errors on a line whose ECC budget
+	// is already consumed by a stuck cell — are detected-uncorrectable and
+	// retire the containing page. Zero disables transient errors.
+	BitErrorRate float64
+	// EnduranceWrites is the mean number of writes a line endures before
+	// developing a permanent stuck-at cell. Each line's actual threshold is
+	// sampled deterministically in [E/2, 3E/2); at twice its threshold the
+	// line degrades to a multi-bit stuck fault and its page is retired.
+	// Zero disables wear-driven permanent faults.
+	EnduranceWrites uint64
+	// PageBytes is the retirement granularity (0 = DefaultPageBytes).
+	PageBytes uint64
+	// LineBytes is the fault-tracking granularity (0 = DefaultLineBytes).
+	LineBytes uint64
+}
+
+// withDefaults resolves zero-valued granularities.
+func (c Config) withDefaults() Config {
+	if c.PageBytes == 0 {
+		c.PageBytes = DefaultPageBytes
+	}
+	if c.LineBytes == 0 {
+		c.LineBytes = DefaultLineBytes
+	}
+	return c
+}
+
+// Stats counts the fault model's outcomes over one memory's lifetime.
+type Stats struct {
+	// Accesses is the number of terminal accesses the model inspected.
+	Accesses uint64
+	// Corrected counts accesses whose error (a transient single-bit flip,
+	// or a permanent stuck cell re-corrected on every access) was repaired
+	// by ECC.
+	Corrected uint64
+	// Uncorrected counts detected-uncorrectable accesses: double-bit
+	// transients, transients on stuck lines, and wear-out events. Each
+	// retires the containing page.
+	Uncorrected uint64
+	// StuckLines is the number of lines that developed a permanent
+	// stuck-at cell from write wear.
+	StuckLines uint64
+	// RetiredPages is the number of pages taken out of service.
+	RetiredPages uint64
+	// Remapped counts accesses served from retired pages' replacement
+	// frames (the DRAM partition under NDM, spare capacity otherwise).
+	Remapped uint64
+}
+
+// Add returns the element-wise sum of two fault counters, for aggregating
+// per-workload statistics into design totals.
+func (s Stats) Add(o Stats) Stats {
+	s.Accesses += o.Accesses
+	s.Corrected += o.Corrected
+	s.Uncorrected += o.Uncorrected
+	s.StuckLines += o.StuckLines
+	s.RetiredPages += o.RetiredPages
+	s.Remapped += o.Remapped
+	return s
+}
+
+// UncorrectedRate returns Uncorrected / Accesses (0 when idle) — the
+// chaos harness bounds this.
+func (s Stats) UncorrectedRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Uncorrected) / float64(s.Accesses)
+}
+
+// PageRetirer is implemented by memories that can gracefully remap a
+// retired page onto healthy frames — core.PartitionedMemory (the NDM
+// terminal) moves the page's routing and capacity to its DRAM partition.
+type PageRetirer interface {
+	// RetirePage removes [start, start+size) from the failing module,
+	// reporting whether the page was newly retired.
+	RetirePage(start, size uint64) bool
+}
+
+// Memory wraps a terminal core.Memory with the deterministic device-fault
+// model: per-line write wear (via wear.Tracker) breeding permanent stuck-at
+// cells, transient bit errors filtered by a SECDED ECC model, page
+// retirement on uncorrectable errors, and graceful degradation by remapping
+// retired pages (through PageRetirer when the terminal supports it).
+type Memory struct {
+	inner   core.Memory
+	cfg     Config
+	tracker *wear.Tracker
+	retirer PageRetirer // non-nil when inner can remap (NDM)
+	seq     uint64      // per-memory access sequence for transient sampling
+	stuck   map[uint64]uint8
+	retired map[uint64]bool // page index -> retired
+	stats   Stats
+}
+
+// Wrap returns mem wrapped with the fault model. If mem implements
+// PageRetirer, retired pages are remapped through it.
+func Wrap(mem core.Memory, cfg Config) *Memory {
+	cfg = cfg.withDefaults()
+	m := &Memory{
+		inner:   mem,
+		cfg:     cfg,
+		tracker: wear.NewTracker(cfg.LineBytes),
+		stuck:   map[uint64]uint8{},
+		retired: map[uint64]bool{},
+	}
+	if r, ok := mem.(PageRetirer); ok {
+		m.retirer = r
+	}
+	return m
+}
+
+// threshold returns the line's sampled endurance threshold in [E/2, 3E/2),
+// deterministic per (seed, line).
+func (m *Memory) threshold(line uint64) uint64 {
+	e := m.cfg.EnduranceWrites
+	t := e/2 + uint64(unit(hash(m.cfg.Seed, line, 0x57ea7))*float64(e))
+	if t == 0 {
+		t = 1
+	}
+	return t
+}
+
+// retire takes the page out of service, remapping it when the terminal
+// supports graceful degradation.
+func (m *Memory) retire(page uint64) {
+	if m.retired[page] {
+		return
+	}
+	m.retired[page] = true
+	m.stats.RetiredPages++
+	if m.retirer != nil {
+		m.retirer.RetirePage(page*m.cfg.PageBytes, m.cfg.PageBytes)
+	}
+}
+
+// inject runs the fault model for one access. Terminal accesses never cross
+// the line of the level above, so attributing the whole access to its first
+// fault line is exact for cache-fed streams and a documented approximation
+// for raw streams.
+func (m *Memory) inject(addr, size uint64, write bool) {
+	m.stats.Accesses++
+	m.seq++
+	if size == 0 {
+		size = 1
+	}
+	line := addr / m.cfg.LineBytes
+	page := addr / m.cfg.PageBytes
+	if m.retired[page] {
+		// The page already lives on healthy replacement frames; no
+		// further injection against it.
+		m.stats.Remapped++
+		return
+	}
+
+	// Wear-driven permanent faults: charge the write, then compare the
+	// line's accumulated count against its sampled endurance threshold.
+	if write && m.cfg.EnduranceWrites > 0 {
+		m.tracker.RecordWrite(addr, size)
+		c := m.tracker.Count(line)
+		t := m.threshold(line)
+		if m.stuck[line] == 0 && c >= t {
+			m.stuck[line] = 1
+			m.stats.StuckLines++
+		}
+		if m.stuck[line] == 1 && c >= 2*t {
+			// Second cell fails: beyond SECDED, the write is lost and
+			// the page is retired.
+			m.stuck[line] = 2
+			m.stats.Uncorrected++
+			m.retire(page)
+			return
+		}
+	}
+
+	// Transient bit errors under SECDED: single-bit corrects, double-bit
+	// (or single-bit with the ECC budget consumed by a stuck cell) is
+	// detected-uncorrectable.
+	sev := m.stuck[line]
+	lambda := m.cfg.BitErrorRate * float64(size*8)
+	if lambda <= 0 && sev == 0 {
+		return
+	}
+	u := unit(hash(m.cfg.Seed, line, m.seq))
+	p2 := lambda * lambda / 2
+	switch {
+	case u < p2:
+		m.stats.Uncorrected++
+		m.retire(page)
+	case u < lambda:
+		if sev > 0 {
+			m.stats.Uncorrected++
+			m.retire(page)
+		} else {
+			m.stats.Corrected++
+		}
+	default:
+		if sev > 0 {
+			// ECC silently re-corrects the stuck cell on every access.
+			m.stats.Corrected++
+		}
+	}
+}
+
+// Load implements core.Memory.
+func (m *Memory) Load(addr, sizeBytes uint64) {
+	m.inject(addr, sizeBytes, false)
+	m.inner.Load(addr, sizeBytes)
+}
+
+// Store implements core.Memory.
+func (m *Memory) Store(addr, sizeBytes uint64) {
+	m.inject(addr, sizeBytes, true)
+	m.inner.Store(addr, sizeBytes)
+}
+
+// Modules implements core.Memory by delegating to the wrapped terminal.
+func (m *Memory) Modules() []core.LevelStats { return m.inner.Modules() }
+
+// FaultStats returns the accumulated fault counters.
+func (m *Memory) FaultStats() Stats { return m.stats }
+
+// WearStats summarizes the write-wear distribution the fault model observed
+// over a module of capacityBytes.
+func (m *Memory) WearStats(capacityBytes uint64) wear.Stats {
+	return m.tracker.Stats(capacityBytes)
+}
+
+// Inner returns the wrapped terminal memory.
+func (m *Memory) Inner() core.Memory { return m.inner }

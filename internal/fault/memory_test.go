@@ -1,0 +1,215 @@
+package fault
+
+import (
+	"testing"
+
+	"hybridmem/internal/core"
+	"hybridmem/internal/tech"
+)
+
+// sinkMemory is an inert terminal for exercising the fault wrapper alone.
+type sinkMemory struct {
+	loads, stores uint64
+}
+
+func (s *sinkMemory) Load(addr, sizeBytes uint64)  { s.loads++ }
+func (s *sinkMemory) Store(addr, sizeBytes uint64) { s.stores++ }
+func (s *sinkMemory) Modules() []core.LevelStats   { return nil }
+
+// retiringSink additionally implements PageRetirer, recording retirements.
+type retiringSink struct {
+	sinkMemory
+	retired []uint64
+}
+
+func (r *retiringSink) RetirePage(start, size uint64) bool {
+	r.retired = append(r.retired, start)
+	return true
+}
+
+// runStream drives a fixed synthetic access pattern through a freshly
+// wrapped memory and returns the resulting statistics.
+func runStream(cfg Config) Stats {
+	m := Wrap(&sinkMemory{}, cfg)
+	for i := uint64(0); i < 20000; i++ {
+		addr := (i * 64) % (1 << 20)
+		if i%3 == 0 {
+			m.Store(addr, 64)
+		} else {
+			m.Load(addr, 64)
+		}
+	}
+	return m.FaultStats()
+}
+
+func TestMemorySameSeedIdenticalStats(t *testing.T) {
+	cfg := Config{Seed: 99, BitErrorRate: 1e-4, EnduranceWrites: 4000}
+	a := runStream(cfg)
+	b := runStream(cfg)
+	if a != b {
+		t.Fatalf("same seed diverged:\n  %+v\n  %+v", a, b)
+	}
+	if a.Accesses != 20000 {
+		t.Fatalf("accesses = %d, want 20000", a.Accesses)
+	}
+	c := runStream(Config{Seed: 100, BitErrorRate: 1e-4, EnduranceWrites: 4000})
+	if a == c {
+		t.Fatal("different seeds produced identical statistics (suspicious)")
+	}
+}
+
+func TestMemoryZeroConfigInjectsNothing(t *testing.T) {
+	s := runStream(Config{Seed: 1})
+	if s.Corrected != 0 || s.Uncorrected != 0 || s.StuckLines != 0 || s.RetiredPages != 0 {
+		t.Fatalf("zero-rate config injected faults: %+v", s)
+	}
+	if s.Accesses != 20000 {
+		t.Fatalf("accesses = %d, want 20000", s.Accesses)
+	}
+}
+
+func TestMemoryECCCorrectsAtExpectedRate(t *testing.T) {
+	// λ = BER * 512 bits = 0.0512 per access; double-bit rate λ²/2 ≈ 0.13%.
+	s := runStream(Config{Seed: 7, BitErrorRate: 1e-4})
+	frac := float64(s.Corrected) / float64(s.Accesses)
+	if frac < 0.03 || frac > 0.07 {
+		t.Fatalf("corrected fraction = %.4f, want ~0.05 (stats: %+v)", frac, s)
+	}
+	if s.Uncorrected == 0 {
+		t.Fatal("expected some double-bit uncorrectable errors at this rate")
+	}
+	if s.Uncorrected >= s.Corrected {
+		t.Fatalf("uncorrected (%d) should be far rarer than corrected (%d)",
+			s.Uncorrected, s.Corrected)
+	}
+	if s.RetiredPages == 0 || s.RetiredPages > s.Uncorrected {
+		t.Fatalf("retired pages = %d inconsistent with %d uncorrectable errors",
+			s.RetiredPages, s.Uncorrected)
+	}
+}
+
+func TestMemoryWearDrivenRetirementAndRemap(t *testing.T) {
+	sink := &retiringSink{}
+	m := Wrap(sink, Config{Seed: 3, EnduranceWrites: 10})
+
+	// Hammer one line: the threshold lies in [5, 15), so the line must be
+	// stuck after at most 15 writes and retired (second cell) by 30.
+	for i := 0; i < 30; i++ {
+		m.Store(0x1000, 64)
+	}
+	s := m.FaultStats()
+	if s.StuckLines != 1 {
+		t.Fatalf("stuck lines = %d, want 1 after endurance exhaustion", s.StuckLines)
+	}
+	if s.Uncorrected != 1 || s.RetiredPages != 1 {
+		t.Fatalf("wear-out did not retire the page: %+v", s)
+	}
+	if s.Corrected == 0 {
+		t.Fatal("stuck line accesses before wear-out should count ECC corrections")
+	}
+	if len(sink.retired) != 1 || sink.retired[0] != 0x1000 {
+		t.Fatalf("retirer saw %v, want one retirement of page 0x1000", sink.retired)
+	}
+
+	// Further traffic to the retired page is served remapped, fault-free.
+	before := m.FaultStats()
+	m.Load(0x1000, 64)
+	m.Store(0x1040, 64)
+	after := m.FaultStats()
+	if after.Remapped != before.Remapped+2 {
+		t.Fatalf("remapped = %d, want %d", after.Remapped, before.Remapped+2)
+	}
+	if after.Uncorrected != before.Uncorrected || after.RetiredPages != before.RetiredPages {
+		t.Fatal("retired page kept faulting after remap")
+	}
+	// The terminal still sees every access (the page lives elsewhere, but
+	// traffic is never dropped).
+	if sink.loads != 1 || sink.stores != 31 {
+		t.Fatalf("terminal saw loads=%d stores=%d, want 1/31", sink.loads, sink.stores)
+	}
+}
+
+func TestMemoryThresholdSpread(t *testing.T) {
+	m := Wrap(&sinkMemory{}, Config{Seed: 5, EnduranceWrites: 1000})
+	lo, hi := false, false
+	for line := uint64(0); line < 200; line++ {
+		th := m.threshold(line)
+		if th < 500 || th >= 1500 {
+			t.Fatalf("line %d threshold %d out of [E/2, 3E/2)", line, th)
+		}
+		if th < 750 {
+			lo = true
+		}
+		if th >= 1250 {
+			hi = true
+		}
+	}
+	if !lo || !hi {
+		t.Fatal("thresholds show no spread across lines")
+	}
+}
+
+func TestStatsAddAndRate(t *testing.T) {
+	a := Stats{Accesses: 10, Corrected: 2, Uncorrected: 1, StuckLines: 3, RetiredPages: 4, Remapped: 5}
+	b := a.Add(a)
+	want := Stats{Accesses: 20, Corrected: 4, Uncorrected: 2, StuckLines: 6, RetiredPages: 8, Remapped: 10}
+	if b != want {
+		t.Fatalf("Add = %+v, want %+v", b, want)
+	}
+	if got := b.UncorrectedRate(); got != 0.1 {
+		t.Fatalf("UncorrectedRate = %g, want 0.1", got)
+	}
+	if (Stats{}).UncorrectedRate() != 0 {
+		t.Fatal("idle UncorrectedRate must be 0")
+	}
+}
+
+func TestPartitionedMemoryRetirePageAccounting(t *testing.T) {
+	pm, err := core.NewPartitionedMemory(
+		[]core.AddrRange{{Start: 0, End: 1 << 20}},
+		"nvm", tech.Tech{Name: "PCM"}, 1<<20,
+		"dram", tech.Tech{Name: "DRAM"}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := func() uint64 {
+		var sum uint64
+		for _, mod := range pm.Modules() {
+			sum += mod.Capacity
+		}
+		return sum
+	}
+	before := total()
+
+	if !pm.RetirePage(0x3000, 4096) {
+		t.Fatal("in-range retirement rejected")
+	}
+	if pm.RetirePage(0x3000, 4096) {
+		t.Fatal("double retirement accepted")
+	}
+	if pm.RetirePage(1<<21, 4096) {
+		t.Fatal("out-of-range retirement accepted")
+	}
+	if pm.RetiredPages() != 1 {
+		t.Fatalf("RetiredPages = %d, want 1", pm.RetiredPages())
+	}
+	if after := total(); after != before {
+		t.Fatalf("total capacity changed under retirement: %d -> %d", before, after)
+	}
+	mods := pm.Modules()
+	if mods[0].Capacity != 1<<20-4096 || mods[1].Capacity != 1<<20+4096 {
+		t.Fatalf("capacity did not follow the page: nvm=%d dram=%d",
+			mods[0].Capacity, mods[1].Capacity)
+	}
+
+	// Accesses to the retired page now land on the DRAM-side module.
+	pm.Load(0x3000, 64)
+	pm.Load(0x5000, 64) // healthy in-range address stays on NVM
+	mods = pm.Modules()
+	if mods[1].Stats.Loads != 1 {
+		t.Fatalf("retired-page load went to %s, want the other-side module", mods[0].Name)
+	}
+	if mods[0].Stats.Loads != 1 {
+		t.Fatal("healthy in-range load left the range-side module")
+	}
+}

@@ -1,0 +1,107 @@
+package fault
+
+import (
+	"context"
+	"time"
+)
+
+// Retry defaults, applied by RetryPolicy.Do for zero-valued fields.
+const (
+	// DefaultRetryAttempts is the total attempt budget (first try
+	// included) when RetryPolicy.Attempts is zero.
+	DefaultRetryAttempts = 3
+	// DefaultRetryBase is the first backoff delay when
+	// RetryPolicy.BaseDelay is zero.
+	DefaultRetryBase = 25 * time.Millisecond
+	// DefaultRetryMax caps the backoff delay when RetryPolicy.MaxDelay is
+	// zero.
+	DefaultRetryMax = 2 * time.Second
+)
+
+// RetryPolicy retries an operation that fails transiently, sleeping an
+// exponentially growing, deterministically jittered delay between attempts.
+// Only failures for which IsTransient holds are retried: permanent errors
+// (validation failures, panics, deterministic device faults) return
+// immediately.
+//
+// The jitter is the "equal jitter" scheme — each delay is uniformly drawn
+// from [d/2, d) where d doubles per attempt from BaseDelay up to MaxDelay —
+// with the draw derived from hash(Seed, key, attempt), so a fleet of
+// clients retrying the same failure decorrelates while a fixed seed
+// reproduces the exact schedule.
+type RetryPolicy struct {
+	// Attempts is the total attempt budget, first try included
+	// (0 = DefaultRetryAttempts; 1 disables retries).
+	Attempts int
+	// BaseDelay is the first backoff delay (0 = DefaultRetryBase).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (0 = DefaultRetryMax).
+	MaxDelay time.Duration
+	// Seed drives the deterministic jitter draws.
+	Seed uint64
+	// Sleep waits between attempts (nil = a ctx-aware timer); tests
+	// inject an instant clock.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Delay returns the jittered backoff before the given attempt (attempt 1 is
+// the first retry).
+func (p RetryPolicy) Delay(key string, attempt int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = DefaultRetryBase
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = DefaultRetryMax
+	}
+	d := base << (attempt - 1)
+	if d <= 0 || d > max {
+		d = max
+	}
+	u := unit(hash(p.Seed, hashString(key), uint64(attempt)))
+	return d/2 + time.Duration(u*float64(d/2))
+}
+
+// sleep waits d or until ctx is done.
+func (p RetryPolicy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Do runs fn until it succeeds, fails permanently, or the attempt budget is
+// spent. fn receives the zero-based attempt number (so callers can count
+// retries). key seeds the jitter draws; ctx cancels the inter-attempt
+// sleeps (the in-flight fn must watch ctx itself). The returned error is
+// fn's last error, or ctx's error when cancellation cut the schedule short.
+func (p RetryPolicy) Do(ctx context.Context, key string, fn func(attempt int) error) error {
+	attempts := p.Attempts
+	if attempts == 0 {
+		attempts = DefaultRetryAttempts
+	}
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			if serr := p.sleep(ctx, p.Delay(key, a)); serr != nil {
+				return serr
+			}
+		}
+		err = fn(a)
+		if err == nil || !IsTransient(err) {
+			return err
+		}
+	}
+	return err
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"hybridmem/internal/core"
+	"hybridmem/internal/fault"
 )
 
 // Profile is everything the model needs about one simulated run: the
@@ -137,6 +138,12 @@ type Evaluation struct {
 	NormTime   float64
 	NormEnergy float64
 	NormEDP    float64
+
+	// Fault carries the terminal's device-fault statistics (ECC
+	// corrections, uncorrectable errors, retired pages...) when the run
+	// injected faults; all-zero otherwise. The harness fills it in after
+	// replay — the analytic model above is fault-oblivious.
+	Fault fault.Stats
 }
 
 // Evaluate applies the full model. refProfile and refRuntime describe the
@@ -200,7 +207,8 @@ func safeDiv(a, b float64) float64 {
 // Average returns the arithmetic mean of the normalized metrics across
 // evaluations — the quantity plotted in the paper's Figures 1-8 ("average of
 // normalized run time/energy of all benchmarks"). Absolute fields are also
-// averaged for convenience. Average panics on an empty slice.
+// averaged for convenience; fault counters accumulate as totals (sums, not
+// means) since they are event counts. Average panics on an empty slice.
 func Average(design string, evals []Evaluation) Evaluation {
 	if len(evals) == 0 {
 		panic("model: Average of zero evaluations")
@@ -216,6 +224,7 @@ func Average(design string, evals []Evaluation) Evaluation {
 		out.NormTime += e.NormTime
 		out.NormEnergy += e.NormEnergy
 		out.NormEDP += e.NormEDP
+		out.Fault = out.Fault.Add(e.Fault)
 	}
 	n := float64(len(evals))
 	out.RuntimeSec /= n

@@ -110,6 +110,28 @@ func FigureTable(title string, rows []exp.Row, workloads []string, metric func(m
 	return t
 }
 
+// FaultTable renders the device-fault statistics of a set of evaluations:
+// ECC corrections, detected-uncorrectable errors, wear-induced stuck lines,
+// retired pages, and remapped accesses, plus the uncorrectable rate the
+// chaos harness bounds.
+func FaultTable(title string, evals []model.Evaluation) *Table {
+	t := &Table{Title: title}
+	t.Headers = []string{"design", "workload", "accesses", "corrected",
+		"uncorrected", "stuck", "retired", "remapped", "uncorr_rate"}
+	for _, ev := range evals {
+		s := ev.Fault
+		t.AddRow(ev.Design, ev.Workload,
+			fmt.Sprintf("%d", s.Accesses),
+			fmt.Sprintf("%d", s.Corrected),
+			fmt.Sprintf("%d", s.Uncorrected),
+			fmt.Sprintf("%d", s.StuckLines),
+			fmt.Sprintf("%d", s.RetiredPages),
+			fmt.Sprintf("%d", s.Remapped),
+			fmt.Sprintf("%.3e", s.UncorrectedRate()))
+	}
+	return t
+}
+
 // HeatmapTable renders a Figure 9/10-style heat map grid: read multipliers
 // as columns, write multipliers as rows.
 func HeatmapTable(hm *exp.Heatmap) *Table {

@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"hybridmem/internal/fault"
+)
+
+// chaosRequests sizes the TestChaos request population. The Makefile's
+// `make chaos` target raises it to 1000; `go test ./internal/serve` runs a
+// smaller default so the tier-1 suite stays fast.
+var chaosRequests = flag.Int("chaos-requests", 200, "requests to drive through the TestChaos harness")
+
+// chaosOutcome is what one request contributed to the harness's evidence.
+type chaosOutcome struct {
+	status int
+	code   string // typed error code for non-200s
+	fault  map[string]float64
+}
+
+// runChaosServer drives the same deterministic request schedule through a
+// freshly built server and returns the per-request outcomes.
+func runChaosServer(t *testing.T, n int) []chaosOutcome {
+	t.Helper()
+	plan := &fault.ServicePlan{Seed: 7, PanicFraction: 0.25, TransientFraction: 0.15}
+	s, _, ts := newTestServer(t, Config{
+		MaxInFlight: 4,
+		Retry:       fault.RetryPolicy{Attempts: 3, Sleep: instantSleep},
+		Breaker:     fault.BreakerConfig{Threshold: 2, Cooldown: time.Hour},
+		Chaos:       plan,
+	})
+	_ = s
+
+	// A mixed population: every Table 3 NMM row plus 4LC points, half of
+	// them with device-fault injection. Each body maps to one design so
+	// poisoned bodies produce consecutive failures for their breaker.
+	var bodies []string
+	for i := 1; i <= 9; i++ {
+		d := fmt.Sprintf("NMM/N%d", i)
+		bodies = append(bodies, testBody(d))
+		bodies = append(bodies, testFaultBody(d, `{"seed":11,"bit_error_rate":1e-6,"endurance_writes":5000}`))
+	}
+	for i := 1; i <= 4; i++ {
+		bodies = append(bodies, testBody(fmt.Sprintf("4LC/EH%d", i)))
+	}
+
+	outcomes := make([]chaosOutcome, 0, n)
+	for i := 0; i < n; i++ {
+		resp, decoded := post(t, ts, bodies[i%len(bodies)])
+		o := chaosOutcome{status: resp.StatusCode}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			m := decoded["metrics"].(map[string]any)
+			o.fault = map[string]float64{}
+			for _, k := range []string{"fault_corrected", "fault_uncorrected",
+				"fault_stuck_lines", "fault_retired_pages", "fault_remapped"} {
+				o.fault[k] = m[k].(float64)
+			}
+		case http.StatusInternalServerError, http.StatusServiceUnavailable,
+			http.StatusTooManyRequests:
+			o.code = errorCode(t, decoded)
+		default:
+			t.Fatalf("request %d: unexpected status %d (%v)", i, resp.StatusCode, decoded)
+		}
+		outcomes = append(outcomes, o)
+	}
+	return outcomes
+}
+
+// TestChaos is the harness behind `make chaos`: a deterministic chaos plan
+// poisons a quarter of the request population (evaluations panic) and
+// injects transient failures into the rest, while half the healthy requests
+// also carry NVM fault injection. The server must absorb all of it —
+//
+//   - zero process exits: every request gets a well-formed HTTP response
+//     (panics recover into typed 500s);
+//   - the circuit breaker engages for poisoned designs (503 circuit_open);
+//   - healthy designs keep succeeding throughout;
+//   - uncorrectable device-error rates stay bounded (ECC corrects the
+//     overwhelming majority at the injected BER);
+//   - a second server fed the same schedule reproduces every fault
+//     statistic bit-for-bit.
+func TestChaos(t *testing.T) {
+	n := *chaosRequests
+	first := runChaosServer(t, n)
+
+	var ok200, panics500, open503, transient500 int
+	for i, o := range first {
+		switch {
+		case o.status == http.StatusOK:
+			ok200++
+		case o.code == CodePanic:
+			panics500++
+		case o.code == CodeCircuitOpen:
+			open503++
+		case o.code == CodeInternal:
+			transient500++
+		case o.code == CodeOverloaded:
+		default:
+			t.Fatalf("request %d: status %d code %q unexpected under chaos", i, o.status, o.code)
+		}
+	}
+	if ok200 == 0 {
+		t.Fatal("no request succeeded under chaos")
+	}
+	if panics500 == 0 {
+		t.Fatal("chaos plan poisoned nothing; harness is not exercising panic recovery")
+	}
+	if open503 == 0 {
+		t.Fatal("circuit breaker never engaged for poisoned designs")
+	}
+	t.Logf("chaos: %d requests -> %d ok, %d panics, %d circuit-open, %d transient-exhausted",
+		n, ok200, panics500, open503, transient500)
+
+	// Once a poisoned design's breaker opens it stays open (cooldown is an
+	// hour), so total panics are bounded by the population size times a few
+	// pre-trip rounds — independent of how many requests the harness sends.
+	if panics500 > 4*22 {
+		t.Fatalf("panics (%d) kept burning capacity; breakers are not containing poisoned designs (%d open rejections)",
+			panics500, open503)
+	}
+
+	// Bounded uncorrectable rate: at BER 1e-6, SECDED corrects the
+	// overwhelming majority; detected-uncorrectable must stay a small
+	// minority of observed device errors.
+	var corrected, uncorrected float64
+	for _, o := range first {
+		if o.fault != nil {
+			corrected += o.fault["fault_corrected"]
+			uncorrected += o.fault["fault_uncorrected"]
+		}
+	}
+	if corrected == 0 {
+		t.Fatal("no ECC corrections observed; fault injection did not reach the device model")
+	}
+	if rate := uncorrected / (corrected + uncorrected); rate > 0.2 {
+		t.Fatalf("uncorrectable fraction %.3f exceeds bound 0.2 (corrected=%g uncorrected=%g)",
+			rate, corrected, uncorrected)
+	}
+
+	// Determinism: an identical server fed the identical schedule must
+	// reproduce every status and every fault counter exactly.
+	second := runChaosServer(t, n)
+	for i := range first {
+		if first[i].status != second[i].status || first[i].code != second[i].code {
+			t.Fatalf("request %d diverged across same-seed runs: (%d,%q) vs (%d,%q)",
+				i, first[i].status, first[i].code, second[i].status, second[i].code)
+		}
+		if first[i].fault == nil {
+			continue
+		}
+		for k, v := range first[i].fault {
+			if second[i].fault[k] != v {
+				t.Fatalf("request %d: fault metric %s diverged: %g vs %g",
+					i, k, v, second[i].fault[k])
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"net/http"
+	"strconv"
 )
 
 // Error codes returned in the "error.code" field of failed responses.
@@ -27,6 +28,14 @@ const (
 	// CodeShuttingDown means the server is draining and accepts no new
 	// evaluations.
 	CodeShuttingDown = "shutting_down"
+	// CodePanic means the evaluation panicked and was recovered; the
+	// process survived and the failing design point returned this typed
+	// error instead. Retrying the identical request will panic again.
+	CodePanic = "eval_panic"
+	// CodeCircuitOpen means this design point's circuit breaker is open
+	// after repeated failures; retry after the Retry-After delay, when
+	// the breaker admits a probe.
+	CodeCircuitOpen = "circuit_open"
 	// CodeInternal marks unexpected evaluation failures.
 	CodeInternal = "internal"
 )
@@ -34,6 +43,24 @@ const (
 // APIError is the typed error body of every non-200 response:
 //
 //	{"error": {"code": "invalid_request", "field": "scale", "message": "..."}}
+//
+// # Client retry contract
+//
+// Retryable codes carry backoff guidance: RetryAfterMS is the base delay
+// before the next attempt and JitterMS the width of a uniform random spread
+// to add on top (sleep RetryAfterMS + rand[0, JitterMS)), so a fleet of
+// clients retrying the same failure decorrelates instead of stampeding.
+// The Retry-After response header repeats RetryAfterMS rounded up to whole
+// seconds for generic HTTP clients.
+//
+//   - CodeOverloaded (429) and CodeCircuitOpen (503): retry with the given
+//     backoff; the breaker admits a probe once its cooldown elapses.
+//   - CodeInternal (500) with retry guidance: a transient fault survived
+//     the server's own retries; one client-side retry is reasonable.
+//   - CodeTimeout (504): retry only with a smaller request (larger
+//     workload_scale) — the same request will time out again.
+//   - CodePanic (500) and all 4xx codes: do not retry; the failure is a
+//     deterministic property of the request.
 type APIError struct {
 	// Code is one of the Code* constants.
 	Code string `json:"code"`
@@ -41,6 +68,12 @@ type APIError struct {
 	Field string `json:"field,omitempty"`
 	// Message is a human-readable explanation.
 	Message string `json:"message"`
+	// RetryAfterMS is the suggested base backoff in milliseconds before
+	// retrying (0 = no retry guidance).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// JitterMS is the suggested uniform jitter width to add to
+	// RetryAfterMS (see the client retry contract above).
+	JitterMS int64 `json:"jitter_ms,omitempty"`
 }
 
 // Error implements the error interface.
@@ -67,17 +100,25 @@ func httpStatus(code string) int {
 		return http.StatusTooManyRequests
 	case CodeTimeout, CodeCanceled:
 		return http.StatusGatewayTimeout
-	case CodeShuttingDown:
+	case CodeShuttingDown, CodeCircuitOpen:
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}
 }
 
-// writeError emits the typed error JSON with its mapped status.
+// writeError emits the typed error JSON with its mapped status, repeating
+// any retry guidance in a Retry-After header (whole seconds, rounded up)
+// for clients that only speak HTTP.
 func writeError(w http.ResponseWriter, apiErr *APIError) {
 	w.Header().Set("Content-Type", "application/json")
-	if apiErr.Code == CodeOverloaded {
+	if apiErr.RetryAfterMS > 0 {
+		secs := (apiErr.RetryAfterMS + 999) / 1000
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	} else if apiErr.Code == CodeOverloaded {
 		w.Header().Set("Retry-After", "1")
 	}
 	w.WriteHeader(httpStatus(apiErr.Code))

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"hybridmem/internal/exp"
+	"hybridmem/internal/fault"
 	"hybridmem/internal/model"
 	"hybridmem/internal/obs"
 	"hybridmem/internal/workload"
@@ -74,6 +75,13 @@ type Evaluator struct {
 	boundaryRefs        *obs.Counter
 	boundaryPackedBytes *obs.Counter
 	boundaryRawBytes    *obs.Counter
+
+	// Cumulative device-fault outcomes across every fault-injected
+	// evaluation this process has run.
+	faultCorrected   *obs.Counter
+	faultUncorrected *obs.Counter
+	faultRetired     *obs.Counter
+	faultRemapped    *obs.Counter
 }
 
 // NewEvaluator builds an evaluator bounded to maxProfiles cached workload
@@ -92,6 +100,11 @@ func NewEvaluator(maxProfiles int, log *obs.Logger) *Evaluator {
 		boundaryRefs:        obs.NewCounter("memsimd.boundary_refs"),
 		boundaryPackedBytes: obs.NewCounter("memsimd.boundary_packed_bytes"),
 		boundaryRawBytes:    obs.NewCounter("memsimd.boundary_raw_bytes"),
+
+		faultCorrected:   obs.NewCounter("memsimd.fault_corrected_total"),
+		faultUncorrected: obs.NewCounter("memsimd.fault_uncorrected_total"),
+		faultRetired:     obs.NewCounter("memsimd.fault_retired_pages_total"),
+		faultRemapped:    obs.NewCounter("memsimd.fault_remapped_total"),
 	}
 }
 
@@ -186,6 +199,14 @@ func (e *Evaluator) Evaluate(ctx context.Context, r *EvalRequest) (*EvalResult, 
 	var ev model.Evaluation
 	var replayed uint64
 	if needsReplay {
+		if f := r.Fault; f != nil {
+			b.Fault = &fault.Config{
+				Seed:            f.Seed,
+				BitErrorRate:    f.BitErrorRate,
+				EnduranceWrites: f.EnduranceWrites,
+				PageBytes:       f.PageBytes,
+			}
+		}
 		ev, err = wp.EvaluateCtx(ctx, b)
 		if err != nil {
 			return nil, err
@@ -193,6 +214,10 @@ func (e *Evaluator) Evaluate(ctx context.Context, r *EvalRequest) (*EvalResult, 
 		replayed = uint64(wp.Boundary.Len())
 		e.replays.Add(1)
 		e.replayedRefs.Add(replayed)
+		e.faultCorrected.Add(ev.Fault.Corrected)
+		e.faultUncorrected.Add(ev.Fault.Uncorrected)
+		e.faultRetired.Add(ev.Fault.RetiredPages)
+		e.faultRemapped.Add(ev.Fault.Remapped)
 	} else {
 		ev = wp.ReferenceEvaluation()
 	}
@@ -212,6 +237,12 @@ func (e *Evaluator) Evaluate(ctx context.Context, r *EvalRequest) (*EvalResult, 
 			"norm_time":   ev.NormTime,
 			"norm_energy": ev.NormEnergy,
 			"norm_edp":    ev.NormEDP,
+
+			"fault_corrected":     float64(ev.Fault.Corrected),
+			"fault_uncorrected":   float64(ev.Fault.Uncorrected),
+			"fault_stuck_lines":   float64(ev.Fault.StuckLines),
+			"fault_retired_pages": float64(ev.Fault.RetiredPages),
+			"fault_remapped":      float64(ev.Fault.Remapped),
 		},
 		ReplayRefs: replayed,
 		EvalMS:     float64(time.Since(start)) / float64(time.Millisecond),

@@ -40,6 +40,27 @@ type EvalRequest struct {
 	// Metrics filters which metrics appear in the response (empty =
 	// all). Metric names: see MetricNames.
 	Metrics []string `json:"metrics,omitempty"`
+	// Fault injects the deterministic NVM device-fault model into the
+	// design's terminal memory (nil = fault-free). Not valid for the
+	// reference design, which is answered without a replay.
+	Fault *FaultSpec `json:"fault,omitempty"`
+}
+
+// FaultSpec parameterizes device-fault injection for one evaluation; see
+// fault.Config for the model. The same seed over the same request always
+// produces identical fault metrics.
+type FaultSpec struct {
+	// Seed drives every probabilistic fault decision.
+	Seed uint64 `json:"seed"`
+	// BitErrorRate is the transient bit-error probability per bit
+	// accessed, in [0, 1).
+	BitErrorRate float64 `json:"bit_error_rate,omitempty"`
+	// EnduranceWrites is the mean per-line write endurance before a
+	// permanent stuck-at fault (0 disables wear faults).
+	EnduranceWrites uint64 `json:"endurance_writes,omitempty"`
+	// PageBytes is the page-retirement granularity (0 = 4096; must be a
+	// power of two >= 64 otherwise).
+	PageBytes uint64 `json:"page_bytes,omitempty"`
 }
 
 // DesignSpec names a design point: a family plus its configuration-table
@@ -161,10 +182,13 @@ func (d *DesignSpec) parsePath(s string) error {
 }
 
 // MetricNames lists the metric keys an evaluation response can carry, in
-// canonical order.
+// canonical order. The fault_* counters are zero unless the request
+// injected device faults.
 var MetricNames = []string{
 	"amat_ns", "runtime_sec", "dynamic_j", "static_j", "total_j", "edp",
 	"norm_time", "norm_energy", "norm_edp",
+	"fault_corrected", "fault_uncorrected", "fault_stuck_lines",
+	"fault_retired_pages", "fault_remapped",
 }
 
 var metricSet = func() map[string]bool {
@@ -221,6 +245,20 @@ func (r *EvalRequest) Normalize() *APIError {
 		if !metricSet[m] {
 			return errField(CodeInvalidRequest, "metrics",
 				fmt.Sprintf("unknown metric %q (known: %s)", m, strings.Join(MetricNames, ", ")))
+		}
+	}
+	if f := r.Fault; f != nil {
+		if r.Design.Family == "reference" {
+			return errField(CodeInvalidRequest, "fault",
+				"the reference design is answered without a replay; fault injection does not apply")
+		}
+		if f.BitErrorRate < 0 || f.BitErrorRate >= 1 {
+			return errField(CodeInvalidRequest, "fault.bit_error_rate",
+				"bit_error_rate must be in [0, 1)")
+		}
+		if p := f.PageBytes; p != 0 && (p < 64 || p&(p-1) != 0) {
+			return errField(CodeInvalidRequest, "fault.page_bytes",
+				"page_bytes must be 0 (default) or a power of two >= 64")
 		}
 	}
 	return r.Design.normalize()
@@ -335,6 +373,7 @@ type cacheKeyRequest struct {
 	WorkloadScale uint64     `json:"workload_scale"`
 	Iters         int        `json:"iters"`
 	Dilution      int        `json:"dilution"`
+	Fault         *FaultSpec `json:"fault"`
 }
 
 // Key returns the canonical cache key of a normalized request: the
@@ -350,6 +389,7 @@ func (r *EvalRequest) Key() string {
 		WorkloadScale: r.WorkloadScale,
 		Iters:         r.Iters,
 		Dilution:      r.Dilution,
+		Fault:         r.Fault,
 	})
 	if err != nil {
 		// cacheKeyRequest contains only marshalable fields; unreachable.
@@ -357,6 +397,23 @@ func (r *EvalRequest) Key() string {
 	}
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:])
+}
+
+// breakerKey returns the design-point identity the circuit breaker tracks:
+// failures are a property of the design (a panicking hierarchy spec), not
+// of the workload it happened to run, so one breaker guards every request
+// against the same design.
+func (d *DesignSpec) breakerKey() string {
+	if d.Family == "custom" && d.Custom != nil {
+		return "custom/" + d.Custom.Name
+	}
+	parts := []string{d.Family}
+	for _, p := range []string{d.Config, d.LLC, d.NVM} {
+		if p != "" {
+			parts = append(parts, p)
+		}
+	}
+	return strings.Join(parts, "/")
 }
 
 // backend resolves the normalized spec into a buildable design.Backend.

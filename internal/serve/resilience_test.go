@@ -1,0 +1,320 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hybridmem/internal/fault"
+)
+
+// instantSleep makes retry backoff free in tests.
+func instantSleep(ctx context.Context, d time.Duration) error { return nil }
+
+func TestPanicRecoveryServesTypedError(t *testing.T) {
+	var calls atomic.Int64
+	runner := &stubRunner{fn: func(ctx context.Context, req *EvalRequest) (*EvalResult, error) {
+		if calls.Add(1) == 1 {
+			panic("synthetic replay bug")
+		}
+		return &EvalResult{Key: req.Key(), Metrics: map[string]float64{"norm_time": 1}}, nil
+	}}
+	s := New(Config{Runner: runner, Retry: fault.RetryPolicy{Attempts: 1}})
+	ts := newHTTPServer(t, s)
+	panicsBefore := s.panics.Value()
+
+	resp, decoded := post(t, ts, testBody("NMM/N1"))
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking evaluation status = %d, want 500 (%v)", resp.StatusCode, decoded)
+	}
+	if code := errorCode(t, decoded); code != CodePanic {
+		t.Fatalf("code = %q, want %q", code, CodePanic)
+	}
+	if got := s.panics.Value() - panicsBefore; got != 1 {
+		t.Fatalf("panics_recovered delta = %d, want 1", got)
+	}
+
+	// The process survived; the same design evaluates fine afterwards.
+	resp2, decoded2 := post(t, ts, testBody("NMM/N1"))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-panic status = %d, want 200 (%v)", resp2.StatusCode, decoded2)
+	}
+}
+
+func TestTransientFailuresRetryToSuccess(t *testing.T) {
+	var calls atomic.Int64
+	runner := &stubRunner{fn: func(ctx context.Context, req *EvalRequest) (*EvalResult, error) {
+		if calls.Add(1) <= 2 {
+			return nil, fault.Transient("replay", nil)
+		}
+		return &EvalResult{Key: req.Key(), Metrics: map[string]float64{"norm_time": 1}}, nil
+	}}
+	s := New(Config{Runner: runner, Retry: fault.RetryPolicy{Attempts: 3, Sleep: instantSleep}})
+	ts := newHTTPServer(t, s)
+	retriesBefore := s.retries.Value()
+
+	resp, decoded := post(t, ts, testBody("NMM/N2"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 after retries (%v)", resp.StatusCode, decoded)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("runner called %d times, want 3", calls.Load())
+	}
+	if got := s.retries.Value() - retriesBefore; got != 2 {
+		t.Fatalf("retries_total delta = %d, want 2", got)
+	}
+}
+
+func TestTransientExhaustionCarriesRetryGuidance(t *testing.T) {
+	runner := &stubRunner{fn: func(ctx context.Context, req *EvalRequest) (*EvalResult, error) {
+		return nil, fault.Transient("replay", nil)
+	}}
+	s := New(Config{Runner: runner, Retry: fault.RetryPolicy{Attempts: 2, Sleep: instantSleep},
+		Breaker: fault.BreakerConfig{Threshold: -1}})
+	ts := newHTTPServer(t, s)
+
+	resp, decoded := post(t, ts, testBody("NMM/N3"))
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	if code := errorCode(t, decoded); code != CodeInternal {
+		t.Fatalf("code = %q, want %q", code, CodeInternal)
+	}
+	e := decoded["error"].(map[string]any)
+	if e["retry_after_ms"].(float64) <= 0 || e["jitter_ms"].(float64) <= 0 {
+		t.Fatalf("exhausted transient lacks retry guidance: %v", e)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("exhausted transient without Retry-After header")
+	}
+}
+
+func TestCircuitBreakerTripAndRecover(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	runner := &stubRunner{fn: func(ctx context.Context, req *EvalRequest) (*EvalResult, error) {
+		if failing.Load() {
+			return nil, fmt.Errorf("device model exploded")
+		}
+		return &EvalResult{Key: req.Key(), Metrics: map[string]float64{"norm_time": 1}}, nil
+	}}
+	var clock atomic.Int64 // unix nanos
+	s := New(Config{
+		Runner: runner,
+		Retry:  fault.RetryPolicy{Attempts: 1},
+		Breaker: fault.BreakerConfig{
+			Threshold: 2,
+			Cooldown:  10 * time.Second,
+			Now:       func() time.Time { return time.Unix(0, clock.Load()) },
+		},
+	})
+	ts := newHTTPServer(t, s)
+	openedBefore := s.breakerOpened.Value()
+	body := testBody("NMM/N4")
+
+	// Two consecutive failures open the design's breaker.
+	for i := 0; i < 2; i++ {
+		resp, decoded := post(t, ts, body)
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("failure %d status = %d (%v)", i, resp.StatusCode, decoded)
+		}
+	}
+	if got := s.breakerOpened.Value() - openedBefore; got != 1 {
+		t.Fatalf("breaker_open_total delta = %d, want 1", got)
+	}
+
+	// Open: fast 503 with retry guidance, without touching the runner.
+	resp, decoded := post(t, ts, body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open-breaker status = %d, want 503 (%v)", resp.StatusCode, decoded)
+	}
+	if code := errorCode(t, decoded); code != CodeCircuitOpen {
+		t.Fatalf("code = %q, want %q", code, CodeCircuitOpen)
+	}
+	e := decoded["error"].(map[string]any)
+	if e["retry_after_ms"].(float64) <= 0 {
+		t.Fatalf("circuit_open without retry_after_ms: %v", e)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("circuit_open without Retry-After header")
+	}
+
+	// Other designs are unaffected: the breaker is per design point.
+	failing.Store(false)
+	if resp, decoded := post(t, ts, testBody("NMM/N5")); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy design behind someone else's open breaker: %d (%v)", resp.StatusCode, decoded)
+	}
+
+	// After the cooldown a half-open probe goes through and closes it.
+	clock.Store(int64(11 * time.Second))
+	if resp, decoded := post(t, ts, body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("half-open probe status = %d, want 200 (%v)", resp.StatusCode, decoded)
+	}
+	// Closed again: a cache hit would also return 200, so force a fresh
+	// evaluation of the same design to prove the breaker itself admits it.
+	fresh := fmt.Sprintf(`{"design":"NMM/N4","workload":"CG","scale":%d,"workload_scale":%d,"iters":2}`,
+		testScale, testWScale)
+	if resp, decoded := post(t, ts, fresh); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-recovery status = %d, want 200 (%v)", resp.StatusCode, decoded)
+	}
+}
+
+func TestFaultSpecValidation(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name     string
+		body     string
+		wantCode string
+	}{
+		{"fault on reference", `{"design":"reference","workload":"CG","fault":{"seed":1}}`, CodeInvalidRequest},
+		{"ber out of range", testFaultBody("NMM/N1", `{"seed":1,"bit_error_rate":1.5}`), CodeInvalidRequest},
+		{"negative ber", testFaultBody("NMM/N1", `{"seed":1,"bit_error_rate":-0.1}`), CodeInvalidRequest},
+		{"bad page size", testFaultBody("NMM/N1", `{"seed":1,"page_bytes":100}`), CodeInvalidRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, decoded := post(t, ts, tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400 (%v)", resp.StatusCode, decoded)
+			}
+			if code := errorCode(t, decoded); code != tc.wantCode {
+				t.Fatalf("code = %q, want %q", code, tc.wantCode)
+			}
+		})
+	}
+}
+
+// testFaultBody builds an evaluate body with a fault-injection spec.
+func testFaultBody(designPath, faultJSON string) string {
+	return fmt.Sprintf(`{"design":%q,"workload":"CG","scale":%d,"workload_scale":%d,"fault":%s}`,
+		designPath, testScale, testWScale, faultJSON)
+}
+
+func TestFaultMetricsDeterministicInResponses(t *testing.T) {
+	body := testFaultBody("NMM/N1", `{"seed":11,"bit_error_rate":1e-6,"endurance_writes":3000}`)
+
+	run := func() map[string]any {
+		_, _, ts := newTestServer(t, Config{})
+		resp, decoded := post(t, ts, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d (%v)", resp.StatusCode, decoded)
+		}
+		return decoded["metrics"].(map[string]any)
+	}
+	m1 := run()
+	m2 := run()
+
+	if m1["fault_corrected"].(float64) <= 0 {
+		t.Fatalf("fault-injected response reports no corrections: %v", m1)
+	}
+	for _, k := range []string{"fault_corrected", "fault_uncorrected", "fault_stuck_lines",
+		"fault_retired_pages", "fault_remapped"} {
+		if m1[k] != m2[k] {
+			t.Fatalf("same-seed servers disagree on %s: %v vs %v", k, m1[k], m2[k])
+		}
+	}
+
+	// Fault injection changes the cache key: the same design without a
+	// fault spec is a distinct, zero-fault result.
+	_, _, ts := newTestServer(t, Config{})
+	if _, decoded := post(t, ts, body); decoded == nil {
+		t.Fatal("warm request failed")
+	}
+	resp, decoded := post(t, ts, testBody("NMM/N1"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plain request status = %d", resp.StatusCode)
+	}
+	plain := decoded["metrics"].(map[string]any)
+	if plain["fault_corrected"].(float64) != 0 {
+		t.Fatalf("uninjected evaluation reports fault corrections: %v", plain)
+	}
+}
+
+// newHTTPServer mounts an already-built Server on a test listener.
+func newHTTPServer(t *testing.T, s *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestDrainRacesWithPanickingEvaluations drives concurrent evaluations —
+// some panicking — against BeginShutdown/Drain under the race detector. The
+// assertion is structural: every request gets a well-formed response, the
+// drain completes, and the detector sees no data race.
+func TestDrainRacesWithPanickingEvaluations(t *testing.T) {
+	runner := &stubRunner{fn: func(ctx context.Context, req *EvalRequest) (*EvalResult, error) {
+		time.Sleep(time.Millisecond)
+		if strings.Contains(req.Design.Config, "N7") {
+			panic("poisoned design")
+		}
+		return &EvalResult{Key: req.Key(), Metrics: map[string]float64{"norm_time": 1}}, nil
+	}}
+	s := New(Config{Runner: runner, MaxInFlight: 4, Retry: fault.RetryPolicy{Attempts: 1}})
+	ts := newHTTPServer(t, s)
+
+	bodies := []string{
+		testBody("NMM/N1"), testBody("NMM/N7"), testBody("NMM/N2"),
+		testBody("NMM/N7"), testBody("NMM/N3"),
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 40; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/evaluate", "application/json",
+				strings.NewReader(bodies[i%len(bodies)]))
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK, http.StatusInternalServerError,
+				http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			default:
+				t.Errorf("request %d: unexpected status %d", i, resp.StatusCode)
+			}
+		}(i)
+		if i == 20 {
+			s.BeginShutdown()
+		}
+	}
+	wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain did not complete: %v", err)
+	}
+}
+
+func FuzzParseEvalRequest(f *testing.F) {
+	f.Add(testBody("4LC/EH4"))
+	f.Add(testBody("NMM/N6/PCM"))
+	f.Add(testFaultBody("NMM/N1", `{"seed":3,"bit_error_rate":1e-9,"endurance_writes":100,"page_bytes":4096}`))
+	f.Add(`{"design":{"family":"custom","custom":{"name":"x","memory":{"tech":"DRAM"}}},"workload":"CG"}`)
+	f.Add(`{"design":"refer`)
+	f.Add(`{"design":"4LC/EH4","workload":"CG","scale":18446744073709551615}`)
+	f.Add(`{"fault":{"bit_error_rate":1e308}}`)
+	f.Fuzz(func(t *testing.T, body string) {
+		var req EvalRequest
+		if err := json.Unmarshal([]byte(body), &req); err != nil {
+			return
+		}
+		// Neither normalization nor key derivation may panic, whatever the
+		// decoded shape.
+		if apiErr := req.Normalize(); apiErr != nil {
+			return
+		}
+		if req.Key() == "" {
+			t.Fatal("normalized request produced an empty cache key")
+		}
+	})
+}

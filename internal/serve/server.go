@@ -17,7 +17,11 @@
 //   - a bounded in-flight evaluation limit with 429 backpressure;
 //   - graceful shutdown that drains active evaluations;
 //   - /healthz and /readyz probes, expvar counters (request totals, cache
-//     hit ratio, replay milliseconds saved), and obs.Logger run events.
+//     hit ratio, replay milliseconds saved), and obs.Logger run events;
+//   - a crash-proof evaluation path: panics recover into typed CodePanic
+//     errors, transient faults retry with deterministic jittered backoff,
+//     and a per-design-point circuit breaker (CodeCircuitOpen) stops
+//     repeatedly failing designs from burning replay capacity.
 package serve
 
 import (
@@ -28,11 +32,13 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hybridmem/internal/design"
+	"hybridmem/internal/fault"
 	"hybridmem/internal/obs"
 	"hybridmem/internal/tech"
 	"hybridmem/internal/workload/catalog"
@@ -65,6 +71,16 @@ type Config struct {
 	// Timeout is the per-request evaluation deadline (0 = DefaultTimeout,
 	// negative = no deadline).
 	Timeout time.Duration
+	// Breaker configures the per-design-point circuit breaker (zero value
+	// = defaults; Threshold < 0 disables breaking).
+	Breaker fault.BreakerConfig
+	// Retry configures transient-failure retries inside the evaluation
+	// flight (zero value = defaults; Attempts = 1 disables retries).
+	Retry fault.RetryPolicy
+	// Chaos injects deterministic service-level faults — poisoned design
+	// points that panic and per-call transient failures — for resilience
+	// testing (nil = none; see fault.ServicePlan).
+	Chaos *fault.ServicePlan
 	// Log receives http_request events (may be nil).
 	Log *obs.Logger
 }
@@ -76,16 +92,21 @@ type Server struct {
 	cache    *lruCache
 	flight   *flightGroup[*EvalResult]
 	inflight chan struct{}
+	breakers *fault.BreakerSet
 	ready    atomic.Bool
 	draining atomic.Bool
 	active   sync.WaitGroup
 
-	requests   *obs.Counter
-	hits       *obs.Counter
-	misses     *obs.Counter
-	rejected   *obs.Counter
-	savedMS    *obs.Counter
-	evalErrors *obs.Counter
+	requests        *obs.Counter
+	hits            *obs.Counter
+	misses          *obs.Counter
+	rejected        *obs.Counter
+	savedMS         *obs.Counter
+	evalErrors      *obs.Counter
+	panics          *obs.Counter
+	retries         *obs.Counter
+	breakerOpened   *obs.Counter
+	breakerRejected *obs.Counter
 }
 
 // errOverloaded is the internal sentinel for a full in-flight limit.
@@ -107,13 +128,18 @@ func New(cfg Config) *Server {
 		cache:    newLRUCache(cfg.CacheEntries),
 		flight:   newFlightGroup[*EvalResult](),
 		inflight: make(chan struct{}, cfg.MaxInFlight),
+		breakers: fault.NewBreakerSet(cfg.Breaker),
 
-		requests:   obs.NewCounter("memsimd.requests_total"),
-		hits:       obs.NewCounter("memsimd.cache_hits"),
-		misses:     obs.NewCounter("memsimd.cache_misses"),
-		rejected:   obs.NewCounter("memsimd.rejected_total"),
-		savedMS:    obs.NewCounter("memsimd.replay_ms_saved"),
-		evalErrors: obs.NewCounter("memsimd.eval_errors"),
+		requests:        obs.NewCounter("memsimd.requests_total"),
+		hits:            obs.NewCounter("memsimd.cache_hits"),
+		misses:          obs.NewCounter("memsimd.cache_misses"),
+		rejected:        obs.NewCounter("memsimd.rejected_total"),
+		savedMS:         obs.NewCounter("memsimd.replay_ms_saved"),
+		evalErrors:      obs.NewCounter("memsimd.eval_errors"),
+		panics:          obs.NewCounter("memsimd.panics_recovered"),
+		retries:         obs.NewCounter("memsimd.retries_total"),
+		breakerOpened:   obs.NewCounter("memsimd.breaker_open_total"),
+		breakerRejected: obs.NewCounter("memsimd.breaker_rejected"),
 	}
 	s.ready.Store(true)
 	obs.PublishFunc("memsimd.cache_hit_ratio", func() any {
@@ -262,6 +288,22 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Cache hits bypass the breaker (they cost nothing and prove
+	// nothing); only requests about to spend replay capacity consult it.
+	bkey := req.Design.breakerKey()
+	if retryAfter, ok := s.breakers.Allow(bkey); !ok {
+		s.breakerRejected.Add(1)
+		apiErr := &APIError{
+			Code:         CodeCircuitOpen,
+			Message:      "circuit breaker open for design " + bkey + " after repeated failures",
+			RetryAfterMS: retryAfter.Milliseconds(),
+			JitterMS:     retryAfter.Milliseconds() / 2,
+		}
+		s.logRequest(r, httpStatus(apiErr.Code), start, "", &req)
+		writeError(w, apiErr)
+		return
+	}
+
 	ctx := r.Context()
 	if s.cfg.Timeout > 0 {
 		var cancel context.CancelFunc
@@ -269,14 +311,26 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 	res, led, err := s.flight.Do(ctx, key, func() (*EvalResult, error) {
-		select {
-		case s.inflight <- struct{}{}:
-		default:
-			return nil, errOverloaded
-		}
-		defer func() { <-s.inflight }()
-		return s.cfg.Runner.Evaluate(ctx, &req)
+		var res *EvalResult
+		err := s.cfg.Retry.Do(ctx, key, func(attempt int) error {
+			if attempt > 0 {
+				s.retries.Add(1)
+			}
+			select {
+			case s.inflight <- struct{}{}:
+			default:
+				return errOverloaded // not transient: no retry
+			}
+			defer func() { <-s.inflight }()
+			var aerr error
+			res, aerr = s.safeEvaluate(ctx, &req, key, attempt)
+			return aerr
+		})
+		return res, err
 	})
+	if led {
+		s.recordBreaker(bkey, err)
+	}
 	if err != nil {
 		apiErr := toAPIError(err)
 		if apiErr.Code == CodeOverloaded {
@@ -303,18 +357,75 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	s.writeResult(w, &req, res, "dedup")
 }
 
+// safeEvaluate runs one evaluation attempt with the resilience wrapping:
+// any chaos-plan injection for this (key, attempt) fires first, and a panic
+// anywhere below — injected or organic — is recovered into a typed
+// *fault.PanicError so the worker survives and the request fails with
+// CodePanic.
+func (s *Server) safeEvaluate(ctx context.Context, req *EvalRequest, key string, attempt int) (res *EvalResult, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.panics.Add(1)
+			err = &fault.PanicError{Op: "evaluate " + req.Design.breakerKey(), Value: v, Stack: debug.Stack()}
+			if s.cfg.Log != nil {
+				s.cfg.Log.Warn("panic_recovered", obs.Fields{
+					"design": req.Design.breakerKey(), "workload": req.Workload,
+					"panic": err.Error(),
+				})
+			}
+		}
+	}()
+	if s.cfg.Chaos != nil {
+		switch s.cfg.Chaos.Decide(key, uint64(attempt)) {
+		case fault.ActPanic:
+			panic("chaos: poisoned design point " + req.Design.breakerKey())
+		case fault.ActTransient:
+			return nil, fault.Transient("chaos evaluate", nil)
+		}
+	}
+	return s.cfg.Runner.Evaluate(ctx, req)
+}
+
+// recordBreaker feeds one flight-leader outcome to the design's circuit
+// breaker. Successes close it; evaluation failures (panics, internal
+// errors, timeouts) count toward opening it. Backpressure rejections,
+// client cancellations, and request-shape errors (4xx) say nothing about
+// the design's health and are not recorded.
+func (s *Server) recordBreaker(bkey string, err error) {
+	if err == nil {
+		s.breakers.Record(bkey, true)
+		return
+	}
+	switch toAPIError(err).Code {
+	case CodePanic, CodeInternal, CodeTimeout:
+		if s.breakers.Record(bkey, false) {
+			s.breakerOpened.Add(1)
+			if s.cfg.Log != nil {
+				s.cfg.Log.Warn("breaker_open", obs.Fields{"design": bkey})
+			}
+		}
+	}
+}
+
 // toAPIError maps evaluation-path failures onto typed API errors.
 func toAPIError(err error) *APIError {
 	var apiErr *APIError
+	var panicErr *fault.PanicError
 	switch {
 	case errors.As(err, &apiErr):
 		return apiErr
 	case errors.Is(err, errOverloaded):
-		return &APIError{Code: CodeOverloaded, Message: "evaluation capacity exhausted; retry shortly"}
+		return &APIError{Code: CodeOverloaded, Message: "evaluation capacity exhausted; retry shortly",
+			RetryAfterMS: 1000, JitterMS: 500}
 	case errors.Is(err, context.DeadlineExceeded):
 		return &APIError{Code: CodeTimeout, Message: "evaluation deadline exceeded; in-flight replay aborted"}
 	case errors.Is(err, context.Canceled):
 		return &APIError{Code: CodeCanceled, Message: "request canceled; in-flight replay aborted"}
+	case errors.As(err, &panicErr):
+		return &APIError{Code: CodePanic, Message: panicErr.Error()}
+	case fault.IsTransient(err):
+		return &APIError{Code: CodeInternal, Message: err.Error() + " (transient; retries exhausted)",
+			RetryAfterMS: 1000, JitterMS: 500}
 	default:
 		return &APIError{Code: CodeInternal, Message: err.Error()}
 	}

@@ -2,6 +2,22 @@ package wear
 
 import "fmt"
 
+// LineError reports a logical line index outside a leveler's device — a
+// malformed design point, not a process-fatal condition. StartGap.Physical
+// panics with a *LineError; the experiment harness recovers it at the
+// evaluation boundary (exp.EvaluateCtx) and fails just that request.
+type LineError struct {
+	// Line is the out-of-range logical line.
+	Line uint64
+	// Lines is the device's logical line count.
+	Lines uint64
+}
+
+// Error implements the error interface.
+func (e *LineError) Error() string {
+	return fmt.Sprintf("wear: logical line %d out of %d", e.Line, e.Lines)
+}
+
 // StartGap implements the Start-Gap wear-leveling scheme (Qureshi, Karidis,
 // Franceschini et al., "Enhancing Lifetime and Security of PCM-based Main
 // Memory with Start-Gap Wear Leveling", MICRO 2009 — the paper's reference
@@ -46,10 +62,12 @@ func (s *StartGap) physicalFrames() uint64 { return s.logical + 1 }
 // Physical maps a logical line to its current physical frame. The frames
 // hold logical lines in circular order beginning at Start and skipping the
 // gap frame, so line l occupies the (l+1)-th non-gap frame of that
-// enumeration.
+// enumeration. An out-of-range line panics with a typed *LineError that
+// harness boundaries (exp.EvaluateCtx, exp.ProfileWorkloadOpts) convert
+// into a per-request error.
 func (s *StartGap) Physical(logical uint64) uint64 {
 	if logical >= s.logical {
-		panic(fmt.Sprintf("wear: logical line %d out of %d", logical, s.logical))
+		panic(&LineError{Line: logical, Lines: s.logical})
 	}
 	frames := s.physicalFrames()
 	// d is the gap's position in the circular enumeration from Start.

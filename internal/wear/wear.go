@@ -70,6 +70,10 @@ func (t *Tracker) RecordWrite(addr, sizeBytes uint64) {
 // TotalWrites returns the total line-writes recorded.
 func (t *Tracker) TotalWrites() uint64 { return t.writes }
 
+// Count returns the write count recorded against one line index — the
+// per-line wear the fault layer's endurance model samples against.
+func (t *Tracker) Count(line uint64) uint64 { return t.counts[line] }
+
 // TouchedLines returns the number of distinct lines written.
 func (t *Tracker) TouchedLines() uint64 { return uint64(len(t.counts)) }
 

@@ -1,6 +1,7 @@
 package wear
 
 import (
+	"errors"
 	"math"
 	"math/rand/v2"
 	"testing"
@@ -214,5 +215,46 @@ func TestMemoryDelegatesStats(t *testing.T) {
 	}
 	if mods[0].Tech.Name != "STTRAM" {
 		t.Fatalf("tech = %s", mods[0].Tech.Name)
+	}
+}
+
+// TestPhysicalPanicsTyped verifies the kernel-facing contract: an
+// out-of-range logical line panics with a *LineError that the evaluation
+// boundary can recover into a typed error (see exp.EvaluateCtx).
+func TestPhysicalPanicsTyped(t *testing.T) {
+	s, err := NewStartGap(8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered := func() (err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				err = v.(error)
+			}
+		}()
+		s.Physical(8) // one past the end
+		return nil
+	}()
+	var le *LineError
+	if !errors.As(recovered, &le) {
+		t.Fatalf("got %T (%v), want *LineError", recovered, recovered)
+	}
+	if le.Line != 8 || le.Lines != 8 {
+		t.Fatalf("LineError = %+v, want Line=8 Lines=8", le)
+	}
+	if le.Error() == "" {
+		t.Fatal("empty Error()")
+	}
+}
+
+func TestTrackerCount(t *testing.T) {
+	tr := NewTracker(64)
+	tr.RecordWrite(128, 8)
+	tr.RecordWrite(130, 8)
+	if got := tr.Count(2); got != 2 {
+		t.Fatalf("Count(2) = %d, want 2", got)
+	}
+	if got := tr.Count(0); got != 0 {
+		t.Fatalf("Count(0) = %d, want 0", got)
 	}
 }

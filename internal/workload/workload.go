@@ -88,12 +88,31 @@ func (r Region) End() uint64 { return r.Base + r.Size }
 // Contains reports whether addr falls inside the region.
 func (r Region) Contains(addr uint64) bool { return addr >= r.Base && addr < r.End() }
 
-// Addr returns the address at the given byte offset. It panics if the
-// offset is out of bounds — an out-of-region reference is a workload bug
-// that would silently corrupt placement experiments.
+// RegionError reports a reference outside a workload region — a malformed
+// design point or kernel bug that would silently corrupt placement
+// experiments. Region.Addr panics with a *RegionError; harness boundaries
+// (exp.ProfileWorkloadOpts, exp.EvaluateCtx) recover it into a typed error
+// so one request fails instead of the process.
+type RegionError struct {
+	// Region is the name of the region the offset missed.
+	Region string
+	// Offset is the out-of-bounds byte offset.
+	Offset uint64
+	// Size is the region's size in bytes.
+	Size uint64
+}
+
+// Error implements the error interface.
+func (e *RegionError) Error() string {
+	return fmt.Sprintf("workload: offset %d out of region %s (size %d)", e.Offset, e.Region, e.Size)
+}
+
+// Addr returns the address at the given byte offset. An out-of-bounds
+// offset panics with a typed *RegionError (see RegionError for how the
+// harness converts it into a per-request failure).
 func (r Region) Addr(off uint64) uint64 {
 	if off >= r.Size {
-		panic(fmt.Sprintf("workload: offset %d out of region %s (size %d)", off, r.Name, r.Size))
+		panic(&RegionError{Region: r.Name, Offset: off, Size: r.Size})
 	}
 	return r.Base + off
 }

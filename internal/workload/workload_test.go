@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -128,5 +129,32 @@ func TestOptionsDefaults(t *testing.T) {
 	o = Options{Scale: 8, Iters: 3}
 	if o.scaleOrDefault() != 8 || o.itersOrDefault(5) != 3 {
 		t.Error("explicit options not honored")
+	}
+}
+
+// TestAddrPanicsTyped verifies the kernel-facing contract: an out-of-bounds
+// region offset panics with a *RegionError that the evaluation boundary
+// recovers into a typed error instead of killing the process.
+func TestAddrPanicsTyped(t *testing.T) {
+	var a Arena
+	r := a.Alloc("nodes", 100)
+	recovered := func() (err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				err = v.(error)
+			}
+		}()
+		r.Addr(100) // one past the end
+		return nil
+	}()
+	var re *RegionError
+	if !errors.As(recovered, &re) {
+		t.Fatalf("got %T (%v), want *RegionError", recovered, recovered)
+	}
+	if re.Region != "nodes" || re.Offset != 100 || re.Size != 100 {
+		t.Fatalf("RegionError = %+v", re)
+	}
+	if re.Error() == "" {
+		t.Fatal("empty Error()")
 	}
 }
