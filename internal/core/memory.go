@@ -177,26 +177,60 @@ func (m *PartitionedMemory) inRange(addr uint64) bool {
 	return !contains(m.retired, addr)
 }
 
-// RetirePage remaps the page [start, start+size) from the range-side module
-// onto the other-side module, implementing the fault layer's PageRetirer
-// seam. It reports whether the remap took effect: the page must lie inside a
-// partition range (only the NVM side wears out) and must not already be
-// retired. Capacity follows the page — rangeCap shrinks and otherCap grows
-// by the retired bytes (clamped to what remains), so the design point's
-// total provisioned capacity is invariant under retirement.
+// RetirePage remaps the range-side bytes of the device page
+// [start, start+size) onto the other-side module, implementing the fault
+// layer's PageRetirer seam. Partition ranges follow workload region
+// boundaries and need not be page-aligned, so the page is clipped to the
+// ranges it intersects; only those bytes wear out and move. It reports
+// whether the remap took effect — false when the page misses every
+// partition range or any part of it is already retired. Capacity follows
+// the remapped bytes — rangeCap shrinks and otherCap grows (clamped to
+// what remains), so the design point's total provisioned capacity is
+// invariant under retirement.
 func (m *PartitionedMemory) RetirePage(start, size uint64) bool {
-	if size == 0 || !contains(m.ranges, start) {
-		return false
-	}
-	if contains(m.retired, start) || contains(m.retired, start+size-1) {
+	if size == 0 {
 		return false
 	}
 	page := AddrRange{Start: start, End: start + size}
-	i := sort.Search(len(m.retired), func(i int) bool { return m.retired[i].Start >= start })
-	m.retired = append(m.retired, AddrRange{})
-	copy(m.retired[i+1:], m.retired[i:])
-	m.retired[i] = page
-	moved := size
+	var pieces []AddrRange
+	for _, r := range m.ranges {
+		if r.Start >= page.End {
+			break
+		}
+		if !r.Overlaps(page) {
+			continue
+		}
+		p := r
+		if page.Start > p.Start {
+			p.Start = page.Start
+		}
+		if page.End < p.End {
+			p.End = page.End
+		}
+		pieces = append(pieces, p)
+	}
+	if len(pieces) == 0 {
+		return false
+	}
+	// Each piece must be disjoint from every existing retirement: a piece
+	// overlaps one either when its start falls inside it (it sorts before
+	// i) or when one starts inside the piece — which also covers
+	// retirements lying strictly within it, preserving the sorted
+	// non-overlapping invariant contains() relies on.
+	for _, p := range pieces {
+		i := sort.Search(len(m.retired), func(i int) bool { return m.retired[i].Start >= p.Start })
+		if contains(m.retired, p.Start) || (i < len(m.retired) && m.retired[i].Start < p.End) {
+			return false
+		}
+	}
+	var moved uint64
+	for _, p := range pieces {
+		i := sort.Search(len(m.retired), func(i int) bool { return m.retired[i].Start >= p.Start })
+		m.retired = append(m.retired, AddrRange{})
+		copy(m.retired[i+1:], m.retired[i:])
+		m.retired[i] = p
+		moved += p.Size()
+	}
 	if moved > m.rangeCap {
 		moved = m.rangeCap
 	}
@@ -205,8 +239,17 @@ func (m *PartitionedMemory) RetirePage(start, size uint64) bool {
 	return true
 }
 
-// RetiredPages returns the number of pages retired so far.
+// RetiredPages returns the number of retired extents remapped so far (a
+// device page straddling several partition ranges contributes one extent
+// per range it intersects).
 func (m *PartitionedMemory) RetiredPages() int { return len(m.retired) }
+
+// FaultProne reports whether addr currently lives on the range-side
+// (typically NVM) module — the side subject to device faults. Addresses
+// outside the partition ranges are DRAM-backed, and retired addresses have
+// already moved to the other side; neither wears out. Implements the fault
+// layer's FaultProber seam.
+func (m *PartitionedMemory) FaultProne(addr uint64) bool { return m.inRange(addr) }
 
 // Load records a read against the module owning addr.
 func (m *PartitionedMemory) Load(addr, sizeBytes uint64) {

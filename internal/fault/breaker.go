@@ -88,7 +88,9 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 
 // Allow reports whether a request may proceed. When it may not, retryAfter
 // is how long until the breaker will admit a probe. Each admitted request
-// must be concluded with Record.
+// must be concluded — with Record when its outcome reflects the protected
+// resource's health, or with Release when it does not — else a half-open
+// probe reservation leaks and the breaker rejects forever.
 func (b *Breaker) Allow() (retryAfter time.Duration, ok bool) {
 	if b.cfg.Threshold < 0 {
 		return 0, true
@@ -114,6 +116,27 @@ func (b *Breaker) Allow() (retryAfter time.Duration, ok bool) {
 		}
 		b.probing = true
 		return 0, true
+	}
+}
+
+// Release concludes an admitted request without a health verdict. If the
+// request held the half-open probe reservation, the reservation is returned
+// (the breaker stays half-open) so the next Allow admits a fresh probe;
+// otherwise nothing changes. Callers use it for outcomes that say nothing
+// about the protected resource — backpressure rejections, client
+// cancellations, deduplicated followers whose leader reports the verdict —
+// because an admitted probe that is never concluded would reject the key
+// forever. Release cannot tell which admitted request set the reservation,
+// so a concurrent closed-state admission releasing during someone else's
+// probe may let one extra probe through; that is benign.
+func (b *Breaker) Release() {
+	if b.cfg.Threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateHalfOpen {
+		b.probing = false
 	}
 }
 
@@ -208,6 +231,14 @@ func (s *BreakerSet) Record(key string, success bool) (opened bool) {
 		return false
 	}
 	return b.Record(success)
+}
+
+// Release concludes an admitted request against key without a verdict (see
+// Breaker.Release).
+func (s *BreakerSet) Release(key string) {
+	if b := s.get(key); b != nil {
+		b.Release()
+	}
 }
 
 // State returns the breaker state for key (closed for untracked keys).

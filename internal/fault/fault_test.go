@@ -142,6 +142,45 @@ func TestBreakerLifecycle(t *testing.T) {
 	}
 }
 
+func TestBreakerReleaseReturnsProbe(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Minute, Now: func() time.Time { return now }})
+
+	// Release on a closed breaker is a no-op.
+	b.Allow()
+	b.Release()
+	if _, ok := b.Allow(); !ok {
+		t.Fatal("Release disturbed a closed breaker")
+	}
+	b.Record(false)
+	if b.State() != StateOpen {
+		t.Fatalf("state = %v, want open after threshold-1 failure", b.State())
+	}
+
+	// After the cooldown the probe reservation is handed out once.
+	now = now.Add(2 * time.Minute)
+	if _, ok := b.Allow(); !ok {
+		t.Fatal("cooldown elapsed but no probe admitted")
+	}
+	if _, ok := b.Allow(); ok {
+		t.Fatal("second probe admitted while the first is reserved")
+	}
+
+	// The probe concludes without a verdict (backpressure, cancellation):
+	// the reservation must return so the design is not rejected forever.
+	b.Release()
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state after release = %v, want half-open", b.State())
+	}
+	if _, ok := b.Allow(); !ok {
+		t.Fatal("released probe reservation was not re-admitted")
+	}
+	b.Record(true)
+	if b.State() != StateClosed {
+		t.Fatalf("state = %v, want closed after successful probe", b.State())
+	}
+}
+
 func TestBreakerDisabled(t *testing.T) {
 	b := NewBreaker(BreakerConfig{Threshold: -1})
 	for i := 0; i < 100; i++ {
@@ -168,6 +207,12 @@ func TestBreakerSetIsolatesKeys(t *testing.T) {
 	}
 	if s.State("bad") != StateOpen || s.State("good") != StateClosed {
 		t.Fatalf("states: bad=%v good=%v", s.State("bad"), s.State("good"))
+	}
+	// Release is safe on any key and leaves unrelated state alone.
+	s.Release("bad")
+	s.Release("never-seen")
+	if s.State("bad") != StateOpen {
+		t.Fatal("Release changed an open breaker's state")
 	}
 }
 

@@ -1,6 +1,8 @@
 package fault
 
 import (
+	"math"
+
 	"hybridmem/internal/core"
 	"hybridmem/internal/wear"
 )
@@ -67,7 +69,9 @@ type Stats struct {
 	// RetiredPages is the number of pages taken out of service.
 	RetiredPages uint64
 	// Remapped counts accesses served from retired pages' replacement
-	// frames (the DRAM partition under NDM, spare capacity otherwise).
+	// frames (the DRAM partition under NDM when the remap took effect,
+	// spare capacity for terminals without a retirer). Accesses to a page
+	// whose remap failed still hit the original module and are not counted.
 	Remapped uint64
 }
 
@@ -101,6 +105,17 @@ type PageRetirer interface {
 	RetirePage(start, size uint64) bool
 }
 
+// FaultProber is implemented by hybrid terminals whose address space is
+// only partially backed by fault-prone (NVM) devices —
+// core.PartitionedMemory (the NDM terminal) reports its DRAM-side
+// addresses as not fault-prone, so they draw no wear and no injected
+// errors.
+type FaultProber interface {
+	// FaultProne reports whether addr lives on a device subject to the
+	// fault model.
+	FaultProne(addr uint64) bool
+}
+
 // Memory wraps a terminal core.Memory with the deterministic device-fault
 // model: per-line write wear (via wear.Tracker) breeding permanent stuck-at
 // cells, transient bit errors filtered by a SECDED ECC model, page
@@ -111,14 +126,17 @@ type Memory struct {
 	cfg     Config
 	tracker *wear.Tracker
 	retirer PageRetirer // non-nil when inner can remap (NDM)
+	prober  FaultProber // non-nil when inner is only partially fault-prone
 	seq     uint64      // per-memory access sequence for transient sampling
 	stuck   map[uint64]uint8
-	retired map[uint64]bool // page index -> retired
+	retired map[uint64]bool // page index -> remapped onto healthy frames
 	stats   Stats
 }
 
 // Wrap returns mem wrapped with the fault model. If mem implements
-// PageRetirer, retired pages are remapped through it.
+// PageRetirer, retired pages are remapped through it; if mem implements
+// FaultProber, only its fault-prone addresses draw wear and injected
+// errors.
 func Wrap(mem core.Memory, cfg Config) *Memory {
 	cfg = cfg.withDefaults()
 	m := &Memory{
@@ -130,6 +148,9 @@ func Wrap(mem core.Memory, cfg Config) *Memory {
 	}
 	if r, ok := mem.(PageRetirer); ok {
 		m.retirer = r
+	}
+	if p, ok := mem.(FaultProber); ok {
+		m.prober = p
 	}
 	return m
 }
@@ -146,16 +167,20 @@ func (m *Memory) threshold(line uint64) uint64 {
 }
 
 // retire takes the page out of service, remapping it when the terminal
-// supports graceful degradation.
+// supports graceful degradation. A terminal without a retirer is assumed to
+// hold spare frames; a retirer that refuses the remap (page outside its
+// partition ranges) leaves the page retired-without-remap, so its traffic
+// keeps counting against the original module rather than as Remapped.
 func (m *Memory) retire(page uint64) {
-	if m.retired[page] {
+	if _, ok := m.retired[page]; ok {
 		return
 	}
-	m.retired[page] = true
-	m.stats.RetiredPages++
+	remapped := true
 	if m.retirer != nil {
-		m.retirer.RetirePage(page*m.cfg.PageBytes, m.cfg.PageBytes)
+		remapped = m.retirer.RetirePage(page*m.cfg.PageBytes, m.cfg.PageBytes)
 	}
+	m.retired[page] = remapped
+	m.stats.RetiredPages++
 }
 
 // inject runs the fault model for one access. Terminal accesses never cross
@@ -170,10 +195,18 @@ func (m *Memory) inject(addr, size uint64, write bool) {
 	}
 	line := addr / m.cfg.LineBytes
 	page := addr / m.cfg.PageBytes
-	if m.retired[page] {
-		// The page already lives on healthy replacement frames; no
-		// further injection against it.
-		m.stats.Remapped++
+	if remapped, ok := m.retired[page]; ok {
+		// A retired page injects no further faults: remapped pages live on
+		// healthy replacement frames, and a page whose remap failed is
+		// already maximally degraded. Only remapped traffic counts as such.
+		if remapped {
+			m.stats.Remapped++
+		}
+		return
+	}
+	if m.prober != nil && !m.prober.FaultProne(addr) {
+		// The address is not backed by a fault-prone device (the DRAM side
+		// of a hybrid terminal): no wear, no injected errors.
 		return
 	}
 
@@ -197,21 +230,26 @@ func (m *Memory) inject(addr, size uint64, write bool) {
 		}
 	}
 
-	// Transient bit errors under SECDED: single-bit corrects, double-bit
+	// Transient bit errors under SECDED: single-bit corrects, multi-bit
 	// (or single-bit with the ECC budget consumed by a stuck cell) is
-	// detected-uncorrectable.
+	// detected-uncorrectable. The error count per access is Poisson with
+	// mean lambda = BER * bits; the exact terms P(>=1) = 1-e^-λ and
+	// P(>=2) = 1-e^-λ-λe^-λ are used rather than the small-λ
+	// approximations λ and λ²/2, which exceed 1 (and cross each other)
+	// once BER * access bits grows large.
 	sev := m.stuck[line]
 	lambda := m.cfg.BitErrorRate * float64(size*8)
 	if lambda <= 0 && sev == 0 {
 		return
 	}
 	u := unit(hash(m.cfg.Seed, line, m.seq))
-	p2 := lambda * lambda / 2
+	pAny := -math.Expm1(-lambda)
+	pMulti := pAny - lambda*math.Exp(-lambda)
 	switch {
-	case u < p2:
+	case u < pMulti:
 		m.stats.Uncorrected++
 		m.retire(page)
-	case u < lambda:
+	case u < pAny:
 		if sev > 0 {
 			m.stats.Uncorrected++
 			m.retire(page)

@@ -129,6 +129,38 @@ func TestMemoryWearDrivenRetirementAndRemap(t *testing.T) {
 	}
 }
 
+// vetoingSink refuses every remap, modeling a page that falls outside the
+// terminal's partition ranges.
+type vetoingSink struct {
+	sinkMemory
+	asked int
+}
+
+func (v *vetoingSink) RetirePage(start, size uint64) bool { v.asked++; return false }
+
+func TestMemoryFailedRemapNotCountedAsRemapped(t *testing.T) {
+	sink := &vetoingSink{}
+	m := Wrap(sink, Config{Seed: 3, EnduranceWrites: 10})
+	for i := 0; i < 30; i++ {
+		m.Store(0x1000, 64)
+	}
+	s := m.FaultStats()
+	if s.RetiredPages != 1 || sink.asked != 1 {
+		t.Fatalf("retirement not attempted exactly once: %+v, asked=%d", s, sink.asked)
+	}
+	// Traffic to the retired-without-remap page still hits the original
+	// module, so it must not count as remapped — but it also injects no
+	// further faults (the page is already maximally degraded).
+	m.Load(0x1000, 64)
+	after := m.FaultStats()
+	if after.Remapped != 0 {
+		t.Fatalf("failed remap counted as remapped traffic: %+v", after)
+	}
+	if after.Uncorrected != s.Uncorrected || after.RetiredPages != 1 {
+		t.Fatalf("retired page kept faulting after a failed remap: %+v", after)
+	}
+}
+
 func TestMemoryThresholdSpread(t *testing.T) {
 	m := Wrap(&sinkMemory{}, Config{Seed: 5, EnduranceWrites: 1000})
 	lo, hi := false, false
@@ -164,6 +196,81 @@ func TestStatsAddAndRate(t *testing.T) {
 	}
 }
 
+func TestMemorySkipsNonFaultProneAddresses(t *testing.T) {
+	pm, err := core.NewPartitionedMemory(
+		[]core.AddrRange{{Start: 0, End: 0x10000}},
+		"nvm", tech.Tech{Name: "PCM"}, 1<<20,
+		"dram", tech.Tech{Name: "DRAM"}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Wrap(pm, Config{Seed: 3, EnduranceWrites: 10})
+
+	// Hammering a DRAM-side line breeds no wear faults: only the NVM side
+	// of a hybrid terminal is subject to the device model.
+	for i := 0; i < 100; i++ {
+		m.Store(0x20000, 64)
+	}
+	if s := m.FaultStats(); s.StuckLines != 0 || s.RetiredPages != 0 {
+		t.Fatalf("DRAM-side writes wore out: %+v", s)
+	}
+
+	// The same hammering on an NVM-side line wears out, retires, and —
+	// because the page lies in a partition range — remaps into DRAM, after
+	// which further traffic counts as remapped and the address is no
+	// longer fault-prone.
+	for i := 0; i < 30; i++ {
+		m.Store(0x1000, 64)
+	}
+	s := m.FaultStats()
+	if s.StuckLines != 1 || s.RetiredPages != 1 {
+		t.Fatalf("NVM-side wear-out did not retire: %+v", s)
+	}
+	m.Load(0x1000, 64)
+	if after := m.FaultStats(); after.Remapped != s.Remapped+1 {
+		t.Fatalf("remapped NVM page traffic not counted: %+v", after)
+	}
+	if pm.FaultProne(0x1000) {
+		t.Fatal("retired address still reports fault-prone")
+	}
+}
+
+func TestPartitionedMemoryRetirePageClipsToRanges(t *testing.T) {
+	// The NVM range starts mid-page: partition ranges follow workload
+	// region bases and are not page-aligned in general.
+	pm, err := core.NewPartitionedMemory(
+		[]core.AddrRange{{Start: 0x1800, End: 1 << 20}},
+		"nvm", tech.Tech{Name: "PCM"}, 1<<20,
+		"dram", tech.Tech{Name: "DRAM"}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Page [0x1000, 0x2000) half-overlaps the range: the remap must take
+	// effect for exactly the overlapping 0x800 bytes.
+	if !pm.RetirePage(0x1000, 4096) {
+		t.Fatal("page straddling the range start was rejected")
+	}
+	mods := pm.Modules()
+	if mods[0].Capacity != 1<<20-0x800 || mods[1].Capacity != 1<<20+0x800 {
+		t.Fatalf("clipped remap moved wrong capacity: nvm=%d dram=%d",
+			mods[0].Capacity, mods[1].Capacity)
+	}
+	// The remapped bytes now land on the DRAM side; healthy NVM bytes stay.
+	pm.Load(0x1900, 64)
+	pm.Load(0x2800, 64)
+	mods = pm.Modules()
+	if mods[1].Stats.Loads != 1 || mods[0].Stats.Loads != 1 {
+		t.Fatalf("loads: nvm=%d dram=%d, want 1/1", mods[0].Stats.Loads, mods[1].Stats.Loads)
+	}
+	// Retiring the same page again, or a page missing every range, fails.
+	if pm.RetirePage(0x1000, 4096) {
+		t.Fatal("double retirement of a clipped page accepted")
+	}
+	if pm.RetirePage(0, 4096) {
+		t.Fatal("page outside every range accepted")
+	}
+}
+
 func TestPartitionedMemoryRetirePageAccounting(t *testing.T) {
 	pm, err := core.NewPartitionedMemory(
 		[]core.AddrRange{{Start: 0, End: 1 << 20}},
@@ -189,6 +296,9 @@ func TestPartitionedMemoryRetirePageAccounting(t *testing.T) {
 	}
 	if pm.RetirePage(1<<21, 4096) {
 		t.Fatal("out-of-range retirement accepted")
+	}
+	if pm.RetirePage(0x2000, 0x3000) {
+		t.Fatal("retirement strictly enclosing an already-retired page accepted")
 	}
 	if pm.RetiredPages() != 1 {
 		t.Fatalf("RetiredPages = %d, want 1", pm.RetiredPages())

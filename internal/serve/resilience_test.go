@@ -166,6 +166,80 @@ func TestCircuitBreakerTripAndRecover(t *testing.T) {
 	}
 }
 
+// TestBreakerProbeReleasedOnNeutralOutcome reproduces the probe leak: a
+// half-open probe admitted by the breaker but concluded with an outcome
+// that says nothing about the design's health (here a 429 backpressure
+// rejection) must return its reservation. Before the Release path, the
+// reservation leaked and every later request for the design answered
+// circuit_open until process restart.
+func TestBreakerProbeReleasedOnNeutralOutcome(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	runner := &stubRunner{fn: func(ctx context.Context, req *EvalRequest) (*EvalResult, error) {
+		if strings.Contains(req.Design.Config, "N8") {
+			close(started)
+			<-release
+			return &EvalResult{Key: req.Key(), Metrics: map[string]float64{"norm_time": 1}}, nil
+		}
+		if failing.Load() {
+			return nil, fmt.Errorf("device model exploded")
+		}
+		return &EvalResult{Key: req.Key(), Metrics: map[string]float64{"norm_time": 1}}, nil
+	}}
+	var clock atomic.Int64 // unix nanos
+	s := New(Config{
+		Runner:      runner,
+		MaxInFlight: 1,
+		Retry:       fault.RetryPolicy{Attempts: 1},
+		Breaker: fault.BreakerConfig{
+			Threshold: 2,
+			Cooldown:  10 * time.Second,
+			Now:       func() time.Time { return time.Unix(0, clock.Load()) },
+		},
+	})
+	ts := newHTTPServer(t, s)
+	bad := testBody("NMM/N9")
+
+	// Two consecutive failures open the design's breaker.
+	for i := 0; i < 2; i++ {
+		if resp, decoded := post(t, ts, bad); resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("failure %d status = %d (%v)", i, resp.StatusCode, decoded)
+		}
+	}
+
+	// Occupy the only evaluation slot with a slow, unrelated design.
+	blocked := make(chan struct{})
+	go func() {
+		defer close(blocked)
+		resp, err := http.Post(ts.URL+"/v1/evaluate", "application/json",
+			strings.NewReader(testBody("NMM/N8")))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-started
+
+	// Cooldown elapses: the probe is admitted, then immediately hits the
+	// full in-flight limit — a neutral outcome, not a health verdict.
+	clock.Store(int64(11 * time.Second))
+	failing.Store(false)
+	resp, decoded := post(t, ts, bad)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("probe under backpressure status = %d, want 429 (%v)", resp.StatusCode, decoded)
+	}
+
+	// Slot freed: the design must get a fresh probe and recover.
+	close(release)
+	<-blocked
+	resp, decoded = post(t, ts, bad)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-backpressure status = %d, want 200 — probe reservation leaked (%v)",
+			resp.StatusCode, decoded)
+	}
+}
+
 func TestFaultSpecValidation(t *testing.T) {
 	_, _, ts := newTestServer(t, Config{})
 	cases := []struct {

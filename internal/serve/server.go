@@ -328,9 +328,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		})
 		return res, err
 	})
-	if led {
-		s.recordBreaker(bkey, err)
-	}
+	s.concludeBreaker(bkey, led, err)
 	if err != nil {
 		apiErr := toAPIError(err)
 		if apiErr.Code == CodeOverloaded {
@@ -386,12 +384,20 @@ func (s *Server) safeEvaluate(ctx context.Context, req *EvalRequest, key string,
 	return s.cfg.Runner.Evaluate(ctx, req)
 }
 
-// recordBreaker feeds one flight-leader outcome to the design's circuit
-// breaker. Successes close it; evaluation failures (panics, internal
-// errors, timeouts) count toward opening it. Backpressure rejections,
-// client cancellations, and request-shape errors (4xx) say nothing about
-// the design's health and are not recorded.
-func (s *Server) recordBreaker(bkey string, err error) {
+// concludeBreaker concludes one breaker-admitted request. Flight leaders
+// report a health verdict: success closes the breaker, evaluation failures
+// (panics, internal errors, timeouts) count toward opening it. Every other
+// admitted request — deduplicated followers (their leader reports for the
+// same design) and leaders whose outcome says nothing about the design's
+// health (backpressure rejections, client cancellations) — still releases
+// the breaker: if this request's Allow acquired the half-open probe
+// reservation, dropping it silently would leave the design rejected with
+// circuit_open forever.
+func (s *Server) concludeBreaker(bkey string, led bool, err error) {
+	if !led {
+		s.breakers.Release(bkey)
+		return
+	}
 	if err == nil {
 		s.breakers.Record(bkey, true)
 		return
@@ -404,6 +410,8 @@ func (s *Server) recordBreaker(bkey string, err error) {
 				s.cfg.Log.Warn("breaker_open", obs.Fields{"design": bkey})
 			}
 		}
+	default:
+		s.breakers.Release(bkey)
 	}
 }
 
