@@ -339,6 +339,46 @@ func BenchmarkBoundaryReplayBatch(b *testing.B) {
 	b.ReportMetric(float64(wp.Boundary.PackedBytes())/float64(wp.Boundary.Len()), "packedB/ref")
 }
 
+// BenchmarkFanoutReplay contrasts the two ways to evaluate one workload's
+// Table 3 design points: the shared-decode fan-out (each packed block
+// decoded once and broadcast to every design point over the block ring)
+// versus the historical per-design replay (each design point decodes the
+// whole stream privately). refs/s counts references replayed across all
+// design points, so the two sub-benchmarks are directly comparable;
+// decodes/ref is the number of block decodes amortized per replayed
+// reference (1 for the private path, 1/width for the fan-out).
+func BenchmarkFanoutReplay(b *testing.B) {
+	s := suite(b)
+	wp := s.Profiles[0]
+	var backends []design.Backend
+	for _, cfg := range design.NConfigs {
+		backends = append(backends, design.NMM(cfg, tech.PCM, 64, wp.Footprint))
+	}
+	refs := float64(wp.Boundary.Len()) * float64(len(backends))
+	b.Run("shared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, r := range wp.EvaluateFanout(context.Background(), backends) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+		b.ReportMetric(refs*float64(b.N)/b.Elapsed().Seconds(), "refs/s")
+		b.ReportMetric(1/float64(len(backends)), "decodes/ref")
+	})
+	b.Run("perdesign", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, bk := range backends {
+				if _, err := wp.EvaluateSerialCtx(context.Background(), bk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(refs*float64(b.N)/b.Elapsed().Seconds(), "refs/s")
+		b.ReportMetric(1, "decodes/ref")
+	})
+}
+
 // BenchmarkAblationPageGranularity shows the cost/benefit of page-organized
 // caching: replaying the same boundary stream into DRAM caches with 64B
 // versus 4KB pages, reporting the hit rates.

@@ -20,9 +20,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -50,6 +52,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "fault-injection seed (same seed = identical statistics)")
 		withNDM   = flag.Bool("ndm", true, "include the NDM write-aware placement (retired pages remap to DRAM)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		workers   = flag.Int("workers", 0, "replay worker bound; design points within the bound share each block decode (0 = GOMAXPROCS)")
 		runlog    = flag.String("runlog", "", `write structured JSONL run events here ("-" = stderr)`)
 	)
 	flag.Parse()
@@ -82,22 +85,34 @@ func main() {
 			design.NDM(nvm, p.NVMRanges(), p.NVMBytes(), wp.Footprint, "write-aware"))
 	}
 
+	// The whole (configuration x error-rate) grid replays one workload's
+	// boundary stream, so RunJobs folds it into shared-decode fan-out
+	// chunks: each packed block is decoded once per chunk of up to -workers
+	// design points instead of once per grid cell.
+	var jobs []exp.Job
+	var jobBERs []float64
+	for _, b := range backends {
+		for _, ber := range rates {
+			jobs = append(jobs, exp.Job{WP: wp, B: b.WithFault(fault.Config{
+				Seed:            *seed,
+				BitErrorRate:    ber,
+				EnduranceWrites: *endurance,
+			})})
+			jobBERs = append(jobBERs, ber)
+		}
+	}
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	evs, err := exp.RunJobs(context.Background(), jobs, *workers)
+	exitOn(err)
 	type row struct {
 		ber float64
 		ev  model.Evaluation
 	}
-	var rows []row
-	for _, b := range backends {
-		for _, ber := range rates {
-			fb := b.WithFault(fault.Config{
-				Seed:            *seed,
-				BitErrorRate:    ber,
-				EnduranceWrites: *endurance,
-			})
-			ev, err := wp.Evaluate(fb)
-			exitOn(err)
-			rows = append(rows, row{ber: ber, ev: ev})
-		}
+	rows := make([]row, len(evs))
+	for i, ev := range evs {
+		rows[i] = row{ber: jobBERs[i], ev: ev}
 	}
 
 	if *csv {

@@ -45,6 +45,7 @@ func main() {
 		nvmName   = flag.String("nvm", "PCM", "NVM technology for figures 1-2 and 5-6 (PCM, STTRAM, FeRAM)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		dilution  = flag.Int("dilution", 0, "L1-hit dilution factor (0 = default)")
+		workers   = flag.Int("workers", 0, "replay worker bound; same-workload design points within the bound share each block decode (0 = GOMAXPROCS)")
 
 		epoch      = flag.Uint64("epoch", 0, "sample an epoch time-series every N references while profiling workloads (0 = off)")
 		timeseries = flag.String("timeseries", "", `write the profiling epoch time-series as long-form CSV here ("-" = stdout; implies -epoch)`)
@@ -80,7 +81,7 @@ func main() {
 	if *timeseries != "" && *epoch == 0 {
 		*epoch = obs.DefaultEpochRefs
 	}
-	cfg := exp.Config{Scale: *scale, Dilution: *dilution, Epoch: *epoch, Log: logger}
+	cfg := exp.Config{Scale: *scale, Dilution: *dilution, Workers: *workers, Epoch: *epoch, Log: logger}
 	if *workloads != "" {
 		cfg.Workloads = strings.Split(*workloads, ",")
 	}

@@ -31,6 +31,7 @@ func main() {
 		dsgn      = flag.String("design", "all", "design family: nmm, 4lc, 4lcnvm, ndm, all")
 		scale     = flag.Uint64("scale", design.DefaultScale, "capacity co-scaling divisor")
 		workloads = flag.String("workloads", "", "comma-separated workload subset")
+		workers   = flag.Int("workers", 0, "replay worker bound; same-workload design points within the bound share each block decode (0 = GOMAXPROCS)")
 
 		epoch      = flag.Uint64("epoch", 0, "sample an epoch time-series every N references while profiling workloads (0 = off)")
 		timeseries = flag.String("timeseries", "", `write the profiling epoch time-series as long-form CSV here ("-" = stderr-free stdout is taken by sweep rows, so name a file)`)
@@ -61,7 +62,7 @@ func main() {
 	if *timeseries != "" && *epoch == 0 {
 		*epoch = obs.DefaultEpochRefs
 	}
-	cfg := exp.Config{Scale: *scale, Epoch: *epoch, Log: logger}
+	cfg := exp.Config{Scale: *scale, Workers: *workers, Epoch: *epoch, Log: logger}
 	if *workloads != "" {
 		cfg.Workloads = strings.Split(*workloads, ",")
 	}

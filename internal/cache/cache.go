@@ -16,6 +16,7 @@ package cache
 import (
 	"fmt"
 	"math/bits"
+	"slices"
 )
 
 // Config describes one cache level.
@@ -122,21 +123,74 @@ func (s *Stats) Add(o Stats) {
 	s.Prefetches += o.Prefetches
 }
 
-// line is one cache line. tag is the full line address (addr >> lineShift),
-// so victim addresses can be reconstructed exactly. dirty is a bitmask of
-// dirty sectors (see Cache.sectorSize): page-organized levels track which
-// 64B sectors of a page were actually written, so an evicted page writes
-// back only its dirty sectors — essential for honest NVM write-energy
-// accounting, where a full 4KB page write costs 64x a sector write.
-type line struct {
-	tag   uint64
-	valid bool
-	dirty uint64
+// orderAssocMax is the widest associativity the nibble-packed order-word
+// LRU can encode: 16 ways x 4 bits fills one uint64 per set.
+const orderAssocMax = 16
+
+// nibbleLSB has the low bit of every nibble set; nibbleMSB the high bit.
+// They drive the branch-free zero-nibble search in ordRank.
+const (
+	nibbleLSB = 0x1111111111111111
+	nibbleMSB = 0x8888888888888888
+)
+
+// ordInit is the identity recency permutation: nibble r holds way id r.
+// Unused high nibbles (assoc < 16) keep their identity values forever, so
+// they can never collide with a valid way id during the rank search.
+const ordInit = 0xFEDCBA9876543210
+
+// ordRank returns the recency rank of way w in order word ord (which is
+// always a permutation of 0..15, so w occurs exactly once). XORing with w
+// replicated into every nibble turns the match into the word's only zero
+// nibble, which the carry trick locates without a loop.
+func ordRank(ord uint64, w int) uint {
+	x := ord ^ uint64(w)*nibbleLSB
+	return uint(bits.TrailingZeros64((x-nibbleLSB) & ^x & nibbleMSB)) >> 2
+}
+
+// ordPromote moves the way at rank r to rank 0 (MRU), shifting ranks
+// [0, r) up by one; nibbles above r are untouched. For r == 15 the shift
+// counts reach 64, which Go defines to produce 0 — exactly the "no high
+// part" case.
+func ordPromote(ord uint64, r uint, w int) uint64 {
+	low := ord & (1<<(4*r) - 1)
+	return ord&^(1<<(4*r+4)-1) | low<<4 | uint64(w)
 }
 
 // Cache is a set-associative, write-back, write-allocate cache with LRU
 // replacement. It is not safe for concurrent use; the experiment harness
 // gives each worker its own hierarchy.
+//
+// Line state is held in structure-of-arrays form — flat parallel arrays
+// indexed set-major (way w of set s lives at s*assoc+w) — instead of an
+// array of line structs kept in MRU order:
+//
+//   - tags[i] is the full line address (addr >> lineShift), so victim
+//     addresses can be reconstructed exactly. The hit scan walks only this
+//     array: 8 bytes per way instead of a 24-byte struct.
+//   - dirty[i] is a bitmask of dirty sectors (see Cache.sectorSize):
+//     page-organized levels track which 64B sectors of a page were actually
+//     written, so an evicted page writes back only its dirty sectors —
+//     essential for honest NVM write-energy accounting, where a full 4KB
+//     page write costs 64x a sector write.
+//
+// Recency is not kept by physically ordering lines (the former layout
+// memmoved up to assoc 24-byte structs on every access); it is encoded in
+// compact per-set words, one of two ways:
+//
+//   - Order words (assoc <= 16, every replay-path page cache and the L1/L2
+//     prefix): ord[s] packs the set's recency permutation as 16 4-bit way
+//     ids, rank 0 (MRU) in the low nibble. A hit re-ranks a way with a few
+//     bit operations; the LRU victim is read directly from the top valid
+//     nibble, so misses pay no scan at all. vcnt[s] counts valid ways;
+//     ways fill in index order, so ways [0, vcnt) are exactly the valid
+//     ones and the tag scan stops there.
+//   - Age words (wider sets, e.g. the 20-way L3): ages[i] holds a monotone
+//     access clock at the way's last touch, 0 meaning empty. The victim is
+//     the minimum-age way, so empty ways fill before anything is evicted.
+//
+// Both encodings reproduce the former MRU-ordered layout's behavior
+// bit-identically (see TestSoAEquivalentToMRULayout).
 type Cache struct {
 	cfg       Config
 	lineShift uint
@@ -145,9 +199,23 @@ type Cache struct {
 	// sectorSize is the dirty-tracking granularity in bytes: 64B for
 	// lines up to 4KB, larger for bigger pages (the mask has 64 bits).
 	sectorSize uint64
-	// ways[s*assoc : (s+1)*assoc] are the lines of set s, ordered most
-	// recently used first. Eviction takes the last valid entry.
-	ways  []line
+	tags       []uint64
+	dirty      []uint64
+
+	// orderLRU selects the order-word encoding; ord/vcnt are per-set.
+	orderLRU bool
+	ord      []uint64
+	vcnt     []uint8
+
+	// Age-word fallback state (assoc > 16). clock is the monotone LRU
+	// clock; it advances on every hit and fill, so ages are unique and
+	// recency order is total.
+	ages  []uint64
+	clock uint64
+	// flushScratch holds one set's dirty way indices while DirtyLines
+	// sorts them into recency order; reused across flushes.
+	flushScratch []int32
+
 	stats Stats
 }
 
@@ -171,14 +239,26 @@ func New(cfg Config) *Cache {
 	for cfg.LineSize/sector > 64 {
 		sector *= 2
 	}
-	return &Cache{
+	c := &Cache{
 		cfg:        cfg,
 		lineShift:  uint(bits.TrailingZeros64(cfg.LineSize)),
 		setMask:    sets - 1,
 		assoc:      assoc,
 		sectorSize: sector,
-		ways:       make([]line, lines),
+		tags:       make([]uint64, lines),
+		dirty:      make([]uint64, lines),
 	}
+	if assoc <= orderAssocMax {
+		c.orderLRU = true
+		c.ord = make([]uint64, sets)
+		for s := range c.ord {
+			c.ord[s] = ordInit
+		}
+		c.vcnt = make([]uint8, sets)
+	} else {
+		c.ages = make([]uint64, lines)
+	}
+	return c
 }
 
 // SectorSize returns the dirty-tracking granularity in bytes.
@@ -255,23 +335,32 @@ func (c *Cache) Access(addr uint64, sizeBytes uint64, write bool) (hit bool, vic
 
 	tag := addr >> c.lineShift
 	set := int(tag & c.setMask)
-	base := set * c.assoc
-	ways := c.ways[base : base+c.assoc]
+	if c.orderLRU {
+		return c.accessOrder(set, tag, addr, sizeBytes, write)
+	}
+	return c.accessAge(set, tag, addr, sizeBytes, write)
+}
 
-	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
-			// Hit: move to MRU position.
-			l := ways[i]
-			copy(ways[1:i+1], ways[:i])
+// accessOrder is the Access miss/hit engine for order-word sets.
+func (c *Cache) accessOrder(set int, tag, addr, sizeBytes uint64, write bool) (hit bool, victim Victim) {
+	base := set * c.assoc
+	n := int(c.vcnt[set])
+	// Ways fill in index order, so [0, n) are exactly the valid ways; the
+	// full-slice expression drops bounds checks and only the 8-byte tag
+	// stream is touched on the hit path.
+	tags := c.tags[base : base+n : base+c.assoc]
+	for i := range tags {
+		if tags[i] == tag {
+			ord := c.ord[set]
+			c.ord[set] = ordPromote(ord, ordRank(ord, i), i)
 			if write {
 				if !c.cfg.WriteThrough {
-					l.dirty |= c.dirtyMask(addr, sizeBytes)
+					c.dirty[base+i] |= c.dirtyMask(addr, sizeBytes)
 				}
 				c.stats.StoreHits++
 			} else {
 				c.stats.LoadHits++
 			}
-			ways[0] = l
 			return true, Victim{}
 		}
 	}
@@ -281,12 +370,74 @@ func (c *Cache) Access(addr uint64, sizeBytes uint64, write bool) (hit bool, vic
 		return false, Victim{}
 	}
 
-	// Miss: evict the LRU way (last slot) and install the new line at MRU.
-	last := ways[c.assoc-1]
-	if last.valid {
+	ord := c.ord[set]
+	var w int
+	if n < c.assoc {
+		// Fill: way n is still at rank n (untouched ranks keep their
+		// identity ways), so promote from there — no scan, no eviction.
+		w = n
+		c.vcnt[set] = uint8(n + 1)
+		c.ord[set] = ordPromote(ord, uint(n), w)
+	} else {
+		// Evict: the LRU way is read directly from the top nibble.
+		r := uint(c.assoc - 1)
+		w = int(ord >> (4 * r) & 0xf)
 		c.stats.Evictions++
-		victim = Victim{Addr: last.tag << c.lineShift, DirtyBytes: c.dirtyBytes(last.dirty), Valid: true}
-		if last.dirty != 0 {
+		victim = Victim{Addr: c.tags[base+w] << c.lineShift, DirtyBytes: c.dirtyBytes(c.dirty[base+w]), Valid: true}
+		if c.dirty[base+w] != 0 {
+			c.stats.WriteBacks++
+		}
+		c.ord[set] = ordPromote(ord, r, w)
+	}
+	var dirty uint64
+	if write {
+		dirty = c.dirtyMask(addr, sizeBytes)
+	}
+	c.tags[base+w] = tag
+	c.dirty[base+w] = dirty
+	c.stats.FillBits += c.cfg.LineSize * 8
+	return false, victim
+}
+
+// accessAge is the Access miss/hit engine for age-word sets (assoc > 16).
+func (c *Cache) accessAge(set int, tag, addr, sizeBytes uint64, write bool) (hit bool, victim Victim) {
+	base := set * c.assoc
+	tags := c.tags[base : base+c.assoc : base+c.assoc]
+	for i := range tags {
+		if tags[i] == tag && c.ages[base+i] != 0 {
+			// Hit: stamp this way most-recently-used. No data moves.
+			c.clock++
+			c.ages[base+i] = c.clock
+			if write {
+				if !c.cfg.WriteThrough {
+					c.dirty[base+i] |= c.dirtyMask(addr, sizeBytes)
+				}
+				c.stats.StoreHits++
+			} else {
+				c.stats.LoadHits++
+			}
+			return true, Victim{}
+		}
+	}
+
+	if write && c.cfg.WriteThrough {
+		return false, Victim{}
+	}
+
+	// Miss: the victim is the minimum-age way. Empty ways carry age 0, so
+	// the set fills completely before its true LRU line is evicted.
+	ages := c.ages[base : base+c.assoc : base+c.assoc]
+	v := 0
+	minAge := ages[0]
+	for i := 1; i < len(ages); i++ {
+		if ages[i] < minAge {
+			minAge, v = ages[i], i
+		}
+	}
+	if minAge != 0 {
+		c.stats.Evictions++
+		victim = Victim{Addr: tags[v] << c.lineShift, DirtyBytes: c.dirtyBytes(c.dirty[base+v]), Valid: true}
+		if c.dirty[base+v] != 0 {
 			c.stats.WriteBacks++
 		}
 	}
@@ -294,8 +445,10 @@ func (c *Cache) Access(addr uint64, sizeBytes uint64, write bool) (hit bool, vic
 	if write {
 		dirty = c.dirtyMask(addr, sizeBytes)
 	}
-	copy(ways[1:], ways[:c.assoc-1])
-	ways[0] = line{tag: tag, valid: true, dirty: dirty}
+	tags[v] = tag
+	c.clock++
+	ages[v] = c.clock
+	c.dirty[base+v] = dirty
 	c.stats.FillBits += c.cfg.LineSize * 8
 	return false, victim
 }
@@ -308,22 +461,61 @@ func (c *Cache) Prefetch(addr uint64) (present bool, victim Victim) {
 	tag := addr >> c.lineShift
 	set := int(tag & c.setMask)
 	base := set * c.assoc
-	ways := c.ways[base : base+c.assoc]
-	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
+	if c.orderLRU {
+		n := int(c.vcnt[set])
+		tags := c.tags[base : base+n : base+c.assoc]
+		for i := range tags {
+			if tags[i] == tag {
+				return true, Victim{}
+			}
+		}
+		ord := c.ord[set]
+		var w int
+		if n < c.assoc {
+			w = n
+			c.vcnt[set] = uint8(n + 1)
+			c.ord[set] = ordPromote(ord, uint(n), w)
+		} else {
+			r := uint(c.assoc - 1)
+			w = int(ord >> (4 * r) & 0xf)
+			c.stats.Evictions++
+			victim = Victim{Addr: c.tags[base+w] << c.lineShift, DirtyBytes: c.dirtyBytes(c.dirty[base+w]), Valid: true}
+			if c.dirty[base+w] != 0 {
+				c.stats.WriteBacks++
+			}
+			c.ord[set] = ordPromote(ord, r, w)
+		}
+		c.tags[base+w] = tag
+		c.dirty[base+w] = 0
+		c.stats.FillBits += c.cfg.LineSize * 8
+		c.stats.Prefetches++
+		return false, victim
+	}
+	tags := c.tags[base : base+c.assoc : base+c.assoc]
+	for i := range tags {
+		if tags[i] == tag && c.ages[base+i] != 0 {
 			return true, Victim{}
 		}
 	}
-	last := ways[c.assoc-1]
-	if last.valid {
+	ages := c.ages[base : base+c.assoc : base+c.assoc]
+	v := 0
+	minAge := ages[0]
+	for i := 1; i < len(ages); i++ {
+		if ages[i] < minAge {
+			minAge, v = ages[i], i
+		}
+	}
+	if minAge != 0 {
 		c.stats.Evictions++
-		victim = Victim{Addr: last.tag << c.lineShift, DirtyBytes: c.dirtyBytes(last.dirty), Valid: true}
-		if last.dirty != 0 {
+		victim = Victim{Addr: tags[v] << c.lineShift, DirtyBytes: c.dirtyBytes(c.dirty[base+v]), Valid: true}
+		if c.dirty[base+v] != 0 {
 			c.stats.WriteBacks++
 		}
 	}
-	copy(ways[1:], ways[:c.assoc-1])
-	ways[0] = line{tag: tag, valid: true}
+	tags[v] = tag
+	c.clock++
+	ages[v] = c.clock
+	c.dirty[base+v] = 0
 	c.stats.FillBits += c.cfg.LineSize * 8
 	c.stats.Prefetches++
 	return false, victim
@@ -335,8 +527,16 @@ func (c *Cache) Contains(addr uint64) bool {
 	tag := addr >> c.lineShift
 	set := int(tag & c.setMask)
 	base := set * c.assoc
-	for _, l := range c.ways[base : base+c.assoc] {
-		if l.valid && l.tag == tag {
+	if c.orderLRU {
+		for i := 0; i < int(c.vcnt[set]); i++ {
+			if c.tags[base+i] == tag {
+				return true
+			}
+		}
+		return false
+	}
+	for i := base; i < base+c.assoc; i++ {
+		if c.tags[i] == tag && c.ages[i] != 0 {
 			return true
 		}
 	}
@@ -348,13 +548,65 @@ func (c *Cache) Contains(addr uint64) bool {
 // dirty state to the next level at the end of a measurement epoch,
 // completing the paper's "dirty lines eventually make their way to main
 // memory" accounting.
+//
+// Visit order is sets ascending, and within a set most-recently-used first
+// — the order the former MRU-sorted layout produced for free. The order is
+// load-bearing: flushed lines become stores to the next level, whose own
+// LRU state (and therefore every downstream statistic) depends on it.
+// Order-word sets read it straight off the recency permutation; age-word
+// sets reconstruct it by sorting each set's dirty ways by descending age.
 func (c *Cache) DirtyLines(fn func(addr, dirtyBytes uint64)) {
-	for i := range c.ways {
-		if c.ways[i].valid && c.ways[i].dirty != 0 {
-			db := c.dirtyBytes(c.ways[i].dirty)
-			c.ways[i].dirty = 0
+	sets := len(c.tags) / c.assoc
+	if c.orderLRU {
+		for s := 0; s < sets; s++ {
+			base := s * c.assoc
+			ord := c.ord[s]
+			n := int(c.vcnt[s])
+			for r := 0; r < n; r++ {
+				i := base + int(ord>>(4*uint(r))&0xf)
+				if c.dirty[i] == 0 {
+					continue
+				}
+				db := c.dirtyBytes(c.dirty[i])
+				c.dirty[i] = 0
+				c.stats.FlushedDirt++
+				fn(c.tags[i]<<c.lineShift, db)
+			}
+		}
+		return
+	}
+	if c.flushScratch == nil {
+		c.flushScratch = make([]int32, 0, c.assoc)
+	}
+	for s := 0; s < sets; s++ {
+		base := s * c.assoc
+		ways := c.flushScratch[:0]
+		for i := 0; i < c.assoc; i++ {
+			if c.ages[base+i] != 0 && c.dirty[base+i] != 0 {
+				ways = append(ways, int32(i))
+			}
+		}
+		if len(ways) == 0 {
+			continue
+		}
+		slices.SortFunc(ways, func(a, b int32) int {
+			// Ages are unique (monotone clock), so this is a strict
+			// recency order; descending age = MRU first.
+			switch aa, ab := c.ages[base+int(a)], c.ages[base+int(b)]; {
+			case aa > ab:
+				return -1
+			case aa < ab:
+				return 1
+			default:
+				return 0
+			}
+		})
+		for _, w := range ways {
+			i := base + int(w)
+			db := c.dirtyBytes(c.dirty[i])
+			c.dirty[i] = 0
 			c.stats.FlushedDirt++
-			fn(c.ways[i].tag<<c.lineShift, db)
+			fn(c.tags[i]<<c.lineShift, db)
 		}
 	}
 }
@@ -362,8 +614,14 @@ func (c *Cache) DirtyLines(fn func(addr, dirtyBytes uint64)) {
 // ValidLines returns the number of valid lines currently resident.
 func (c *Cache) ValidLines() uint64 {
 	var n uint64
-	for i := range c.ways {
-		if c.ways[i].valid {
+	if c.orderLRU {
+		for _, v := range c.vcnt {
+			n += uint64(v)
+		}
+		return n
+	}
+	for i := range c.ages {
+		if c.ages[i] != 0 {
 			n++
 		}
 	}

@@ -1,0 +1,284 @@
+package cache
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// mruLine is one way of the historical array-of-structs layout.
+type mruLine struct {
+	tag   uint64
+	valid bool
+	dirty uint64
+}
+
+// mruCache is a faithful copy of the pre-SoA Cache implementation: per-set
+// []mruLine slices kept in MRU order, with eviction taking the last valid
+// entry and every hit memmoving the touched line to the front. It exists as
+// the differential-testing oracle and the benchmark baseline for the
+// flat-array layout, and must not be "improved".
+type mruCache struct {
+	cfg        Config
+	lineShift  uint
+	setMask    uint64
+	assoc      int
+	sectorSize uint64
+	ways       []mruLine
+	stats      Stats
+}
+
+func newMRUCache(cfg Config) *mruCache {
+	ref := New(cfg) // reuse geometry derivation (shift, sets, sector size)
+	return &mruCache{
+		cfg:        cfg,
+		lineShift:  ref.lineShift,
+		setMask:    ref.setMask,
+		assoc:      ref.assoc,
+		sectorSize: ref.sectorSize,
+		ways:       make([]mruLine, cfg.Lines()),
+	}
+}
+
+func (c *mruCache) dirtyMask(addr, size uint64) uint64 {
+	off := addr & (c.cfg.LineSize - 1)
+	first := off / c.sectorSize
+	last := (off + size - 1) / c.sectorSize
+	n := last - first + 1
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return ((uint64(1) << n) - 1) << first
+}
+
+func (c *mruCache) dirtyBytes(mask uint64) uint64 {
+	var n uint64
+	for ; mask != 0; mask &= mask - 1 {
+		n++
+	}
+	return n * c.sectorSize
+}
+
+func (c *mruCache) access(addr uint64, sizeBytes uint64, write bool) (hit bool, victim Victim) {
+	bitsMoved := sizeBytes * 8
+	if write {
+		c.stats.Stores++
+		c.stats.StoreBits += bitsMoved
+	} else {
+		c.stats.Loads++
+		c.stats.LoadBits += bitsMoved
+	}
+	tag := addr >> c.lineShift
+	set := int(tag & c.setMask)
+	base := set * c.assoc
+	ways := c.ways[base : base+c.assoc]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			l := ways[i]
+			copy(ways[1:i+1], ways[:i])
+			if write {
+				if !c.cfg.WriteThrough {
+					l.dirty |= c.dirtyMask(addr, sizeBytes)
+				}
+				c.stats.StoreHits++
+			} else {
+				c.stats.LoadHits++
+			}
+			ways[0] = l
+			return true, Victim{}
+		}
+	}
+	if write && c.cfg.WriteThrough {
+		return false, Victim{}
+	}
+	last := ways[c.assoc-1]
+	if last.valid {
+		c.stats.Evictions++
+		victim = Victim{Addr: last.tag << c.lineShift, DirtyBytes: c.dirtyBytes(last.dirty), Valid: true}
+		if last.dirty != 0 {
+			c.stats.WriteBacks++
+		}
+	}
+	var dirty uint64
+	if write {
+		dirty = c.dirtyMask(addr, sizeBytes)
+	}
+	copy(ways[1:], ways[:c.assoc-1])
+	ways[0] = mruLine{tag: tag, valid: true, dirty: dirty}
+	c.stats.FillBits += c.cfg.LineSize * 8
+	return false, victim
+}
+
+func (c *mruCache) prefetch(addr uint64) (present bool, victim Victim) {
+	tag := addr >> c.lineShift
+	set := int(tag & c.setMask)
+	base := set * c.assoc
+	ways := c.ways[base : base+c.assoc]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			return true, Victim{}
+		}
+	}
+	last := ways[c.assoc-1]
+	if last.valid {
+		c.stats.Evictions++
+		victim = Victim{Addr: last.tag << c.lineShift, DirtyBytes: c.dirtyBytes(last.dirty), Valid: true}
+		if last.dirty != 0 {
+			c.stats.WriteBacks++
+		}
+	}
+	copy(ways[1:], ways[:c.assoc-1])
+	ways[0] = mruLine{tag: tag, valid: true}
+	c.stats.FillBits += c.cfg.LineSize * 8
+	c.stats.Prefetches++
+	return false, victim
+}
+
+func (c *mruCache) dirtyLines(fn func(addr, dirtyBytes uint64)) {
+	for i := range c.ways {
+		if c.ways[i].valid && c.ways[i].dirty != 0 {
+			db := c.dirtyBytes(c.ways[i].dirty)
+			c.ways[i].dirty = 0
+			c.stats.FlushedDirt++
+			fn(c.ways[i].tag<<c.lineShift, db)
+		}
+	}
+}
+
+// flushRecord is one DirtyLines emission, for order-sensitive comparison.
+type flushRecord struct {
+	addr, bytes uint64
+}
+
+// TestSoAEquivalentToMRULayout drives the flat-array cache and the
+// historical MRU-ordered layout through identical random streams — loads,
+// stores, prefetches, and periodic dirty-line flushes — and requires
+// bit-identical behavior at every step: hit/miss decisions, victim
+// addresses and dirty byte counts, the full statistics struct, and the
+// exact DirtyLines emission order (which downstream levels observe as their
+// store stream).
+func TestSoAEquivalentToMRULayout(t *testing.T) {
+	geoms := []Config{
+		{Name: "l1ish", Size: 2048, LineSize: 64, Assoc: 4},
+		{Name: "fully", Size: 4096, LineSize: 64, Assoc: 0},
+		{Name: "l3ish", Size: 32768, LineSize: 64, Assoc: 8},
+		{Name: "page", Size: 1 << 16, LineSize: 4096, Assoc: 4},
+		{Name: "wt", Size: 2048, LineSize: 64, Assoc: 4, WriteThrough: true},
+		{Name: "direct", Size: 4096, LineSize: 64, Assoc: 1},
+		{Name: "order16", Size: 1 << 15, LineSize: 64, Assoc: 16},      // widest order-word sets
+		{Name: "age32", Size: 16384, LineSize: 64, Assoc: 32},          // set-associative age fallback
+		{Name: "fullysmall", Size: 512, LineSize: 64, Assoc: 0},        // fully associative, order-word
+		{Name: "pagewide", Size: 1 << 20, LineSize: 1 << 16, Assoc: 8}, // >64 sectors per page
+	}
+	for _, cfg := range geoms {
+		t.Run(cfg.Name, func(t *testing.T) {
+			dut := New(cfg)
+			oracle := newMRUCache(cfg)
+			rng := rand.New(rand.NewPCG(7, uint64(cfg.Size)))
+			span := cfg.Size * 8
+			for i := 0; i < 30000; i++ {
+				switch rng.Uint64N(16) {
+				case 0: // prefetch
+					addr := rng.Uint64N(span)
+					gp, gv := dut.Prefetch(addr)
+					wp, wv := oracle.prefetch(addr)
+					if gp != wp || gv != wv {
+						t.Fatalf("op %d: Prefetch(%#x) = (%v, %+v), oracle (%v, %+v)", i, addr, gp, gv, wp, wv)
+					}
+				case 1: // flush, comparing emission order exactly
+					var got, want []flushRecord
+					dut.DirtyLines(func(a, b uint64) { got = append(got, flushRecord{a, b}) })
+					oracle.dirtyLines(func(a, b uint64) { want = append(want, flushRecord{a, b}) })
+					if len(got) != len(want) {
+						t.Fatalf("op %d: flushed %d lines, oracle %d", i, len(got), len(want))
+					}
+					for j := range got {
+						if got[j] != want[j] {
+							t.Fatalf("op %d: flush[%d] = %+v, oracle %+v", i, j, got[j], want[j])
+						}
+					}
+				default:
+					addr := rng.Uint64N(span)
+					size := uint64(1) << rng.Uint64N(4) // 1..8 bytes
+					if addr&(cfg.LineSize-1)+size > cfg.LineSize {
+						addr &^= cfg.LineSize - 1
+					}
+					write := rng.Uint64N(3) == 0
+					gh, gv := dut.Access(addr, size, write)
+					wh, wv := oracle.access(addr, size, write)
+					if gh != wh || gv != wv {
+						t.Fatalf("op %d: Access(%#x, %d, %v) = (%v, %+v), oracle (%v, %+v)",
+							i, addr, size, write, gh, gv, wh, wv)
+					}
+				}
+				if dut.Stats() != oracle.stats {
+					t.Fatalf("op %d: stats diverged:\n  soa: %+v\n  mru: %+v", i, dut.Stats(), oracle.stats)
+				}
+			}
+			if dut.ValidLines() == 0 {
+				t.Fatal("stream never filled the cache; test is vacuous")
+			}
+		})
+	}
+}
+
+// TestAccessZeroAllocs pins the replay hot loop's allocation budget at
+// exactly zero per reference, hits and misses (with evictions) alike.
+func TestAccessZeroAllocs(t *testing.T) {
+	c := New(Config{Name: "a", Size: 4096, LineSize: 64, Assoc: 4})
+	var addr uint64
+	if got := testing.AllocsPerRun(5000, func() {
+		c.Access(addr%(1<<16), 8, addr%3 == 0)
+		addr += 832 // stride through sets, mixing hits, misses, evictions
+	}); got != 0 {
+		t.Fatalf("Access allocates %.1f times per call, want 0", got)
+	}
+	// Flushing must also be allocation-free after the first call warms the
+	// per-set scratch buffer.
+	c.DirtyLines(func(addr, dirtyBytes uint64) {})
+	if got := testing.AllocsPerRun(100, func() {
+		c.Access(64, 8, true)
+		c.DirtyLines(func(addr, dirtyBytes uint64) {})
+	}); got != 0 {
+		t.Fatalf("DirtyLines allocates %.1f times per flush, want 0", got)
+	}
+}
+
+// benchStream is a shared access pattern for the layout benchmarks: strided
+// loads and stores over 4x the cache capacity, giving a realistic mix of
+// hits, misses, and dirty evictions.
+func benchStream(n int) []uint64 {
+	rng := rand.New(rand.NewPCG(11, 13))
+	addrs := make([]uint64, n)
+	for i := range addrs {
+		addrs[i] = rng.Uint64N(4 << 20)
+	}
+	return addrs
+}
+
+var benchGeom = Config{Name: "bench", Size: 1 << 20, LineSize: 64, Assoc: 16}
+
+// BenchmarkCacheAccessSoA measures the flat-array hot loop. Compare against
+// BenchmarkCacheAccessMRU, the historical struct-shuffling layout.
+func BenchmarkCacheAccessSoA(b *testing.B) {
+	c := New(benchGeom)
+	addrs := benchStream(1 << 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := addrs[i&(len(addrs)-1)]
+		c.Access(a, 8, i&7 == 0)
+	}
+}
+
+// BenchmarkCacheAccessMRU is the pre-SoA baseline: the same stream through
+// the retained copy of the MRU-ordered []line implementation.
+func BenchmarkCacheAccessMRU(b *testing.B) {
+	c := newMRUCache(benchGeom)
+	addrs := benchStream(1 << 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := addrs[i&(len(addrs)-1)]
+		c.access(a, 8, i&7 == 0)
+	}
+}

@@ -106,6 +106,10 @@ func (b *Backend) Replay(st trace.Stream) {
 func (b *Backend) Access(r trace.Ref) { b.h.Access(r) }
 
 // AccessBatch feeds a batch of references; it implements trace.BatchSink.
+// The batch is only read, never retained or mutated, so a caller may share
+// one decoded batch across concurrent backends — the fan-out replay engine
+// (exp.WorkloadProfile.EvaluateFanout) broadcasts each decoded boundary
+// block to every design point's backend simultaneously.
 func (b *Backend) AccessBatch(refs []trace.Ref) { b.h.AccessBatch(refs) }
 
 // Flush drains dirty lines downward.

@@ -1,0 +1,224 @@
+package exp
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybridmem/internal/core"
+	"hybridmem/internal/design"
+	"hybridmem/internal/fault"
+	"hybridmem/internal/model"
+	"hybridmem/internal/obs"
+	"hybridmem/internal/trace"
+)
+
+// ringBlocks is the depth of the fan-out block ring. Two slots double-buffer
+// the pipeline — the decoder fills slot i+1 while the workers replay slot i.
+// A deeper ring buys nothing (the decoder is far faster than the slowest
+// simulator, so it is never the bottleneck for more than one block) and each
+// slot pins a BlockRefs-sized buffer.
+const ringBlocks = 2
+
+// fanBlock is one slot of the refcounted block ring. refs holds the decoded
+// block and is read-only while pending > 0: the decoder sets pending to the
+// fan width before broadcasting, every worker releases its reference after
+// replaying (or skipping) the block, and the last release returns the slot
+// to the decoder — the only writer — via the free list.
+type fanBlock struct {
+	refs    []trace.Ref
+	pending atomic.Int32
+}
+
+// FanoutResult is one design point's outcome from a fan-out replay: its
+// evaluation, or the error (build failure, replay panic, model error, or
+// ctx cancellation) that prevented one.
+type FanoutResult struct {
+	Eval model.Evaluation
+	Err  error
+}
+
+// replayTarget is the surface of *core.Backend the fan-out workers drive.
+// It exists as a seam: tests wrap built back ends with misbehaving targets
+// to prove that a panicking design point fails alone.
+type replayTarget interface {
+	AccessBatch([]trace.Ref)
+	Flush()
+	Snapshot() []core.LevelStats
+	Memory() core.Memory
+}
+
+// fanoutTargetHook, when non-nil, wraps every built back end before replay.
+// Test seam only; nil in production.
+var fanoutTargetHook func(b design.Backend, t replayTarget) replayTarget
+
+// fanoutDecodeHook, when non-nil, runs after each block is broadcast. Test
+// seam for mid-stream cancellation; nil in production.
+var fanoutDecodeHook func(block int)
+
+// fanWorker is one design point's replay state inside a fan-out.
+type fanWorker struct {
+	idx    int // index into the backends/results slices
+	target replayTarget
+	in     chan *fanBlock
+	err    error
+	// label is the panic-recovery operation name, precomputed at setup so
+	// the per-block replay path stays allocation-free.
+	label string
+}
+
+// consume replays one block into the worker's back end, converting a panic
+// (a typed wear.LineError, workload.RegionError, or any other defect in the
+// design point) into the worker's error.
+func (w *fanWorker) consume(refs []trace.Ref) {
+	defer fault.RecoverTo(&w.err, w.label)
+	w.target.AccessBatch(refs)
+}
+
+// EvaluateFanout replays the boundary stream once into a whole set of design
+// points: each packed 64K-ref block is decoded exactly once into a shared
+// read-only ring slot and broadcast to one replay worker per design point,
+// replacing len(backends) full decodes with one. Results come back in
+// backends order; a failing design point (build error, replay panic, model
+// error) carries its own Err without disturbing its siblings — a failed
+// worker keeps draining the ring so the broadcast never stalls. Cancelling
+// ctx stops the decoder at the next block boundary and marks every
+// still-healthy design point with ctx.Err().
+//
+// Blocks are immutable while shared: the decoder is the only writer, and it
+// only reuses a slot after every worker has released it (fanBlock.pending
+// reaching zero), so workers need no copies and no locks.
+func (wp *WorkloadProfile) EvaluateFanout(ctx context.Context, backends []design.Backend) []FanoutResult {
+	results := make([]FanoutResult, len(backends))
+	if len(backends) == 0 {
+		return results
+	}
+	var start time.Time
+	if wp.log != nil {
+		start = time.Now()
+	}
+	workers := make([]*fanWorker, 0, len(backends))
+	for i, b := range backends {
+		built, err := b.Build()
+		if err != nil {
+			results[i] = FanoutResult{Err: err}
+			continue
+		}
+		var t replayTarget = built
+		if fanoutTargetHook != nil {
+			t = fanoutTargetHook(b, t)
+		}
+		workers = append(workers, &fanWorker{
+			idx:    i,
+			target: t,
+			in:     make(chan *fanBlock, ringBlocks),
+			label:  "evaluate " + b.Name + " on " + wp.Name,
+		})
+	}
+	if len(workers) == 0 {
+		return results
+	}
+
+	free := make(chan *fanBlock, ringBlocks)
+	for i := 0; i < ringBlocks; i++ {
+		free <- &fanBlock{refs: replayBufPool.Get().([]trace.Ref)}
+	}
+
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *fanWorker) {
+			defer wg.Done()
+			for blk := range w.in {
+				// A failed worker stops simulating but keeps draining its
+				// inbox, so the ring keeps cycling for healthy siblings.
+				if w.err == nil {
+					w.consume(blk.refs)
+				}
+				if blk.pending.Add(-1) == 0 {
+					free <- blk
+				}
+			}
+		}(w)
+	}
+
+	// The calling goroutine is the decoder. Worker inboxes are as deep as
+	// the ring, and only ringBlocks blocks exist, so the broadcast sends
+	// below can never block; the decoder throttles on the free list alone.
+	var ctxErr error
+	blocks := wp.Boundary.Blocks()
+	decoded := 0
+	for i := 0; i < blocks; i++ {
+		if ctxErr = ctx.Err(); ctxErr != nil {
+			break
+		}
+		blk := <-free
+		blk.refs = wp.Boundary.DecodeBlock(i, blk.refs)
+		blk.pending.Store(int32(len(workers)))
+		for _, w := range workers {
+			w.in <- blk
+		}
+		decoded++
+		if fanoutDecodeHook != nil {
+			fanoutDecodeHook(i)
+		}
+	}
+	obs.CountDecodedBlocks(uint64(decoded))
+	for _, w := range workers {
+		close(w.in)
+	}
+	wg.Wait()
+	for i := 0; i < ringBlocks; i++ {
+		replayBufPool.Put((<-free).refs)
+	}
+
+	for _, w := range workers {
+		if w.err == nil {
+			w.err = ctxErr
+		}
+		results[w.idx] = wp.finishFanout(w, backends[w.idx], len(workers), decoded, start)
+	}
+	return results
+}
+
+// finishFanout drains one worker's back end into its evaluation and emits
+// the design_point run-log event.
+func (wp *WorkloadProfile) finishFanout(w *fanWorker, b design.Backend, width, blocks int, start time.Time) (res FanoutResult) {
+	if w.err != nil {
+		return FanoutResult{Err: w.err}
+	}
+	defer fault.RecoverTo(&res.Err, w.label)
+	w.target.Flush()
+	p := wp.profileWith(w.target.Snapshot())
+	ev, err := model.Evaluate(b.Name, wp.Name, wp.refProfile, wp.RefTime, p)
+	if err != nil {
+		return FanoutResult{Err: err}
+	}
+	var fs *fault.Stats
+	if fm, ok := w.target.Memory().(*fault.Memory); ok {
+		s := fm.FaultStats()
+		fs = &s
+		ev.Fault = s
+	}
+	if wp.log != nil {
+		f := obs.ThroughputFields(uint64(wp.Boundary.Len()), time.Since(start))
+		f["workload"] = wp.Name
+		f["design"] = b.Name
+		f["decode_shared"] = true
+		f["fan_width"] = width
+		f["blocks"] = blocks
+		f["norm_time"] = ev.NormTime
+		f["norm_energy"] = ev.NormEnergy
+		f["norm_edp"] = ev.NormEDP
+		if fs != nil {
+			f["fault_corrected"] = fs.Corrected
+			f["fault_uncorrected"] = fs.Uncorrected
+			f["fault_stuck_lines"] = fs.StuckLines
+			f["fault_retired_pages"] = fs.RetiredPages
+			f["fault_remapped"] = fs.Remapped
+		}
+		wp.log.Event("design_point", f)
+	}
+	return FanoutResult{Eval: ev}
+}

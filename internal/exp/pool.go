@@ -2,6 +2,7 @@ package exp
 
 import (
 	"context"
+	"slices"
 	"sync"
 
 	"hybridmem/internal/design"
@@ -14,15 +15,73 @@ type Job struct {
 	B  design.Backend
 }
 
+// fanChunk is one schedulable unit of the grouped plan: up to `workers`
+// design points of a single workload, evaluated by one EvaluateFanout call
+// that decodes the workload's boundary stream exactly once.
+type fanChunk struct {
+	wp   *WorkloadProfile
+	idxs []int // indices into the jobs slice, in job order
+}
+
+// boundaryRefs is the scheduling weight of a workload: the length of the
+// stream every one of its design points must replay.
+func boundaryRefs(wp *WorkloadProfile) int {
+	if wp == nil || wp.Boundary == nil {
+		return 0
+	}
+	return wp.Boundary.Len()
+}
+
+// planFanout turns a flat job list into the fan-out schedule. Jobs are
+// grouped by workload profile (preserving job order within a group), groups
+// are ordered largest boundary first — the heaviest stream starts decoding
+// immediately instead of serializing the tail behind FIFO arrival order,
+// with ties keeping first-appearance order — and each group is split into
+// chunks of at most `workers` design points, so a chunk's replay workers can
+// always be seated at once on the worker budget.
+func planFanout(jobs []Job, workers int) []fanChunk {
+	type group struct {
+		wp   *WorkloadProfile
+		idxs []int
+	}
+	byWP := make(map[*WorkloadProfile]*group, 8)
+	ordered := make([]*group, 0, 8)
+	for i, j := range jobs {
+		g := byWP[j.WP]
+		if g == nil {
+			g = &group{wp: j.WP}
+			byWP[j.WP] = g
+			ordered = append(ordered, g)
+		}
+		g.idxs = append(g.idxs, i)
+	}
+	slices.SortStableFunc(ordered, func(a, b *group) int {
+		return boundaryRefs(b.wp) - boundaryRefs(a.wp)
+	})
+	var chunks []fanChunk
+	for _, g := range ordered {
+		for off := 0; off < len(g.idxs); off += workers {
+			end := min(off+workers, len(g.idxs))
+			chunks = append(chunks, fanChunk{wp: g.wp, idxs: g.idxs[off:end]})
+		}
+	}
+	return chunks
+}
+
 // RunJobs evaluates jobs on a bounded worker pool and returns the
-// evaluations in job order. Each worker builds its own back-end instances,
-// so no simulator state is shared; the recorded boundary streams are only
-// read. The first error cancels the run.
+// evaluations in job order. Jobs sharing a WorkloadProfile are grouped into
+// fan-out chunks (see EvaluateFanout), so each packed boundary block is
+// decoded once per chunk instead of once per design point; chunks dispatch
+// largest boundary first. The worker bound clamps against the total number
+// of design points — not the number of groups — so grouping never
+// under-provisions the pool. Each replay worker builds its own back-end
+// instance and the shared decoded blocks are read-only, so no simulator
+// state is shared. The first error stops dispatch and cancels in-flight
+// chunks.
 //
-// Cancelling ctx stops dispatching new jobs and aborts in-flight boundary
-// replays at the next replay chunk boundary (see EvaluateCtx); RunJobs then
-// returns ctx.Err(). CLI sweeps that have no cancellation story pass
-// context.Background().
+// Cancelling ctx stops dispatching new chunks and aborts in-flight boundary
+// replays at the next block boundary; RunJobs then returns ctx.Err(). CLI
+// sweeps that have no cancellation story pass context.Background().
 func RunJobs(ctx context.Context, jobs []Job, workers int) ([]model.Evaluation, error) {
 	if workers <= 0 {
 		workers = 1
@@ -31,41 +90,68 @@ func RunJobs(ctx context.Context, jobs []Job, workers int) ([]model.Evaluation, 
 		workers = len(jobs)
 	}
 	results := make([]model.Evaluation, len(jobs))
-	idxCh := make(chan int)
-	errCh := make(chan error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idxCh {
-				ev, err := jobs[i].WP.EvaluateCtx(ctx, jobs[i].B)
-				if err != nil {
-					errCh <- err
-					return
-				}
-				results[i] = ev
-			}
-		}()
+	if len(jobs) == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return results, nil
 	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 
-feed:
-	for i := range jobs {
-		select {
-		case <-ctx.Done():
-			break feed
-		case err := <-errCh:
-			errCh <- err
-			break feed
-		case idxCh <- i:
+	var (
+		mu       sync.Mutex
+		cond     = sync.NewCond(&mu)
+		free     = workers
+		firstErr error
+		stop     bool
+	)
+	// fail records the first error and stops the run; callers hold mu.
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+			stop = true
+			cancel()
 		}
 	}
-	close(idxCh)
+
+	var wg sync.WaitGroup
+	for _, ch := range planFanout(jobs, workers) {
+		need := len(ch.idxs)
+		mu.Lock()
+		for free < need && !stop {
+			cond.Wait()
+		}
+		if stop {
+			mu.Unlock()
+			break
+		}
+		free -= need
+		mu.Unlock()
+		wg.Add(1)
+		go func(ch fanChunk) {
+			defer wg.Done()
+			backs := make([]design.Backend, len(ch.idxs))
+			for j, i := range ch.idxs {
+				backs[j] = jobs[i].B
+			}
+			rs := ch.wp.EvaluateFanout(ctx, backs)
+			mu.Lock()
+			for j, i := range ch.idxs {
+				if rs[j].Err != nil {
+					fail(rs[j].Err)
+				} else {
+					results[i] = rs[j].Eval
+				}
+			}
+			free += len(ch.idxs)
+			mu.Unlock()
+			cond.Broadcast()
+		}(ch)
+	}
 	wg.Wait()
-	select {
-	case err := <-errCh:
-		return nil, err
-	default:
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

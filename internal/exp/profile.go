@@ -261,7 +261,21 @@ var replayBufPool = sync.Pool{
 // When the backend injects device faults (design.Backend.Fault), the
 // terminal's fault counters are copied into the evaluation's Fault field and
 // logged with the design_point event.
-func (wp *WorkloadProfile) EvaluateCtx(ctx context.Context, b design.Backend) (ev model.Evaluation, err error) {
+//
+// EvaluateCtx is a width-1 fan-out (see EvaluateFanout); RunJobs batches
+// same-workload design points into wider fans that share each block decode.
+func (wp *WorkloadProfile) EvaluateCtx(ctx context.Context, b design.Backend) (model.Evaluation, error) {
+	r := wp.EvaluateFanout(ctx, []design.Backend{b})[0]
+	return r.Eval, r.Err
+}
+
+// EvaluateSerialCtx is the historical single-design replay path: it decodes
+// the packed boundary stream privately (no sharing, no worker goroutines)
+// and replays it into b, with the same cancellation and panic-recovery
+// semantics as EvaluateCtx. It is retained as the bit-identical equivalence
+// baseline for the fan-out engine (see TestFanoutMatchesSerial) and as the
+// per-design-decode comparator in BenchmarkFanoutReplay.
+func (wp *WorkloadProfile) EvaluateSerialCtx(ctx context.Context, b design.Backend) (ev model.Evaluation, err error) {
 	defer fault.RecoverTo(&err, "evaluate "+b.Name+" on "+wp.Name)
 	var start time.Time
 	if wp.log != nil {
@@ -296,6 +310,7 @@ func (wp *WorkloadProfile) EvaluateCtx(ctx context.Context, b design.Backend) (e
 		f := obs.ThroughputFields(uint64(wp.Boundary.Len()), time.Since(start))
 		f["workload"] = wp.Name
 		f["design"] = b.Name
+		f["decode_shared"] = false
 		f["norm_time"] = ev.NormTime
 		f["norm_energy"] = ev.NormEnergy
 		f["norm_edp"] = ev.NormEDP

@@ -34,9 +34,19 @@ import (
 // make progress.
 var liveRefs atomic.Uint64
 
+// liveBlocks is the expvar-published live counter of packed boundary blocks
+// decoded by the replay engine. Under fan-out replay each block is decoded
+// once per workload chunk regardless of how many design points consume it,
+// so the ratio of this counter to replayed references is the direct
+// observable for the decode-sharing win.
+var liveBlocks atomic.Uint64
+
 func init() {
 	expvar.Publish("hybridmem.refs_processed", expvar.Func(func() any {
 		return liveRefs.Load()
+	}))
+	expvar.Publish("hybridmem.blocks_decoded", expvar.Func(func() any {
+		return liveBlocks.Load()
 	}))
 }
 
@@ -45,3 +55,9 @@ func CountRefs(n uint64) { liveRefs.Add(n) }
 
 // RefsProcessed returns the live counter's current value.
 func RefsProcessed() uint64 { return liveRefs.Load() }
+
+// CountDecodedBlocks adds n decoded boundary blocks to the live counter.
+func CountDecodedBlocks(n uint64) { liveBlocks.Add(n) }
+
+// DecodedBlocks returns the decoded-block counter's current value.
+func DecodedBlocks() uint64 { return liveBlocks.Load() }

@@ -139,6 +139,12 @@ func (p *Packed) RawBytes() uint64 { return uint64(p.n) * refStructBytes }
 // unaligned little-endian read; the last few records of a block fall back to
 // byte-wise reads. A corrupt block — possible only through an encoder bug —
 // panics on an out-of-range data index.
+//
+// Once encoding has finished, DecodeBlock only reads the packed bytes, so
+// any number of goroutines may decode the same Packed concurrently — the
+// same block or different ones — as long as each supplies its own buf. The
+// fan-out scheduler (exp.RunJobs) relies on this: chunks of one workload
+// group decode the workload's stream in parallel.
 func (p *Packed) DecodeBlock(i int, buf []Ref) []Ref {
 	b := &p.blocks[i]
 	if cap(buf) < b.n {

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -146,6 +147,47 @@ func TestPackedReset(t *testing.T) {
 			t.Fatalf("post-Reset ref %d = %+v, want %+v", i, got[i], refs[i])
 		}
 	}
+}
+
+// TestPackedConcurrentDecodeFanout exercises the concurrency contract the
+// fan-out replay scheduler depends on: once encoding is done, goroutines
+// may decode the same Packed — including the very same block — in parallel,
+// each into a private buffer, and all observe identical references. Run
+// under -race this doubles as the data-race proof for shared decoding.
+func TestPackedConcurrentDecodeFanout(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	refs := randRefs(rng, 3*BlockRefs/2) // two blocks, one partial
+	p := &Packed{}
+	p.AccessBatch(refs)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			var buf []Ref
+			for it := 0; it < 4; it++ {
+				for i := 0; i < p.Blocks(); i++ {
+					buf = p.DecodeBlock(i, buf)
+					base := i * BlockRefs
+					for j, r := range buf {
+						if r != refs[base+j] {
+							done <- errDecodeMismatch(g, i, j)
+							return
+						}
+					}
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// errDecodeMismatch keeps the goroutine body above allocation-obvious.
+func errDecodeMismatch(g, block, j int) error {
+	return fmt.Errorf("goroutine %d: block %d ref %d diverged under concurrent decode", g, block, j)
 }
 
 // FuzzPackedRoundTrip drives the packed codec from raw fuzz bytes: each
