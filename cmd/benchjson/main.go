@@ -7,6 +7,15 @@
 //	go test -bench=. -benchmem ./... | benchjson -o BENCH_$(git rev-parse --short HEAD).json
 //	go test -bench=BenchmarkHierarchy . | benchjson
 //
+// Compare mode gates on performance regressions: two archived summaries are
+// joined by benchmark name and the ns/op deltas printed; any benchmark
+// slower than -threshold percent fails the comparison (exit 1), which is
+// how CI holds the fan-out replay and cache hot loops to their committed
+// baseline (BENCH_baseline.json):
+//
+//	benchjson -compare -threshold 15 BENCH_baseline.json BENCH_new.json
+//	benchjson -compare -match 'Fanout|CacheAccess' old.json new.json
+//
 // Each benchmark line like
 //
 //	BenchmarkHierarchyAccess-8   6802496   174.4 ns/op   0 B/op   0 allocs/op
@@ -24,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -47,7 +57,23 @@ type Summary struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	compare := flag.Bool("compare", false, "compare two summaries (benchjson -compare old.json new.json); exit 1 on regression")
+	threshold := flag.Float64("threshold", 15, "ns/op regression percentage that fails -compare")
+	match := flag.String("match", "", "regexp restricting -compare to matching benchmark names")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			exitOn(fmt.Errorf("-compare needs exactly two summary files, got %d", flag.NArg()))
+		}
+		failures, err := Compare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold, *match)
+		exitOn(err)
+		if failures > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL: %d benchmark(s) regressed more than %.0f%%\n", failures, *threshold)
+			os.Exit(1)
+		}
+		return
+	}
 
 	sum, err := Parse(os.Stdin)
 	exitOn(err)
@@ -129,6 +155,86 @@ func parseBenchLine(line string) (Benchmark, bool) {
 		b.Metrics[fields[i+1]] = v
 	}
 	return b, true
+}
+
+// loadSummary reads one archived benchjson summary.
+func loadSummary(path string) (*Summary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var sum Summary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &sum, nil
+}
+
+// benchKey joins summaries: the same benchmark in the same package is one
+// series across commits. GOMAXPROCS stays out of the key — CI machines
+// vary — but mismatched proc counts make ns/op comparisons noisy, so
+// Compare flags them in the output.
+func benchKey(b Benchmark) string { return b.Package + "." + b.Name }
+
+// Compare joins two archived summaries by benchmark and prints the ns/op
+// delta of every benchmark present in both (optionally filtered by the
+// match regexp). It returns how many benchmarks regressed by more than
+// threshold percent; benchmarks only in one summary are listed but never
+// fail the comparison (new benchmarks must not break the gate that
+// predates them).
+func Compare(w io.Writer, oldPath, newPath string, threshold float64, match string) (failures int, err error) {
+	var re *regexp.Regexp
+	if match != "" {
+		re, err = regexp.Compile(match)
+		if err != nil {
+			return 0, err
+		}
+	}
+	oldSum, err := loadSummary(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newSum, err := loadSummary(newPath)
+	if err != nil {
+		return 0, err
+	}
+	old := map[string]Benchmark{}
+	for _, b := range oldSum.Benchmarks {
+		old[benchKey(b)] = b
+	}
+
+	fmt.Fprintf(w, "%-52s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	compared := 0
+	for _, nb := range newSum.Benchmarks {
+		if re != nil && !re.MatchString(nb.Name) {
+			continue
+		}
+		ob, ok := old[benchKey(nb)]
+		if !ok {
+			fmt.Fprintf(w, "%-52s %14s %14.1f %9s\n", nb.Name, "-", nb.Metrics["ns/op"], "new")
+			continue
+		}
+		oldNS, newNS := ob.Metrics["ns/op"], nb.Metrics["ns/op"]
+		if oldNS <= 0 || newNS <= 0 {
+			continue
+		}
+		compared++
+		delta := (newNS - oldNS) / oldNS * 100
+		note := ""
+		if ob.Procs != nb.Procs {
+			note = fmt.Sprintf(" (procs %d->%d)", ob.Procs, nb.Procs)
+		}
+		status := ""
+		if delta > threshold {
+			failures++
+			status = "  FAIL"
+		}
+		fmt.Fprintf(w, "%-52s %14.1f %14.1f %+8.1f%%%s%s\n", nb.Name, oldNS, newNS, delta, note, status)
+	}
+	if compared == 0 {
+		return 0, fmt.Errorf("no benchmarks in common between %s and %s", oldPath, newPath)
+	}
+	return failures, nil
 }
 
 func exitOn(err error) {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -77,5 +80,87 @@ func TestParseCustomMetrics(t *testing.T) {
 	}
 	if got := sum.Benchmarks[0].Metrics["refs/op"]; got != 3.25 {
 		t.Errorf("refs/op = %v", got)
+	}
+}
+
+// writeSummary archives a summary to a temp file for Compare tests.
+func writeSummary(t *testing.T, sum Summary) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	data, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func bench(pkg, name string, procs int, nsPerOp float64) Benchmark {
+	return Benchmark{Name: name, Package: pkg, Procs: procs,
+		Iterations: 1000, Metrics: map[string]float64{"ns/op": nsPerOp}}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	oldPath := writeSummary(t, Summary{Benchmarks: []Benchmark{
+		bench("hybridmem", "BenchmarkFanoutReplay", 8, 100),
+		bench("hybridmem", "BenchmarkCacheAccess", 8, 20),
+		bench("hybridmem", "BenchmarkRemoved", 8, 50),
+	}})
+	newPath := writeSummary(t, Summary{Benchmarks: []Benchmark{
+		bench("hybridmem", "BenchmarkFanoutReplay", 8, 130), // +30%: regression
+		bench("hybridmem", "BenchmarkCacheAccess", 4, 21),   // +5%: fine, procs noted
+		bench("hybridmem", "BenchmarkAdded", 8, 5),          // new: listed, never fails
+	}})
+
+	var out strings.Builder
+	failures, err := Compare(&out, oldPath, newPath, 15, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1\n%s", failures, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"FAIL", "+30.0%", "(procs 8->4)", "new"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("compare output missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "BenchmarkRemoved") {
+		t.Errorf("benchmark absent from the new run should not be printed:\n%s", text)
+	}
+}
+
+func TestCompareMatchFilter(t *testing.T) {
+	oldPath := writeSummary(t, Summary{Benchmarks: []Benchmark{
+		bench("hybridmem", "BenchmarkFanoutReplay", 8, 100),
+		bench("hybridmem", "BenchmarkUnrelated", 8, 10),
+	}})
+	newPath := writeSummary(t, Summary{Benchmarks: []Benchmark{
+		bench("hybridmem", "BenchmarkFanoutReplay", 8, 101),
+		bench("hybridmem", "BenchmarkUnrelated", 8, 100), // 10x slower but filtered out
+	}})
+
+	var out strings.Builder
+	failures, err := Compare(&out, oldPath, newPath, 15, "FanoutReplay|CacheAccess")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("failures = %d, want 0 (regression outside -match)\n%s", failures, out.String())
+	}
+	if strings.Contains(out.String(), "BenchmarkUnrelated") {
+		t.Errorf("filtered benchmark printed:\n%s", out.String())
+	}
+}
+
+func TestCompareNoCommonBenchmarks(t *testing.T) {
+	oldPath := writeSummary(t, Summary{Benchmarks: []Benchmark{bench("a", "BenchmarkX", 8, 1)}})
+	newPath := writeSummary(t, Summary{Benchmarks: []Benchmark{bench("b", "BenchmarkY", 8, 1)}})
+	var out strings.Builder
+	if _, err := Compare(&out, oldPath, newPath, 15, ""); err == nil {
+		t.Fatal("disjoint summaries must error rather than silently pass the gate")
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"hybridmem/internal/design"
 	"hybridmem/internal/exp"
@@ -66,11 +67,19 @@ func main() {
 	exitOn(err)
 	defer closeLog()
 	logger := obs.NewLogger(logw)
+	ctx, _, stages := obs.NewRunContext(context.Background())
+	runStart := time.Now()
+	logger.EventCtx(ctx, "run_start", obs.Fields{
+		"cmd": "faultsweep", "workload": *wl, "nvm": *nvmName,
+		"seed": *seed, "endurance": *endurance, "bers": *bers,
+	})
 
 	w, err := catalog.New(*wl, workload.Options{Scale: orDefault(*wScale, *scale), Iters: *iters})
 	exitOn(err)
 	fmt.Fprintf(os.Stderr, "faultsweep: profiling %s...\n", *wl)
-	wp, err := exp.ProfileWorkloadOpts(w, exp.ProfileOptions{Scale: *scale, Log: logger})
+	stopProfile := stages.Time("profile")
+	wp, err := exp.ProfileWorkloadOpts(ctx, w, exp.ProfileOptions{Scale: *scale, Log: logger})
+	stopProfile()
 	exitOn(err)
 
 	backends := []design.Backend{}
@@ -104,8 +113,16 @@ func main() {
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
-	evs, err := exp.RunJobs(context.Background(), jobs, *workers)
+	evs, err := exp.RunJobs(ctx, jobs, *workers)
 	exitOn(err)
+	end := obs.Fields{
+		"cmd": "faultsweep", "workload": *wl, "grid": len(jobs),
+		"wall_ms": float64(time.Since(runStart)) / float64(time.Millisecond),
+	}
+	for k, v := range stages.Fields() {
+		end[k] = v
+	}
+	logger.EventCtx(ctx, "run_end", end)
 	type row struct {
 		ber float64
 		ev  model.Evaluation

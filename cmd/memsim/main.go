@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -64,8 +65,9 @@ func main() {
 	exitOn(err)
 	defer closeLog()
 	logger := obs.NewLogger(logw)
+	ctx, _, stages := obs.NewRunContext(context.Background())
 	runStart := time.Now()
-	logger.Event("run_start", obs.Fields{
+	logger.EventCtx(ctx, "run_start", obs.Fields{
 		"cmd": "memsim", "workload": *wlName, "design": *dsgn, "config": *cfgName,
 		"llc": *llcName, "nvm": *nvmName, "scale": *scale, "iters": *iters,
 		"dilution": *dilution, "rowbuffer": *rowbuf, "epoch": *epoch,
@@ -97,9 +99,11 @@ func main() {
 	if *dilution == 0 {
 		*dilution = exp.DefaultDilution
 	}
-	wp, err := exp.ProfileWorkloadOpts(w, exp.ProfileOptions{
+	stopProfile := stages.Time("profile")
+	wp, err := exp.ProfileWorkloadOpts(ctx, w, exp.ProfileOptions{
 		Scale: *scale, Dilution: *dilution, Log: logger,
 	})
+	stopProfile()
 	exitOn(err)
 
 	var backend design.Backend
@@ -125,14 +129,16 @@ func main() {
 		backend = backend.WithRowBuffer()
 	}
 
-	ev, err := wp.Evaluate(backend)
+	ev, err := wp.EvaluateCtx(ctx, backend)
 	exitOn(err)
 
 	// Re-run the backend once more to show per-level statistics (the
 	// evaluation consumed its own instance).
+	stopStats := stages.Time("stats_replay")
 	built, err := backend.Build()
 	exitOn(err)
 	built.Replay(wp.Boundary)
+	stopStats()
 
 	t := &report.Table{
 		Title:   fmt.Sprintf("%s on %s", wp.Name, backend.Name),
@@ -182,11 +188,15 @@ func main() {
 		exitOn(timeSeries(w, backend, logger, *scale, *epoch, *timeseries))
 	}
 
-	logger.Event("run_end", obs.Fields{
+	end := obs.Fields{
 		"cmd": "memsim", "workload": *wlName, "design": backend.Name,
 		"wall_ms":        float64(time.Since(runStart)) / float64(time.Millisecond),
 		"refs_processed": obs.RefsProcessed(),
-	})
+	}
+	for k, v := range stages.Fields() {
+		end[k] = v
+	}
+	logger.EventCtx(ctx, "run_end", end)
 }
 
 // timeSeries re-runs the workload online through the full hierarchy (SRAM

@@ -15,8 +15,13 @@
 //
 // Identical requests are answered from an LRU cache (X-Memsimd-Cache: hit)
 // without re-replaying the boundary stream; /debug/vars exports request,
-// cache-hit, and replay-seconds-saved counters. SIGINT/SIGTERM trigger a
-// graceful drain of in-flight evaluations.
+// cache-hit, and replay-seconds-saved counters, and GET /metrics serves the
+// same registry in Prometheus text format (request-latency histograms by
+// outcome, cache hit ratio, breaker states, replay and fault counters).
+// Every evaluate response carries X-Memsimd-Trace; pass X-Trace-Id to pin
+// the trace ID and correlate the -runlog events of one request (see
+// cmd/obsreport). SIGINT/SIGTERM trigger a graceful drain of in-flight
+// evaluations.
 package main
 
 import (

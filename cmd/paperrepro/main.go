@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -72,6 +73,7 @@ func main() {
 	exitOn(err)
 	defer closeLog()
 	logger := obs.NewLogger(logw)
+	ctx, _, stages := obs.NewRunContext(context.Background())
 
 	llc, err := tech.ByName(*llcName)
 	exitOn(err)
@@ -81,7 +83,7 @@ func main() {
 	if *timeseries != "" && *epoch == 0 {
 		*epoch = obs.DefaultEpochRefs
 	}
-	cfg := exp.Config{Scale: *scale, Dilution: *dilution, Workers: *workers, Epoch: *epoch, Log: logger}
+	cfg := exp.Config{Scale: *scale, Dilution: *dilution, Workers: *workers, Epoch: *epoch, Log: logger, Ctx: ctx}
 	if *workloads != "" {
 		cfg.Workloads = strings.Split(*workloads, ",")
 	}
@@ -89,7 +91,7 @@ func main() {
 	r := &runner{cfg: cfg, llc: llc, nvm: nvm, csv: *csv, log: logger, timeseries: *timeseries}
 
 	runStart := time.Now()
-	logger.Event("run_start", obs.Fields{
+	logger.EventCtx(ctx, "run_start", obs.Fields{
 		"cmd": "paperrepro", "all": *all, "table": *table, "figure": *figure,
 		"scale": *scale, "workloads": *workloads, "llc": *llcName, "nvm": *nvmName,
 		"dilution": *dilution, "epoch": *epoch,
@@ -109,11 +111,15 @@ func main() {
 		exitOn(r.runFigure(*figure))
 	}
 
-	logger.Event("run_end", obs.Fields{
+	end := obs.Fields{
 		"cmd":            "paperrepro",
 		"wall_ms":        float64(time.Since(runStart)) / float64(time.Millisecond),
 		"refs_processed": obs.RefsProcessed(),
-	})
+	}
+	for k, v := range stages.Fields() {
+		end[k] = v
+	}
+	logger.EventCtx(ctx, "run_end", end)
 }
 
 func exitOn(err error) {

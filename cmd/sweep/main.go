@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -53,8 +54,9 @@ func main() {
 	exitOn(err)
 	defer closeLog()
 	logger := obs.NewLogger(logw)
+	ctx, _, stages := obs.NewRunContext(context.Background())
 	runStart := time.Now()
-	logger.Event("run_start", obs.Fields{
+	logger.EventCtx(ctx, "run_start", obs.Fields{
 		"cmd": "sweep", "design": *dsgn, "scale": *scale,
 		"workloads": *workloads, "epoch": *epoch,
 	})
@@ -62,7 +64,7 @@ func main() {
 	if *timeseries != "" && *epoch == 0 {
 		*epoch = obs.DefaultEpochRefs
 	}
-	cfg := exp.Config{Scale: *scale, Workers: *workers, Epoch: *epoch, Log: logger}
+	cfg := exp.Config{Scale: *scale, Workers: *workers, Epoch: *epoch, Log: logger, Ctx: ctx}
 	if *workloads != "" {
 		cfg.Workloads = strings.Split(*workloads, ",")
 	}
@@ -124,11 +126,15 @@ func main() {
 		run(*dsgn)
 	}
 
-	logger.Event("run_end", obs.Fields{
+	end := obs.Fields{
 		"cmd":            "sweep",
 		"wall_ms":        float64(time.Since(runStart)) / float64(time.Millisecond),
 		"refs_processed": obs.RefsProcessed(),
-	})
+	}
+	for k, v := range stages.Fields() {
+		end[k] = v
+	}
+	logger.EventCtx(ctx, "run_end", end)
 }
 
 // emitTimeSeries writes the long-form epoch CSV (one row per

@@ -94,10 +94,7 @@ func (wp *WorkloadProfile) EvaluateFanout(ctx context.Context, backends []design
 	if len(backends) == 0 {
 		return results
 	}
-	var start time.Time
-	if wp.log != nil {
-		start = time.Now()
-	}
+	start := time.Now()
 	workers := make([]*fanWorker, 0, len(backends))
 	for i, b := range backends {
 		built, err := b.Build()
@@ -119,6 +116,8 @@ func (wp *WorkloadProfile) EvaluateFanout(ctx context.Context, backends []design
 	if len(workers) == 0 {
 		return results
 	}
+	fanWidthHist.Observe(uint64(len(workers)))
+	obs.AddStage(ctx, "build", time.Since(start))
 
 	free := make(chan *fanBlock, ringBlocks)
 	for i := 0; i < ringBlocks; i++ {
@@ -146,15 +145,22 @@ func (wp *WorkloadProfile) EvaluateFanout(ctx context.Context, backends []design
 	// The calling goroutine is the decoder. Worker inboxes are as deep as
 	// the ring, and only ringBlocks blocks exist, so the broadcast sends
 	// below can never block; the decoder throttles on the free list alone.
+	// decodeNS isolates time inside DecodeBlock; the rest of the loop —
+	// waiting on the free list — is replay-bound time, so the stage split
+	// below charges it to "replay".
 	var ctxErr error
 	blocks := wp.Boundary.Blocks()
 	decoded := 0
+	replayStart := time.Now()
+	var decodeNS time.Duration
 	for i := 0; i < blocks; i++ {
 		if ctxErr = ctx.Err(); ctxErr != nil {
 			break
 		}
 		blk := <-free
+		t0 := time.Now()
 		blk.refs = wp.Boundary.DecodeBlock(i, blk.refs)
+		decodeNS += time.Since(t0)
 		blk.pending.Store(int32(len(workers)))
 		for _, w := range workers {
 			w.in <- blk
@@ -169,22 +175,33 @@ func (wp *WorkloadProfile) EvaluateFanout(ctx context.Context, backends []design
 		close(w.in)
 	}
 	wg.Wait()
+	obs.AddStage(ctx, "decode", decodeNS)
+	obs.AddStage(ctx, "replay", time.Since(replayStart)-decodeNS)
 	for i := 0; i < ringBlocks; i++ {
 		replayBufPool.Put((<-free).refs)
 	}
 
+	finishStop := obs.TimeStage(ctx, "finish")
 	for _, w := range workers {
 		if w.err == nil {
 			w.err = ctxErr
 		}
-		results[w.idx] = wp.finishFanout(w, backends[w.idx], len(workers), decoded, start)
+		results[w.idx] = wp.finishFanout(ctx, w, backends[w.idx], len(workers), decoded, start)
 	}
+	finishStop()
 	return results
 }
 
+// fanWidthHist tracks how many design points each fan-out replay broadcast
+// to — the direct observable for decode sharing (decodes per reference is
+// 1/width). Exposed on /metrics as hybridmem_fan_width.
+var fanWidthHist = obs.NewHistogram("hybridmem.fan_width",
+	"Design points sharing one boundary-stream decode per fan-out replay.")
+
 // finishFanout drains one worker's back end into its evaluation and emits
-// the design_point run-log event.
-func (wp *WorkloadProfile) finishFanout(w *fanWorker, b design.Backend, width, blocks int, start time.Time) (res FanoutResult) {
+// the design_point run-log event, tagged with a child span of ctx's trace
+// so a served request's design points correlate back to its trace_id.
+func (wp *WorkloadProfile) finishFanout(ctx context.Context, w *fanWorker, b design.Backend, width, blocks int, start time.Time) (res FanoutResult) {
 	if w.err != nil {
 		return FanoutResult{Err: w.err}
 	}
@@ -203,6 +220,7 @@ func (wp *WorkloadProfile) finishFanout(w *fanWorker, b design.Backend, width, b
 	}
 	if wp.log != nil {
 		f := obs.ThroughputFields(uint64(wp.Boundary.Len()), time.Since(start))
+		obs.ChildSpanIfTraced(ctx).Annotate(f)
 		f["workload"] = wp.Name
 		f["design"] = b.Name
 		f["decode_shared"] = true

@@ -40,7 +40,7 @@ func (w *faultyWorkload) Run(sink trace.Sink) {
 }
 
 func TestProfileRecoversKernelPanic(t *testing.T) {
-	_, err := ProfileWorkloadOpts(newFaultyWorkload(), ProfileOptions{Scale: 64})
+	_, err := ProfileWorkloadOpts(context.Background(), newFaultyWorkload(), ProfileOptions{Scale: 64})
 	if err == nil {
 		t.Fatal("profiling a panicking kernel returned nil error")
 	}

@@ -1,7 +1,6 @@
 package exp
 
 import (
-	"context"
 	"fmt"
 
 	"hybridmem/internal/core"
@@ -84,7 +83,7 @@ func (s *Suite) run(labels []string, backends []design.Backend) ([]Row, error) {
 	for i, b := range backends {
 		jobs[i] = Job{WP: s.Profiles[i%n], B: b}
 	}
-	results, err := RunJobs(context.Background(), jobs, s.Cfg.Workers)
+	results, err := RunJobs(s.ctx, jobs, s.Cfg.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -29,6 +29,12 @@ import (
 
 // Config sizes an experiment run.
 type Config struct {
+	// Ctx carries the run's observability context — a root span and stage
+	// accumulator from obs.StartTrace/obs.ContextWithStages — through
+	// profiling and replay, so offline sweeps get the same per-stage
+	// timing breakdown and trace-tagged run-log events as served requests.
+	// Nil means context.Background() (no tracing, no breakdown).
+	Ctx context.Context
 	// Scale is the design-space capacity divisor (see package design).
 	// Zero means design.DefaultScale.
 	Scale uint64
@@ -144,14 +150,22 @@ type ProfileOptions struct {
 // many synthetic always-L1-hit references per traced reference (see
 // Config.Dilution); pass 0 for none.
 func ProfileWorkload(w workload.Workload, scale uint64, dilution int) (*WorkloadProfile, error) {
-	return ProfileWorkloadOpts(w, ProfileOptions{Scale: scale, Dilution: dilution})
+	return ProfileWorkloadOpts(context.Background(), w, ProfileOptions{Scale: scale, Dilution: dilution})
 }
 
 // ProfileWorkloadOpts is ProfileWorkload with observability options: epoch
 // sampling of the prefix stream and structured run logging. A kernel panic
 // (e.g. a typed workload.RegionError from an out-of-region reference)
 // is recovered into the returned error; the process survives.
-func ProfileWorkloadOpts(w workload.Workload, opt ProfileOptions) (wp *WorkloadProfile, err error) {
+//
+// ctx carries the caller's observability context: when it holds an active
+// span (obs.StartTrace), the workload_profile run-log events are tagged
+// with the trace. Callers owning a stage breakdown time the call themselves
+// (the "profile" stage), since a cached or deduplicated profile costs them
+// wait time, not simulation time. The profiling simulation itself runs to
+// completion regardless of ctx cancellation (its cost is paid once and
+// shared; see serve.Evaluator).
+func ProfileWorkloadOpts(ctx context.Context, w workload.Workload, opt ProfileOptions) (wp *WorkloadProfile, err error) {
 	defer fault.RecoverTo(&err, "profile "+w.Name())
 	prefix, err := design.BuildPrefix(opt.Scale)
 	if err != nil {
@@ -169,9 +183,11 @@ func ProfileWorkloadOpts(w workload.Workload, opt ProfileOptions) (wp *WorkloadP
 		sampler = obs.NewEpochSampler(h, opt.Epoch)
 		sink = sampler
 	}
-	done := opt.Log.Span("workload_profile", obs.Fields{
+	spanFields := obs.Fields{
 		"workload": w.Name(), "scale": opt.Scale, "dilution": opt.Dilution,
-	})
+	}
+	obs.ChildSpanIfTraced(ctx).Annotate(spanFields)
+	done := opt.Log.Span("workload_profile", spanFields)
 	start := time.Now()
 	w.Run(sink)
 	if sampler != nil {
@@ -308,6 +324,7 @@ func (wp *WorkloadProfile) EvaluateSerialCtx(ctx context.Context, b design.Backe
 	}
 	if wp.log != nil && err == nil {
 		f := obs.ThroughputFields(uint64(wp.Boundary.Len()), time.Since(start))
+		obs.ChildSpanIfTraced(ctx).Annotate(f)
 		f["workload"] = wp.Name
 		f["design"] = b.Name
 		f["decode_shared"] = false
@@ -338,15 +355,29 @@ func (wp *WorkloadProfile) EvaluateProfile(name string, backend []core.LevelStat
 type Suite struct {
 	Cfg      Config
 	Profiles []*WorkloadProfile
+
+	// ctx is the run's observability context (Config.Ctx resolved against
+	// context.Background()); the figure sweeps pass it to RunJobs so replay
+	// stages and trace IDs accumulate on the run's breakdown.
+	ctx context.Context
 }
+
+// Ctx returns the suite's resolved observability context.
+func (s *Suite) Ctx() context.Context { return s.ctx }
 
 // NewSuite builds and profiles the configured workloads.
 func NewSuite(cfg Config) (*Suite, error) {
 	cfg = cfg.withDefaults()
-	s := &Suite{Cfg: cfg}
-	done := cfg.Log.Span("suite_profile", obs.Fields{
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s := &Suite{Cfg: cfg, ctx: ctx}
+	suiteFields := obs.Fields{
 		"workloads": cfg.Workloads, "scale": cfg.Scale, "workload_scale": cfg.WorkloadScale,
-	})
+	}
+	obs.ChildSpanIfTraced(ctx).Annotate(suiteFields)
+	done := cfg.Log.Span("suite_profile", suiteFields)
 	var totalRefs uint64
 	start := time.Now()
 	for _, name := range cfg.Workloads {
@@ -354,9 +385,11 @@ func NewSuite(cfg Config) (*Suite, error) {
 		if err != nil {
 			return nil, err
 		}
-		wp, err := ProfileWorkloadOpts(w, ProfileOptions{
+		stop := obs.TimeStage(ctx, "profile")
+		wp, err := ProfileWorkloadOpts(ctx, w, ProfileOptions{
 			Scale: cfg.Scale, Dilution: cfg.Dilution, Epoch: cfg.Epoch, Log: cfg.Log,
 		})
+		stop()
 		if err != nil {
 			return nil, fmt.Errorf("exp: profiling %s: %w", name, err)
 		}

@@ -241,6 +241,28 @@ func (s *BreakerSet) Release(key string) {
 	}
 }
 
+// StateCounts returns how many of the set's breakers sit in each state,
+// keyed by State.String() — the data behind the serving layer's
+// breaker-state gauge on /metrics. States that no breaker occupies are
+// present with a zero count so the gauge's label set stays stable.
+func (s *BreakerSet) StateCounts() map[string]int {
+	s.mu.Lock()
+	breakers := make([]*Breaker, 0, len(s.m))
+	for _, b := range s.m {
+		breakers = append(breakers, b)
+	}
+	s.mu.Unlock()
+	counts := map[string]int{
+		StateClosed.String():   0,
+		StateOpen.String():     0,
+		StateHalfOpen.String(): 0,
+	}
+	for _, b := range breakers {
+		counts[b.State().String()]++
+	}
+	return counts
+}
+
 // State returns the breaker state for key (closed for untracked keys).
 func (s *BreakerSet) State(key string) State {
 	b := s.get(key)

@@ -40,6 +40,7 @@ func NewCounter(name string) *Counter {
 	c := &Counter{}
 	counters[name] = c
 	expvar.Publish(name, expvar.Func(func() any { return c.Value() }))
+	DefaultRegistry.register(&counterMetric{name: name, c: c})
 	return c
 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"time"
 )
@@ -19,9 +20,10 @@ type Fields map[string]any
 // no guards; a non-nil Logger is safe for concurrent use (the experiment
 // worker pool logs from many goroutines).
 type Logger struct {
-	mu  sync.Mutex
-	w   io.Writer
-	now func() time.Time
+	mu       sync.Mutex
+	w        io.Writer
+	now      func() time.Time
+	firstErr error
 }
 
 // NewLogger returns a Logger writing JSONL records to w (nil w yields a
@@ -53,8 +55,55 @@ func (l *Logger) Event(event string, fields Fields) {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.w.Write(line)
-	io.WriteString(l.w, "\n")
+	if _, err := l.w.Write(line); err != nil {
+		l.degrade(err)
+		return
+	}
+	if _, err := io.WriteString(l.w, "\n"); err != nil {
+		l.degrade(err)
+	}
+}
+
+// runlogDropped counts run-log events lost to sink write errors, across
+// every Logger in the process (expvar/Prometheus name
+// hybridmem.runlog_write_errors).
+var runlogDropped = func() func() *Counter {
+	var once sync.Once
+	var c *Counter
+	return func() *Counter {
+		once.Do(func() {
+			c = NewCounter("hybridmem.runlog_write_errors")
+			PublishFunc("hybridmem.runlog_degraded", func() any { return c.Value() > 0 })
+		})
+		return c
+	}
+}()
+
+// degrade records a sink write failure: every failure counts toward the
+// process-wide runlog_write_errors counter, and the logger's first failure
+// is reported once on stderr (the sink itself is unwritable, so the warning
+// cannot go there) and kept for Degraded. Called with l.mu held. The run
+// continues — a full disk must degrade observability, not the simulation.
+func (l *Logger) degrade(err error) {
+	runlogDropped().Add(1)
+	if l.firstErr != nil {
+		return
+	}
+	l.firstErr = err
+	fmt.Fprintf(os.Stderr, "obs: run log degraded, events are being dropped: %v\n", err)
+}
+
+// Degraded returns the logger's first sink write error (nil while every
+// event has been written). A degraded logger keeps trying — transient sink
+// errors may clear — but the first failure is sticky here so operators and
+// tests can detect a lossy run log.
+func (l *Logger) Degraded() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.firstErr
 }
 
 // Warn emits a "warning" event with the given message.

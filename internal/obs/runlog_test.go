@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -118,5 +119,50 @@ func TestThroughputFields(t *testing.T) {
 	}
 	if _, ok := ThroughputFields(5, 0)["refs_per_sec"]; ok {
 		t.Error("zero elapsed must omit refs_per_sec")
+	}
+}
+
+// failAfterWriter fails every write after the first n.
+type failAfterWriter struct {
+	n    int
+	errs int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		w.errs++
+		return 0, errSinkFull
+	}
+	w.n--
+	return len(p), nil
+}
+
+var errSinkFull = errors.New("sink full")
+
+func TestLoggerDegradesOnWriteError(t *testing.T) {
+	before := runlogDropped().Value()
+	l := NewLogger(&failAfterWriter{n: 2}) // one full record = 2 writes
+	l.Event("ok", Fields{"k": 1})
+	if err := l.Degraded(); err != nil {
+		t.Fatalf("healthy logger reports degraded: %v", err)
+	}
+	l.Event("dropped", Fields{"k": 2})
+	if err := l.Degraded(); !errors.Is(err, errSinkFull) {
+		t.Fatalf("Degraded = %v, want first sink error", err)
+	}
+	l.Event("dropped_again", nil)
+	// The first failure stays sticky while every failure counts.
+	if err := l.Degraded(); !errors.Is(err, errSinkFull) {
+		t.Fatalf("Degraded = %v after second failure", err)
+	}
+	if got := runlogDropped().Value() - before; got < 2 {
+		t.Fatalf("runlog_write_errors grew by %d, want >= 2", got)
+	}
+}
+
+func TestNilLoggerDegradedIsNil(t *testing.T) {
+	var l *Logger
+	if l.Degraded() != nil {
+		t.Fatal("nil logger reports degraded")
 	}
 }

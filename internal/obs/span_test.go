@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStartTraceHonorsPinnedID(t *testing.T) {
+	ctx, sc := StartTrace(context.Background(), "deadbeefcafe")
+	if sc.TraceID != "deadbeefcafe" {
+		t.Fatalf("TraceID = %q, want pinned value", sc.TraceID)
+	}
+	if sc.SpanID == "" || sc.ParentID != "" {
+		t.Fatalf("root span = %+v, want fresh span with no parent", sc)
+	}
+	if got := SpanFrom(ctx); got != sc {
+		t.Fatalf("SpanFrom = %+v, want %+v", got, sc)
+	}
+}
+
+func TestStartTraceGeneratesID(t *testing.T) {
+	_, a := StartTrace(context.Background(), "")
+	_, b := StartTrace(context.Background(), "")
+	if a.TraceID == "" || a.TraceID == b.TraceID {
+		t.Fatalf("generated trace IDs not unique: %q vs %q", a.TraceID, b.TraceID)
+	}
+	if len(a.TraceID) != 16 {
+		t.Fatalf("trace ID %q, want 16 hex digits", a.TraceID)
+	}
+}
+
+func TestChildSpanParenting(t *testing.T) {
+	ctx, root := StartTrace(context.Background(), "")
+	child := ChildSpan(ctx)
+	if child.TraceID != root.TraceID {
+		t.Fatal("child left the trace")
+	}
+	if child.ParentID != root.SpanID {
+		t.Fatalf("child.ParentID = %q, want root span %q", child.ParentID, root.SpanID)
+	}
+	if child.SpanID == root.SpanID {
+		t.Fatal("child reused the parent's span ID")
+	}
+}
+
+func TestChildSpanIfTracedUntraced(t *testing.T) {
+	sc := ChildSpanIfTraced(context.Background())
+	if sc.Valid() {
+		t.Fatalf("untraced context minted a span: %+v", sc)
+	}
+	f := Fields{}
+	sc.Annotate(f)
+	if len(f) != 0 {
+		t.Fatalf("invalid span annotated fields: %v", f)
+	}
+}
+
+func TestEventCtxCarriesTraceFields(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf)
+	ctx, sc := StartTrace(context.Background(), "")
+	l.EventCtx(ctx, "design_point", Fields{"design": "N6"})
+
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["trace_id"] != sc.TraceID || rec["span_id"] != sc.SpanID {
+		t.Fatalf("record %v missing trace identity %+v", rec, sc)
+	}
+	if rec["design"] != "N6" {
+		t.Fatal("payload fields lost")
+	}
+
+	buf.Reset()
+	l.EventCtx(context.Background(), "plain", Fields{"k": "v"})
+	rec = nil
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rec["trace_id"]; ok {
+		t.Fatal("untraced EventCtx leaked a trace_id")
+	}
+}
+
+func TestStagesAccumulateAndOrder(t *testing.T) {
+	st := NewStages()
+	st.Add("decode", 2*time.Millisecond)
+	st.Add("replay", 5*time.Millisecond)
+	st.Add("decode", 3*time.Millisecond) // repeats accumulate per name
+
+	names, ds := st.Snapshot()
+	if len(names) != 2 || names[0] != "decode" || names[1] != "replay" {
+		t.Fatalf("names = %v, want [decode replay] in first-recorded order", names)
+	}
+	if ds[0] != 5*time.Millisecond || ds[1] != 5*time.Millisecond {
+		t.Fatalf("durations = %v", ds)
+	}
+	if st.Total() != 10*time.Millisecond {
+		t.Fatalf("Total = %v, want 10ms", st.Total())
+	}
+	f := st.Fields()
+	m, ok := f["stages"].(map[string]float64)
+	if !ok || m["decode"] != 5 || m["replay"] != 5 {
+		t.Fatalf("Fields = %v", f)
+	}
+}
+
+func TestStagesNilSafe(t *testing.T) {
+	var st *Stages
+	st.Add("x", time.Second) // must not panic
+	st.Time("y")()
+	if st.Fields() != nil {
+		t.Fatal("nil Stages produced fields")
+	}
+	// A context without an accumulator absorbs stage calls too.
+	AddStage(context.Background(), "x", time.Second)
+	TimeStage(context.Background(), "y")()
+}
+
+func TestStagesNegativeClamps(t *testing.T) {
+	st := NewStages()
+	st.Add("x", -time.Second)
+	_, ds := st.Snapshot()
+	if ds[0] != 0 {
+		t.Fatalf("negative duration recorded as %v, want 0", ds[0])
+	}
+}
+
+// TestStagesParallelAdd runs in the CI race pass: fan-out chunks add stage
+// time from many goroutines.
+func TestStagesParallelAdd(t *testing.T) {
+	st := NewStages()
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				st.Add("replay", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if st.Total() != workers*per*time.Microsecond {
+		t.Fatalf("Total = %v, want %v", st.Total(), workers*per*time.Microsecond)
+	}
+}
+
+func TestContextWithStagesRoundTrip(t *testing.T) {
+	st := NewStages()
+	ctx := ContextWithStages(context.Background(), st)
+	TimeStage(ctx, "profile")()
+	AddStage(ctx, "decode", time.Millisecond)
+	names, _ := st.Snapshot()
+	if len(names) != 2 {
+		t.Fatalf("stages = %v, want profile+decode", names)
+	}
+}
+
+func TestNewRunContext(t *testing.T) {
+	ctx, sc, st := NewRunContext(context.Background())
+	if !sc.Valid() {
+		t.Fatal("run context has no trace")
+	}
+	if SpanFrom(ctx) != sc {
+		t.Fatal("context does not carry the root span")
+	}
+	AddStage(ctx, "profile", time.Millisecond)
+	if st.Total() != time.Millisecond {
+		t.Fatal("context does not carry the stage accumulator")
+	}
+}
+
+func TestParseTraceID(t *testing.T) {
+	for in, want := range map[string]string{
+		"deadbeef":                          "deadbeef",
+		"ABCDEF01":                          "ABCDEF01",
+		"":                                  "",
+		"not-hex":                           "",
+		"g123":                              "",
+		"0123456789abcdef0123456789abcdef0": "", // 33 digits
+	} {
+		if got := ParseTraceID(in); got != want {
+			t.Errorf("ParseTraceID(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestNewIDParallelUnique runs in the CI race pass.
+func TestNewIDParallelUnique(t *testing.T) {
+	const n = 2000
+	ids := make(chan string, n)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n/4; i++ {
+				ids <- NewID()
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := map[string]bool{}
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate ID %q", id)
+		}
+		seen[id] = true
+	}
+}

@@ -82,6 +82,11 @@ type Evaluator struct {
 	faultUncorrected *obs.Counter
 	faultRetired     *obs.Counter
 	faultRemapped    *obs.Counter
+
+	// Process-wide replay work, exported on /metrics: dividing the refs
+	// counter's rate by wall time gives the server's replay refs/s.
+	replaysTotal    *obs.Counter
+	replayRefsTotal *obs.Counter
 }
 
 // NewEvaluator builds an evaluator bounded to maxProfiles cached workload
@@ -105,6 +110,9 @@ func NewEvaluator(maxProfiles int, log *obs.Logger) *Evaluator {
 		faultUncorrected: obs.NewCounter("memsimd.fault_uncorrected_total"),
 		faultRetired:     obs.NewCounter("memsimd.fault_retired_pages_total"),
 		faultRemapped:    obs.NewCounter("memsimd.fault_remapped_total"),
+
+		replaysTotal:    obs.NewCounter("memsimd.replays_total"),
+		replayRefsTotal: obs.NewCounter("memsimd.replay_refs_total"),
 	}
 }
 
@@ -151,7 +159,7 @@ func (e *Evaluator) profile(ctx context.Context, r *EvalRequest) (*exp.WorkloadP
 		case -1:
 			dilution = 0
 		}
-		wp, err := exp.ProfileWorkloadOpts(w, exp.ProfileOptions{
+		wp, err := exp.ProfileWorkloadOpts(ctx, w, exp.ProfileOptions{
 			Scale: r.Scale, Dilution: dilution, Log: e.Log,
 		})
 		if err != nil {
@@ -188,7 +196,12 @@ func (e *Evaluator) profile(ctx context.Context, r *EvalRequest) (*exp.WorkloadP
 // what exp/paperrepro would compute for the same configuration.
 func (e *Evaluator) Evaluate(ctx context.Context, r *EvalRequest) (*EvalResult, error) {
 	start := time.Now()
+	// The evaluator owns the "profile" stage: it covers the cache hit, the
+	// singleflight leader's profiling pass, and a follower's wait uniformly
+	// (ProfileWorkloadOpts deliberately does not self-record).
+	stopProfile := obs.TimeStage(ctx, "profile")
 	wp, err := e.profile(ctx, r)
+	stopProfile()
 	if err != nil {
 		return nil, err
 	}
@@ -211,13 +224,17 @@ func (e *Evaluator) Evaluate(ctx context.Context, r *EvalRequest) (*EvalResult, 
 		if err != nil {
 			return nil, err
 		}
+		stopAccount := obs.TimeStage(ctx, "fault_account")
 		replayed = uint64(wp.Boundary.Len())
 		e.replays.Add(1)
 		e.replayedRefs.Add(replayed)
+		e.replaysTotal.Add(1)
+		e.replayRefsTotal.Add(replayed)
 		e.faultCorrected.Add(ev.Fault.Corrected)
 		e.faultUncorrected.Add(ev.Fault.Uncorrected)
 		e.faultRetired.Add(ev.Fault.RetiredPages)
 		e.faultRemapped.Add(ev.Fault.Remapped)
+		stopAccount()
 	} else {
 		ev = wp.ReferenceEvaluation()
 	}

@@ -18,6 +18,11 @@
 //   - graceful shutdown that drains active evaluations;
 //   - /healthz and /readyz probes, expvar counters (request totals, cache
 //     hit ratio, replay milliseconds saved), and obs.Logger run events;
+//   - request-scoped observability: every evaluate request runs under its
+//     own trace (honoring a client X-Trace-Id), logs an http_request event
+//     with a per-stage wall-time breakdown, and feeds an outcome-labeled
+//     latency histogram exposed — with the cache, breaker, replay, and
+//     fault metrics — in Prometheus text format on GET /metrics;
 //   - a crash-proof evaluation path: panics recover into typed CodePanic
 //     errors, transient faults retry with deterministic jittered backoff,
 //     and a per-design-point circuit breaker (CodeCircuitOpen) stops
@@ -107,6 +112,11 @@ type Server struct {
 	retries         *obs.Counter
 	breakerOpened   *obs.Counter
 	breakerRejected *obs.Counter
+
+	// latency is the outcome-labeled evaluate-request latency histogram
+	// (memsimd_request_seconds on /metrics). Like the counters above it is
+	// process-global and shared by every Server in the process.
+	latency *obs.HistogramVec
 }
 
 // errOverloaded is the internal sentinel for a full in-flight limit.
@@ -140,15 +150,34 @@ func New(cfg Config) *Server {
 		retries:         obs.NewCounter("memsimd.retries_total"),
 		breakerOpened:   obs.NewCounter("memsimd.breaker_open_total"),
 		breakerRejected: obs.NewCounter("memsimd.breaker_rejected"),
+
+		latency: obs.NewLatencyHistogramVec("memsimd.request_seconds",
+			"Evaluate-request latency by outcome (hit, miss, dedup, invalid, timeout, ...).",
+			"outcome"),
 	}
 	s.ready.Store(true)
-	obs.PublishFunc("memsimd.cache_hit_ratio", func() any {
+	hitRatio := func() float64 {
 		h, m := s.hits.Value(), s.misses.Value()
 		if h+m == 0 {
 			return 0.0
 		}
 		return float64(h) / float64(h+m)
-	})
+	}
+	obs.PublishFunc("memsimd.cache_hit_ratio", func() any { return hitRatio() })
+	// The Prometheus registry keeps the first registration per name, so in a
+	// multi-Server process (tests) these gauges report the first Server.
+	// The counters they derive from are process-global anyway.
+	obs.RegisterGaugeFunc("memsimd.cache_hit_ratio",
+		"Result-cache hit ratio (hits / (hits + misses)) since process start.", hitRatio)
+	obs.RegisterGaugeVecFunc("memsimd.breaker_states",
+		"Per-design circuit breakers by state.", "state",
+		func() map[string]float64 {
+			out := map[string]float64{}
+			for st, n := range s.breakers.StateCounts() {
+				out[st] = float64(n)
+			}
+			return out
+		})
 	return s
 }
 
@@ -188,6 +217,7 @@ func (s *Server) Drain(ctx context.Context) error {
 //	GET  /v1/workloads catalog workload names
 //	GET  /v1/designs   design families, table rows, technologies
 //	POST /v1/evaluate  evaluate one design point (EvalRequest/EvalResult)
+//	GET  /metrics      Prometheus text-format exposition (zero-dep)
 //	GET  /debug/vars   expvar counters, including the cache hit ratio
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -205,6 +235,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /v1/designs", s.handleDesigns)
 	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	mux.Handle("GET /metrics", obs.MetricsHandler())
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	return mux
 }
@@ -253,38 +284,66 @@ const maxBodyBytes = 1 << 20
 
 // handleEvaluate is the core endpoint: validate, consult the result cache,
 // and on a miss run (or join) the deduplicated evaluation flight.
+//
+// Every request runs under its own trace (a client-supplied X-Trace-Id pins
+// the trace ID; the response echoes it in X-Memsimd-Trace) with a stage
+// accumulator on the context, so the exp layers below attribute their wall
+// time (profile, build, decode, replay, ...) back to this request. The
+// final http_request event carries the trace IDs, the outcome, and the full
+// per-stage breakdown; the outcome also labels the request-latency
+// histogram on /metrics.
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.requests.Add(1)
+	ctx, span := obs.StartTrace(r.Context(), obs.ParseTraceID(r.Header.Get("X-Trace-Id")))
+	ctx = obs.ContextWithStages(ctx, obs.NewStages())
+	w.Header().Set("X-Memsimd-Trace", span.TraceID)
+
+	var req EvalRequest
+	// respond writes one terminal response (timed as the "encode" stage),
+	// then records the outcome-labeled latency sample and the http_request
+	// event — after the write, so the logged breakdown includes encode.
+	respond := func(status int, outcome string, write func()) {
+		stopEncode := obs.TimeStage(ctx, "encode")
+		write()
+		stopEncode()
+		s.latency.With(outcome).ObserveDuration(time.Since(start))
+		s.logRequest(ctx, r, status, start, outcome, &req)
+	}
+	fail := func(outcome string, apiErr *APIError) {
+		respond(httpStatus(apiErr.Code), outcome, func() { writeError(w, apiErr) })
+	}
+
 	if s.draining.Load() {
-		s.logRequest(r, http.StatusServiceUnavailable, start, "", nil)
-		writeError(w, &APIError{Code: CodeShuttingDown, Message: "server is shutting down"})
+		fail("shutting_down", &APIError{Code: CodeShuttingDown, Message: "server is shutting down"})
 		return
 	}
 	s.active.Add(1)
 	defer s.active.Done()
 
-	var req EvalRequest
+	stopValidate := obs.TimeStage(ctx, "validate")
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		apiErr := errField(CodeInvalidRequest, "", "invalid JSON body: "+err.Error())
-		s.logRequest(r, httpStatus(apiErr.Code), start, "", &req)
-		writeError(w, apiErr)
+		stopValidate()
+		fail("invalid", errField(CodeInvalidRequest, "", "invalid JSON body: "+err.Error()))
 		return
 	}
 	if apiErr := req.Normalize(); apiErr != nil {
-		s.logRequest(r, httpStatus(apiErr.Code), start, "", &req)
-		writeError(w, apiErr)
+		stopValidate()
+		fail("invalid", apiErr)
 		return
 	}
+	stopValidate()
 	key := req.Key()
 
-	if res, ok := s.cache.Get(key); ok {
+	stopLookup := obs.TimeStage(ctx, "cache_lookup")
+	res, ok := s.cache.Get(key)
+	stopLookup()
+	if ok {
 		s.hits.Add(1)
 		s.savedMS.Add(uint64(res.EvalMS))
-		s.logRequest(r, http.StatusOK, start, "hit", &req)
-		s.writeResult(w, &req, res, "hit")
+		respond(http.StatusOK, "hit", func() { s.writeResult(w, &req, res, "hit") })
 		return
 	}
 
@@ -293,23 +352,21 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	bkey := req.Design.breakerKey()
 	if retryAfter, ok := s.breakers.Allow(bkey); !ok {
 		s.breakerRejected.Add(1)
-		apiErr := &APIError{
+		fail("circuit_open", &APIError{
 			Code:         CodeCircuitOpen,
 			Message:      "circuit breaker open for design " + bkey + " after repeated failures",
 			RetryAfterMS: retryAfter.Milliseconds(),
 			JitterMS:     retryAfter.Milliseconds() / 2,
-		}
-		s.logRequest(r, httpStatus(apiErr.Code), start, "", &req)
-		writeError(w, apiErr)
+		})
 		return
 	}
 
-	ctx := r.Context()
 	if s.cfg.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
 		defer cancel()
 	}
+	flightStart := time.Now()
 	res, led, err := s.flight.Do(ctx, key, func() (*EvalResult, error) {
 		var res *EvalResult
 		err := s.cfg.Retry.Do(ctx, key, func(attempt int) error {
@@ -328,6 +385,11 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		})
 		return res, err
 	})
+	if !led {
+		// A follower's whole flight time is spent waiting on the leader;
+		// the leader's time is attributed stage by stage below it.
+		obs.AddStage(ctx, "singleflight_wait", time.Since(flightStart))
+	}
 	s.concludeBreaker(bkey, led, err)
 	if err != nil {
 		apiErr := toAPIError(err)
@@ -336,23 +398,43 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		} else if apiErr.Code == CodeInternal {
 			s.evalErrors.Add(1)
 		}
-		s.logRequest(r, httpStatus(apiErr.Code), start, "", &req)
-		writeError(w, apiErr)
+		fail(outcomeForCode(apiErr.Code), apiErr)
 		return
 	}
 	if led {
 		s.misses.Add(1)
 		s.cache.Add(key, res)
-		s.logRequest(r, http.StatusOK, start, "miss", &req)
-		s.writeResult(w, &req, res, "miss")
+		respond(http.StatusOK, "miss", func() { s.writeResult(w, &req, res, "miss") })
 		return
 	}
 	// Follower of a deduplicated flight: the leader replayed once and
 	// cached; report the shared result as a hit.
 	s.hits.Add(1)
 	s.savedMS.Add(uint64(res.EvalMS))
-	s.logRequest(r, http.StatusOK, start, "dedup", &req)
-	s.writeResult(w, &req, res, "dedup")
+	respond(http.StatusOK, "dedup", func() { s.writeResult(w, &req, res, "dedup") })
+}
+
+// outcomeForCode maps a terminal API error code onto the request-latency
+// histogram's outcome label.
+func outcomeForCode(code string) string {
+	switch code {
+	case CodeInvalidRequest, CodeUnknownWorkload, CodeUnknownDesign, CodeUnknownTech:
+		return "invalid"
+	case CodeShuttingDown:
+		return "shutting_down"
+	case CodeCircuitOpen:
+		return "circuit_open"
+	case CodeOverloaded:
+		return "overloaded"
+	case CodeTimeout:
+		return "timeout"
+	case CodeCanceled:
+		return "canceled"
+	case CodePanic:
+		return "panic"
+	default:
+		return "error"
+	}
 }
 
 // safeEvaluate runs one evaluation attempt with the resilience wrapping:
@@ -464,8 +546,10 @@ func writeJSON(w http.ResponseWriter, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-// logRequest emits one http_request run-log event (nil logger = no-op).
-func (s *Server) logRequest(r *http.Request, status int, start time.Time, cache string, req *EvalRequest) {
+// logRequest emits one http_request run-log event (nil logger = no-op),
+// tagged with the request's trace IDs, outcome, and — when the context
+// carries a stage accumulator — the per-stage wall-time breakdown.
+func (s *Server) logRequest(ctx context.Context, r *http.Request, status int, start time.Time, outcome string, req *EvalRequest) {
 	if s.cfg.Log == nil {
 		return
 	}
@@ -473,14 +557,19 @@ func (s *Server) logRequest(r *http.Request, status int, start time.Time, cache 
 		"method":  r.Method,
 		"path":    r.URL.Path,
 		"status":  status,
+		"outcome": outcome,
 		"wall_ms": float64(time.Since(start)) / float64(time.Millisecond),
 	}
-	if cache != "" {
-		f["cache"] = cache
+	switch outcome {
+	case "hit", "miss", "dedup":
+		f["cache"] = outcome
 	}
 	if req != nil && req.Workload != "" {
 		f["workload"] = req.Workload
 		f["design"] = req.Design.Family + "/" + req.Design.Config
 	}
-	s.cfg.Log.Event("http_request", f)
+	for k, v := range obs.StagesFrom(ctx).Fields() {
+		f[k] = v
+	}
+	s.cfg.Log.EventCtx(ctx, "http_request", f)
 }

@@ -196,7 +196,7 @@ func TestServerMatchesHarness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wp, err := exp.ProfileWorkloadOpts(w, exp.ProfileOptions{Scale: testScale, Dilution: exp.DefaultDilution})
+	wp, err := exp.ProfileWorkloadOpts(context.Background(), w, exp.ProfileOptions{Scale: testScale, Dilution: exp.DefaultDilution})
 	if err != nil {
 		t.Fatal(err)
 	}
