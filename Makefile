@@ -54,7 +54,7 @@ chaos:
 # Godoc hygiene: every package needs a package comment; the listed
 # packages additionally need doc comments on every exported symbol.
 doccheck:
-	$(GO) run ./cmd/doccheck -exported internal/serve,internal/exp,internal/obs,internal/design,internal/trace,internal/cache,internal/core,internal/fault .
+	$(GO) run ./cmd/doccheck -exported internal/serve,internal/exp,internal/obs,internal/design,internal/trace,internal/cache,internal/core,internal/fault,internal/store .
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 repro:

@@ -7,6 +7,7 @@
 //	memsimd                          # listen on :8080
 //	memsimd -addr 127.0.0.1:9090     # custom listen address
 //	memsimd -warm Graph500           # profile one workload before readying
+//	memsimd -store /var/lib/memsimd  # durable result + profile store
 //	memsimd -runlog -                # JSONL request/profiling events to stderr
 //
 // Evaluate a design point:
@@ -22,6 +23,13 @@
 // the trace ID and correlate the -runlog events of one request (see
 // cmd/obsreport). SIGINT/SIGTERM trigger a graceful drain of in-flight
 // evaluations.
+//
+// With -store, evaluation results and workload profiles persist across
+// restarts (content-addressed on-disk format, FORMATS.md): startup is an
+// O(index) scan — no boundary replay — after which previously computed
+// design points answer as X-Memsimd-Cache: store_hit and previously
+// profiled workloads restore without a profiling pass. Combine with -warm
+// to verify the restore before reporting ready.
 package main
 
 import (
@@ -38,19 +46,22 @@ import (
 	"hybridmem/internal/fault"
 	"hybridmem/internal/obs"
 	"hybridmem/internal/serve"
+	"hybridmem/internal/store"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		cacheN    = flag.Int("cache", serve.DefaultCacheEntries, "result-cache entries (LRU)")
-		profiles  = flag.Int("profiles", serve.DefaultMaxProfiles, "cached workload profiles (LRU; each holds a boundary stream)")
-		inflight  = flag.Int("max-inflight", 0, "max concurrently executing evaluations (0 = GOMAXPROCS); excess requests get 429")
-		timeout   = flag.Duration("timeout", serve.DefaultTimeout, "per-request evaluation deadline (negative = none)")
-		warm      = flag.String("warm", "", "workload name to profile before reporting ready (optional)")
-		warmScale = flag.Uint64("warm-scale", 0, "design scale for the warmup profile (0 = default)")
-		runlog    = flag.String("runlog", "", `write structured JSONL run events here ("-" = stderr)`)
-		drainFor  = flag.Duration("drain", 30*time.Second, "max time to wait for in-flight evaluations on shutdown")
+		addr       = flag.String("addr", ":8080", "listen address")
+		cacheN     = flag.Int("cache", serve.DefaultCacheEntries, "result-cache entries (LRU)")
+		profiles   = flag.Int("profiles", serve.DefaultMaxProfiles, "cached workload profiles (LRU; each holds a boundary stream)")
+		inflight   = flag.Int("max-inflight", 0, "max concurrently executing evaluations (0 = GOMAXPROCS); excess requests get 429")
+		timeout    = flag.Duration("timeout", serve.DefaultTimeout, "per-request evaluation deadline (negative = none)")
+		warm       = flag.String("warm", "", "workload name to profile (or restore from -store) before reporting ready (optional)")
+		warmScale  = flag.Uint64("warm-scale", 0, "design scale for the warmup profile (0 = default)")
+		warmWScale = flag.Uint64("warm-workload-scale", 0, "workload footprint divisor for the warmup profile (0 = co-scale with -warm-scale)")
+		storeDir   = flag.String("store", "", "directory for the durable result/profile store (empty = in-memory only)")
+		runlog     = flag.String("runlog", "", `write structured JSONL run events here ("-" = stderr)`)
+		drainFor   = flag.Duration("drain", 30*time.Second, "max time to wait for in-flight evaluations on shutdown")
 
 		brkThreshold = flag.Int("breaker-threshold", fault.DefaultBreakerThreshold, "consecutive evaluation failures that open a design point's circuit breaker (negative = disabled)")
 		brkCooldown  = flag.Duration("breaker-cooldown", fault.DefaultBreakerCooldown, "open-breaker cooldown before a half-open probe is admitted")
@@ -89,7 +100,32 @@ func main() {
 			*chaosPanic, *chaosTransient, *chaosSeed)
 	}
 
+	// The durable tier opens before the server exists: a warm restart is an
+	// index scan (plus torn-tail truncation after a crash), never a replay.
+	// The store_open event's wall_ms is the whole startup cost of warmth.
+	var st *store.Store
+	if *storeDir != "" {
+		openStart := time.Now()
+		st, err = store.Open(*storeDir, store.Options{})
+		exitOn(err)
+		defer st.Close()
+		stats := st.Stats()
+		logger.Event("store_open", obs.Fields{
+			"dir":                  *storeDir,
+			"streams":              stats.Streams,
+			"docs":                 stats.Docs,
+			"blocks":               stats.Blocks,
+			"segments":             stats.Segments,
+			"torn_bytes_recovered": stats.TornBytesRecovered,
+			"wall_ms":              float64(time.Since(openStart)) / float64(time.Millisecond),
+		})
+		obs.PublishFunc("memsimd.store_stats", func() any { return st.Stats() })
+	}
+
 	ev := serve.NewEvaluator(*profiles, logger)
+	if st != nil {
+		ev.SetStore(st)
+	}
 	srv := serve.New(serve.Config{
 		Runner:       ev,
 		CacheEntries: *cacheN,
@@ -98,6 +134,7 @@ func main() {
 		Breaker:      fault.BreakerConfig{Threshold: *brkThreshold, Cooldown: *brkCooldown},
 		Retry:        fault.RetryPolicy{Attempts: *retryN, BaseDelay: *retryBase},
 		Chaos:        chaos,
+		Store:        st,
 		Log:          logger,
 	})
 
@@ -113,9 +150,10 @@ func main() {
 		go func() {
 			start := time.Now()
 			req := serve.EvalRequest{
-				Design:   serve.DesignSpec{Family: "reference"},
-				Workload: *warm,
-				Scale:    *warmScale,
+				Design:        serve.DesignSpec{Family: "reference"},
+				Workload:      *warm,
+				Scale:         *warmScale,
+				WorkloadScale: *warmWScale,
 			}
 			if err := warmup(ev, &req); err != nil {
 				logger.Warn("warmup failed", obs.Fields{"workload": *warm, "error": err.Error()})

@@ -1,0 +1,108 @@
+package exp
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"hybridmem/internal/design"
+	"hybridmem/internal/store"
+	"hybridmem/internal/tech"
+	"hybridmem/internal/trace"
+	"hybridmem/internal/workload"
+	"hybridmem/internal/workload/catalog"
+)
+
+// persistProfile profiles CG at the shrunken test scale.
+func persistProfile(t *testing.T) *WorkloadProfile {
+	t.Helper()
+	w, err := catalog.New("CG", workload.Options{Scale: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp, err := ProfileWorkload(w, 64, DefaultDilution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wp
+}
+
+// TestManifestRestoreEvaluatesIdentically is the persist-once/reopen
+// contract: a profile round-tripped through JSON manifest + an on-disk
+// content-addressed stream evaluates every design family bit-identically
+// to the original, with zero re-profiling and zero reference replay.
+func TestManifestRestoreEvaluatesIdentically(t *testing.T) {
+	wp := persistProfile(t)
+
+	meta, err := json.Marshal(wp.Manifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.PutStream("profile:CG", wp.Boundary, meta); err != nil {
+		t.Fatal(err)
+	}
+
+	boundary, gotMeta, ok, err := st.GetStream("profile:CG")
+	if err != nil || !ok {
+		t.Fatalf("GetStream: ok=%v err=%v", ok, err)
+	}
+	var m ProfileManifest
+	if err := json.Unmarshal(gotMeta, &m); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreProfile(&m, boundary, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if restored.TotalRefs != wp.TotalRefs || restored.Footprint != wp.Footprint ||
+		restored.RefTime != wp.RefTime {
+		t.Fatalf("restored identity diverges: %+v", restored)
+	}
+	if got, want := restored.ReferenceEvaluation(), wp.ReferenceEvaluation(); got != want {
+		t.Fatalf("reference evaluation diverges:\n got %+v\nwant %+v", got, want)
+	}
+	ctx := context.Background()
+	backends := []design.Backend{
+		design.FourLC(design.EHConfigs[3], tech.EDRAM, 64, wp.Footprint),
+		design.NMM(design.NConfigs[5], tech.PCM, 64, wp.Footprint),
+		design.FourLCNVM(design.EHConfigs[3], tech.EDRAM, tech.PCM, 64, wp.Footprint),
+	}
+	for _, b := range backends {
+		want, err := wp.EvaluateCtx(ctx, b)
+		if err != nil {
+			t.Fatalf("%s original: %v", b.Name, err)
+		}
+		got, err := restored.EvaluateCtx(ctx, b)
+		if err != nil {
+			t.Fatalf("%s restored: %v", b.Name, err)
+		}
+		if got != want {
+			t.Fatalf("%s: restored profile diverges:\n got %+v\nwant %+v", b.Name, got, want)
+		}
+	}
+}
+
+// TestRestoreProfileRejectsMismatches pins the fail-fast contract on a
+// stream that does not match its manifest.
+func TestRestoreProfileRejectsMismatches(t *testing.T) {
+	wp := persistProfile(t)
+	m := wp.Manifest()
+
+	if _, err := RestoreProfile(&ProfileManifest{Version: 99}, wp.Boundary, nil); err == nil {
+		t.Fatal("future manifest version accepted")
+	}
+	if _, err := RestoreProfile(m, nil, nil); err == nil {
+		t.Fatal("nil boundary accepted")
+	}
+	short := &trace.Packed{}
+	short.Access(trace.Ref{Addr: 1, Size: 64})
+	if _, err := RestoreProfile(m, short, nil); err == nil {
+		t.Fatal("length-mismatched boundary accepted")
+	}
+}

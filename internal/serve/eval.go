@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -11,6 +12,7 @@ import (
 	"hybridmem/internal/fault"
 	"hybridmem/internal/model"
 	"hybridmem/internal/obs"
+	"hybridmem/internal/store"
 	"hybridmem/internal/workload"
 	"hybridmem/internal/workload/catalog"
 )
@@ -65,6 +67,12 @@ type Evaluator struct {
 	useClock    uint64
 	profFlight  *flightGroup[*exp.WorkloadProfile]
 
+	// store, when set, is the durable tier behind the in-memory profile
+	// cache: a profile evicted (or belonging to a previous process) is
+	// restored from its persisted manifest + boundary stream with zero
+	// replay instead of being re-profiled. See SetStore.
+	store *store.Store
+
 	replays      atomic.Uint64
 	replayedRefs atomic.Uint64
 	profilesRun  atomic.Uint64
@@ -87,6 +95,12 @@ type Evaluator struct {
 	// counter's rate by wall time gives the server's replay refs/s.
 	replaysTotal    *obs.Counter
 	replayRefsTotal *obs.Counter
+
+	// Durable profile-tier traffic: hits are profiles restored from disk
+	// with zero replay; misses fall through to a fresh profiling pass.
+	profileStoreHits   *obs.Counter
+	profileStoreMisses *obs.Counter
+	profileStoreErrors *obs.Counter
 }
 
 // NewEvaluator builds an evaluator bounded to maxProfiles cached workload
@@ -113,8 +127,20 @@ func NewEvaluator(maxProfiles int, log *obs.Logger) *Evaluator {
 
 		replaysTotal:    obs.NewCounter("memsimd.replays_total"),
 		replayRefsTotal: obs.NewCounter("memsimd.replay_refs_total"),
+
+		profileStoreHits:   obs.NewCounter("memsimd.profile_store_hits"),
+		profileStoreMisses: obs.NewCounter("memsimd.profile_store_misses"),
+		profileStoreErrors: obs.NewCounter("memsimd.profile_store_errors"),
 	}
 }
+
+// SetStore attaches an on-disk store (see internal/store) as the durable
+// tier behind the in-memory profile cache. Profiles already persisted are
+// restored — manifest plus content-addressed boundary stream, zero replay —
+// instead of re-profiled, and every freshly profiled workload is written
+// through for the next process. Call before serving traffic; the evaluator
+// does not close the store.
+func (e *Evaluator) SetStore(st *store.Store) { e.store = st }
 
 // Replays returns how many boundary replays this evaluator has performed —
 // the instrumentation behind cache-effectiveness assertions: a request
@@ -148,6 +174,10 @@ func (e *Evaluator) profile(ctx context.Context, r *EvalRequest) (*exp.WorkloadP
 	e.mu.Unlock()
 
 	wp, _, err := e.profFlight.Do(ctx, key, func() (*exp.WorkloadProfile, error) {
+		if wp, ok := e.restoreProfile(key); ok {
+			e.cacheProfile(key, wp)
+			return wp, nil
+		}
 		w, err := catalog.New(r.Workload, workload.Options{Scale: r.WorkloadScale, Iters: r.Iters})
 		if err != nil {
 			return nil, err
@@ -169,25 +199,108 @@ func (e *Evaluator) profile(ctx context.Context, r *EvalRequest) (*exp.WorkloadP
 		e.boundaryRefs.Add(uint64(wp.Boundary.Len()))
 		e.boundaryPackedBytes.Add(wp.Boundary.PackedBytes())
 		e.boundaryRawBytes.Add(wp.Boundary.RawBytes())
-		e.mu.Lock()
-		defer e.mu.Unlock()
-		e.useClock++
-		e.profiles[key] = wp
-		e.profileUse[key] = e.useClock
-		for len(e.profiles) > e.maxProfiles {
-			var oldestKey string
-			var oldest uint64
-			for k, use := range e.profileUse {
-				if oldestKey == "" || use < oldest {
-					oldestKey, oldest = k, use
-				}
-			}
-			delete(e.profiles, oldestKey)
-			delete(e.profileUse, oldestKey)
-		}
+		e.persistProfile(key, wp)
+		e.cacheProfile(key, wp)
 		return wp, nil
 	})
 	return wp, err
+}
+
+// cacheProfile installs wp into the in-memory profile cache under key,
+// evicting LRU-first past the maxProfiles bound.
+func (e *Evaluator) cacheProfile(key string, wp *exp.WorkloadProfile) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.useClock++
+	e.profiles[key] = wp
+	e.profileUse[key] = e.useClock
+	for len(e.profiles) > e.maxProfiles {
+		var oldestKey string
+		var oldest uint64
+		for k, use := range e.profileUse {
+			if oldestKey == "" || use < oldest {
+				oldestKey, oldest = k, use
+			}
+		}
+		delete(e.profiles, oldestKey)
+		delete(e.profileUse, oldestKey)
+	}
+}
+
+// profileStorePrefix namespaces persisted profiles within the store's
+// stream keyspace; the suffix is the profileKey tuple.
+const profileStorePrefix = "profile:"
+
+// restoreProfile attempts to rebuild the profile for key from the durable
+// tier. Any failure — absent, unreadable, or schema-incompatible — is a
+// miss: the caller falls through to a fresh profiling pass, and the
+// write-through afterwards repairs the stored copy.
+func (e *Evaluator) restoreProfile(key string) (*exp.WorkloadProfile, bool) {
+	if e.store == nil {
+		return nil, false
+	}
+	start := time.Now()
+	boundary, meta, ok, err := e.store.GetStream(profileStorePrefix + key)
+	if err == nil && !ok {
+		e.profileStoreMisses.Add(1)
+		return nil, false
+	}
+	var wp *exp.WorkloadProfile
+	if err == nil {
+		var m exp.ProfileManifest
+		if err = json.Unmarshal(meta, &m); err == nil {
+			wp, err = exp.RestoreProfile(&m, boundary, e.Log)
+		}
+	}
+	if err != nil {
+		e.profileStoreErrors.Add(1)
+		if e.Log != nil {
+			e.Log.Warn("profile_restore_failed", obs.Fields{"profile": key, "err": err.Error()})
+		}
+		return nil, false
+	}
+	e.profileStoreHits.Add(1)
+	if e.Log != nil {
+		e.Log.Event("profile_restore", obs.Fields{
+			"profile":       key,
+			"workload":      wp.Name,
+			"boundary_refs": wp.Boundary.Len(),
+			"replayed_refs": 0, // the restore's whole point: zero replay
+			"wall_ms":       float64(time.Since(start)) / float64(time.Millisecond),
+		})
+	}
+	return wp, true
+}
+
+// persistProfile writes a freshly profiled workload through to the durable
+// tier (no-op without one). Persistence failures are logged and dropped:
+// the in-memory profile still serves this process, only the next restart
+// pays the re-profiling cost.
+func (e *Evaluator) persistProfile(key string, wp *exp.WorkloadProfile) {
+	if e.store == nil {
+		return
+	}
+	start := time.Now()
+	meta, err := json.Marshal(wp.Manifest())
+	if err == nil {
+		err = e.store.PutStream(profileStorePrefix+key, wp.Boundary, meta)
+	}
+	if err != nil {
+		e.profileStoreErrors.Add(1)
+		if e.Log != nil {
+			e.Log.Warn("profile_persist_failed", obs.Fields{"profile": key, "err": err.Error()})
+		}
+		return
+	}
+	if e.Log != nil {
+		e.Log.Event("profile_persist", obs.Fields{
+			"profile":       key,
+			"workload":      wp.Name,
+			"boundary_refs": wp.Boundary.Len(),
+			"packed_bytes":  wp.Boundary.PackedBytes(),
+			"wall_ms":       float64(time.Since(start)) / float64(time.Millisecond),
+		})
+	}
 }
 
 // Evaluate computes the result for a normalized request: profile (or reuse

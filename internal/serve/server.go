@@ -26,7 +26,13 @@
 //   - a crash-proof evaluation path: panics recover into typed CodePanic
 //     errors, transient faults retry with deterministic jittered backoff,
 //     and a per-design-point circuit breaker (CodeCircuitOpen) stops
-//     repeatedly failing designs from burning replay capacity.
+//     repeatedly failing designs from burning replay capacity;
+//   - an optional durable tier (Config.Store, backed by internal/store):
+//     results evicted from the LRU — or computed by a previous process —
+//     are served from disk as "store_hit" and written through on every
+//     miss, and workload profiles persist/restore with zero boundary
+//     replay, so a restart warms from the on-disk index instead of
+//     re-simulating (see FORMATS.md for the on-disk format).
 package serve
 
 import (
@@ -45,6 +51,7 @@ import (
 	"hybridmem/internal/design"
 	"hybridmem/internal/fault"
 	"hybridmem/internal/obs"
+	"hybridmem/internal/store"
 	"hybridmem/internal/tech"
 	"hybridmem/internal/workload/catalog"
 )
@@ -86,6 +93,13 @@ type Config struct {
 	// points that panic and per-call transient failures — for resilience
 	// testing (nil = none; see fault.ServicePlan).
 	Chaos *fault.ServicePlan
+	// Store, when non-nil, adds a durable result tier behind the in-process
+	// LRU: cache misses probe the on-disk index before spending replay
+	// capacity (outcome "store_hit", promoted back into the LRU), and
+	// freshly computed results are written through so the next process
+	// restarts warm. The server reads and writes the store but does not
+	// close it. See internal/store and FORMATS.md.
+	Store *store.Store
 	// Log receives http_request events (may be nil).
 	Log *obs.Logger
 }
@@ -112,6 +126,13 @@ type Server struct {
 	retries         *obs.Counter
 	breakerOpened   *obs.Counter
 	breakerRejected *obs.Counter
+
+	// Durable-tier traffic (zero without Config.Store): storeHits are
+	// requests answered from disk after an LRU miss; storeMisses fell
+	// through to evaluation; storeWriteErrors are dropped write-throughs.
+	storeHits        *obs.Counter
+	storeMisses      *obs.Counter
+	storeWriteErrors *obs.Counter
 
 	// latency is the outcome-labeled evaluate-request latency histogram
 	// (memsimd_request_seconds on /metrics). Like the counters above it is
@@ -150,6 +171,10 @@ func New(cfg Config) *Server {
 		retries:         obs.NewCounter("memsimd.retries_total"),
 		breakerOpened:   obs.NewCounter("memsimd.breaker_open_total"),
 		breakerRejected: obs.NewCounter("memsimd.breaker_rejected"),
+
+		storeHits:        obs.NewCounter("memsimd.store_hits"),
+		storeMisses:      obs.NewCounter("memsimd.store_misses"),
+		storeWriteErrors: obs.NewCounter("memsimd.store_write_errors"),
 
 		latency: obs.NewLatencyHistogramVec("memsimd.request_seconds",
 			"Evaluate-request latency by outcome (hit, miss, dedup, invalid, timeout, ...).",
@@ -347,6 +372,24 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Durable second tier: one bloom-guarded index probe per cold miss.
+	// Like an LRU hit, a store hit costs no replay capacity, so it too
+	// bypasses the breaker; the result is promoted back into the LRU so
+	// the next identical request is a plain "hit".
+	if s.cfg.Store != nil {
+		stopStore := obs.TimeStage(ctx, "store_lookup")
+		res, ok = s.storeGet(key)
+		stopStore()
+		if ok {
+			s.storeHits.Add(1)
+			s.savedMS.Add(uint64(res.EvalMS))
+			s.cache.Add(key, res)
+			respond(http.StatusOK, "store_hit", func() { s.writeResult(w, &req, res, "store_hit") })
+			return
+		}
+		s.storeMisses.Add(1)
+	}
+
 	// Cache hits bypass the breaker (they cost nothing and prove
 	// nothing); only requests about to spend replay capacity consult it.
 	bkey := req.Design.breakerKey()
@@ -404,6 +447,11 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if led {
 		s.misses.Add(1)
 		s.cache.Add(key, res)
+		if s.cfg.Store != nil {
+			stopWrite := obs.TimeStage(ctx, "store_write")
+			s.storePut(key, res)
+			stopWrite()
+		}
 		respond(http.StatusOK, "miss", func() { s.writeResult(w, &req, res, "miss") })
 		return
 	}
@@ -412,6 +460,43 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	s.hits.Add(1)
 	s.savedMS.Add(uint64(res.EvalMS))
 	respond(http.StatusOK, "dedup", func() { s.writeResult(w, &req, res, "dedup") })
+}
+
+// storeGet probes the durable tier for a cached result. Read or decode
+// failures degrade to a miss — the request falls through to evaluation and
+// the write-through replaces the bad document.
+func (s *Server) storeGet(key string) (*EvalResult, bool) {
+	val, ok, err := s.cfg.Store.GetDoc(key)
+	if err != nil || !ok {
+		if err != nil && s.cfg.Log != nil {
+			s.cfg.Log.Warn("store_read_failed", obs.Fields{"key": key, "err": err.Error()})
+		}
+		return nil, false
+	}
+	res := new(EvalResult)
+	if err := json.Unmarshal(val, res); err != nil {
+		if s.cfg.Log != nil {
+			s.cfg.Log.Warn("store_decode_failed", obs.Fields{"key": key, "err": err.Error()})
+		}
+		return nil, false
+	}
+	return res, true
+}
+
+// storePut writes a freshly computed result through to the durable tier.
+// Failures are logged and dropped: the request already has its answer, and
+// only the next process restart loses the warm copy.
+func (s *Server) storePut(key string, res *EvalResult) {
+	val, err := json.Marshal(res)
+	if err == nil {
+		err = s.cfg.Store.PutDoc(key, val)
+	}
+	if err != nil {
+		s.storeWriteErrors.Add(1)
+		if s.cfg.Log != nil {
+			s.cfg.Log.Warn("store_write_failed", obs.Fields{"key": key, "err": err.Error()})
+		}
+	}
 }
 
 // outcomeForCode maps a terminal API error code onto the request-latency
@@ -561,7 +646,7 @@ func (s *Server) logRequest(ctx context.Context, r *http.Request, status int, st
 		"wall_ms": float64(time.Since(start)) / float64(time.Millisecond),
 	}
 	switch outcome {
-	case "hit", "miss", "dedup":
+	case "hit", "miss", "dedup", "store_hit":
 		f["cache"] = outcome
 	}
 	if req != nil && req.Workload != "" {

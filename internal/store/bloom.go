@@ -1,0 +1,112 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Per-shard bloom filters. A KV Get consults its shard's filter before the
+// in-memory offset index and before any disk read: a negative answer proves
+// the key was never written, so a cold miss costs one filter probe — the
+// BlockchainDB idiom this store patterns on. Filters are rebuilt from the
+// shard scan at every open (the scan already enumerates all keys) and
+// persisted as .bfl sidecars at sync so offline tools can probe a store
+// without replaying its logs.
+const (
+	// bloomBitsPerKey sizes filters at ~10 bits per expected key, which
+	// with bloomHashes ≈ 7 gives a ~1% false-positive rate at capacity.
+	bloomBitsPerKey = 10
+	// bloomHashes is the number of derived probe positions per key.
+	bloomHashes = 7
+	// bloomMinBits floors tiny filters so near-empty shards still have
+	// headroom to grow before their false-positive rate drifts.
+	bloomMinBits = 1 << 12
+)
+
+// bloom is a fixed-size double-hashed Bloom filter over 32-byte key
+// digests. Inserting past the sizing estimate only degrades the
+// false-positive rate, never correctness; the next open resizes.
+type bloom struct {
+	bits []uint64
+	m    uint64 // bit count, power of two
+	n    uint64 // inserted keys
+}
+
+// newBloom sizes a filter for the expected number of keys.
+func newBloom(expected int) *bloom {
+	bits := uint64(expected) * bloomBitsPerKey
+	if bits < bloomMinBits {
+		bits = bloomMinBits
+	}
+	m := uint64(1)
+	for m < bits {
+		m <<= 1
+	}
+	return &bloom{bits: make([]uint64, m/64), m: m}
+}
+
+// probes derives the double-hashing pair from a key digest.
+func probes(d [32]byte) (h1, h2 uint64) {
+	h1 = binary.LittleEndian.Uint64(d[0:8])
+	h2 = binary.LittleEndian.Uint64(d[8:16]) | 1 // odd: visits all positions
+	return
+}
+
+// Add inserts a key digest.
+func (b *bloom) Add(d [32]byte) {
+	h1, h2 := probes(d)
+	for i := uint64(0); i < bloomHashes; i++ {
+		bit := (h1 + i*h2) & (b.m - 1)
+		b.bits[bit/64] |= 1 << (bit % 64)
+	}
+	b.n++
+}
+
+// Test reports whether the key digest may have been added. False means
+// definitely absent.
+func (b *bloom) Test(d [32]byte) bool {
+	h1, h2 := probes(d)
+	for i := uint64(0); i < bloomHashes; i++ {
+		bit := (h1 + i*h2) & (b.m - 1)
+		if b.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// marshal encodes the filter as a bloom-sidecar record payload:
+//
+//	u32 LE hash count | u32 LE reserved | u64 LE bit count |
+//	u64 LE inserted keys | bit array (little-endian words)
+func (b *bloom) marshal() []byte {
+	out := make([]byte, 24+len(b.bits)*8)
+	binary.LittleEndian.PutUint32(out[0:4], bloomHashes)
+	binary.LittleEndian.PutUint64(out[8:16], b.m)
+	binary.LittleEndian.PutUint64(out[16:24], b.n)
+	for i, w := range b.bits {
+		binary.LittleEndian.PutUint64(out[24+8*i:], w)
+	}
+	return out
+}
+
+// unmarshalBloom decodes a bloom-sidecar payload.
+func unmarshalBloom(p []byte) (*bloom, error) {
+	if len(p) < 24 {
+		return nil, fmt.Errorf("store: bloom payload too short (%d bytes)", len(p))
+	}
+	k := binary.LittleEndian.Uint32(p[0:4])
+	m := binary.LittleEndian.Uint64(p[8:16])
+	n := binary.LittleEndian.Uint64(p[16:24])
+	if k != bloomHashes {
+		return nil, fmt.Errorf("store: bloom hash count %d (this build uses %d)", k, bloomHashes)
+	}
+	if m == 0 || m&(m-1) != 0 || uint64(len(p)-24) != m/8 {
+		return nil, fmt.Errorf("store: bloom bit count %d inconsistent with payload", m)
+	}
+	b := &bloom{bits: make([]uint64, m/64), m: m, n: n}
+	for i := range b.bits {
+		b.bits[i] = binary.LittleEndian.Uint64(p[24+8*i:])
+	}
+	return b, nil
+}

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// mmapFile is unavailable on this platform; segment readers fall back to
+// pread copies (see segReader).
+func mmapFile(f *os.File, size int64) ([]byte, error) { return nil, os.ErrInvalid }
+
+// munmapFile matches mmap_unix.go's signature; never called on this
+// platform.
+func munmapFile(b []byte) error { return nil }
+
+// mmapSupported reports whether this platform maps files.
+const mmapSupported = false

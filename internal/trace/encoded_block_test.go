@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestEncodedBlockRoundTrip pins the persistence contract: a Packed
+// reassembled from another stream's EncodedBlock bytes (the store's
+// read-back path) decodes to the identical reference sequence.
+func TestEncodedBlockRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	refs := randRefs(rng, 2*BlockRefs+BlockRefs/3) // three blocks, last partial
+	var p Packed
+	for _, r := range refs {
+		p.Access(r)
+	}
+
+	var restored Packed
+	for i := 0; i < p.Blocks(); i++ {
+		data, n := p.EncodedBlock(i)
+		// Copy through a fresh slice, as mmap'd bytes would arrive.
+		restored.AppendEncodedBlock(append([]byte(nil), data...), n)
+	}
+	if restored.Len() != p.Len() || restored.Blocks() != p.Blocks() {
+		t.Fatalf("restored %d refs / %d blocks, want %d / %d",
+			restored.Len(), restored.Blocks(), p.Len(), p.Blocks())
+	}
+	got := restored.Refs()
+	for i := range refs {
+		if got[i] != refs[i] {
+			t.Fatalf("ref %d = %+v, want %+v", i, got[i], refs[i])
+		}
+	}
+	if restored.PackedBytes() != p.PackedBytes() {
+		t.Fatalf("restored packed bytes %d, want %d", restored.PackedBytes(), p.PackedBytes())
+	}
+}
+
+// TestAppendEncodedBlockClampsCapacity asserts the aliased slice can never
+// be grown in place: appending to the restored stream must reallocate
+// rather than write into (possibly read-only mmap'd) donor bytes.
+func TestAppendEncodedBlockClampsCapacity(t *testing.T) {
+	donor := make([]byte, 8, 64) // spare capacity a naive alias would reuse
+	var p Packed
+	p.Access(Ref{Addr: 42, Size: 64})
+	enc, n := p.EncodedBlock(0)
+	copy(donor, enc)
+	donor = donor[:len(enc)]
+
+	var restored Packed
+	restored.AppendEncodedBlock(donor, n)
+	data, _ := restored.EncodedBlock(0)
+	if cap(data) != len(data) {
+		t.Fatalf("restored block capacity %d > length %d; appends could scribble on donor bytes",
+			cap(data), len(data))
+	}
+}

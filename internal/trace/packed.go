@@ -205,6 +205,31 @@ func (p *Packed) DecodeBlock(i int, buf []Ref) []Ref {
 	return buf
 }
 
+// EncodedBlock returns block i's encoded bytes and reference count — the
+// unit the persistence layer (internal/store) content-addresses and writes
+// to segment files. The returned slice aliases the stream's resident bytes;
+// callers must not modify it.
+func (p *Packed) EncodedBlock(i int) (data []byte, n int) {
+	b := &p.blocks[i]
+	return b.data, b.n
+}
+
+// AppendEncodedBlock appends one already-encoded block of n references,
+// e.g. bytes mapped back from an on-disk segment. The slice is aliased, not
+// copied (capacity is clamped so later appends can never scribble on it —
+// the bytes may be a read-only mmap), which is the zero-copy handoff that
+// lets a restored stream decode straight out of the page cache.
+//
+// A Packed reassembled this way is for decoding: calling Access after
+// appending a partial (non-BlockRefs) encoded block would resume that
+// block with a reset encoder context and corrupt it, so restored streams
+// must be treated as read-only.
+func (p *Packed) AppendEncodedBlock(data []byte, n int) {
+	p.blocks = append(p.blocks, packedBlock{data: data[:len(data):len(data)], n: n})
+	p.n += n
+	p.prevAddr, p.prevSize = 0, 0
+}
+
 // Batches decodes the stream block by block into buf and passes each batch
 // to fn, in stream order. It implements Stream.
 func (p *Packed) Batches(buf []Ref, fn func([]Ref) error) error {
