@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build vet test bench repro sweep clean race bench-json bench-compare doccheck chaos
+.PHONY: all build vet test bench repro sweep clean race bench-json bench-compare doccheck catalogcheck chaos
 
-all: build vet test doccheck
+all: build vet test doccheck catalogcheck
 
 build:
 	$(GO) build ./...
@@ -54,7 +54,13 @@ chaos:
 # Godoc hygiene: every package needs a package comment; the listed
 # packages additionally need doc comments on every exported symbol.
 doccheck:
-	$(GO) run ./cmd/doccheck -exported internal/serve,internal/exp,internal/obs,internal/design,internal/trace,internal/cache,internal/core,internal/fault,internal/store .
+	$(GO) run ./cmd/doccheck -exported internal/serve,internal/exp,internal/obs,internal/design,internal/trace,internal/cache,internal/core,internal/fault,internal/store,internal/tech .
+
+# Schema-validate the embedded builtin catalog and every example catalog
+# file (hybridmem-catalog/1, see FORMATS.md).
+catalogcheck:
+	$(GO) run ./cmd/catalogcheck
+	$(GO) run ./cmd/catalogcheck examples/catalogs/*.json
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 repro:

@@ -1,0 +1,65 @@
+// Command catalogcheck validates technology catalog files against the
+// hybridmem-catalog/1 schema (FORMATS.md) without running anything: it
+// parses each file exactly as the servers and CLIs would, additionally
+// checks that a design registry can be built from it (so the fixed SRAM
+// and DRAM roles resolve), and prints each catalog's identity line.
+//
+// Usage:
+//
+//	catalogcheck                          # validate the embedded builtin
+//	catalogcheck examples/catalogs/*.json # validate catalog files
+//	catalogcheck -dump-builtin            # print the embedded builtin JSON
+//
+// Exit status is non-zero if any file fails validation, making the command
+// suitable as a CI gate (make catalogcheck) and as a pre-flight check
+// before pointing memsimd -catalog at an edited file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hybridmem/internal/design"
+	"hybridmem/internal/tech"
+)
+
+func main() {
+	dump := flag.Bool("dump-builtin", false, "print the embedded builtin catalog JSON to stdout and exit")
+	quiet := flag.Bool("q", false, "suppress per-catalog identity lines; report only failures")
+	flag.Parse()
+
+	if *dump {
+		os.Stdout.Write(tech.BuiltinJSON())
+		return
+	}
+
+	failed := 0
+	check := func(label string, cat *tech.Catalog, err error) {
+		if err == nil {
+			_, err = design.NewRegistry(cat)
+		}
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "catalogcheck: %s: %v\n", label, err)
+			return
+		}
+		if !*quiet {
+			fmt.Printf("%s: ok — %s/%s hash=%s techs=%d extensions=%d\n",
+				label, cat.Name(), cat.Version(), cat.Hash(), cat.Len(), len(cat.Extensions()))
+		}
+	}
+
+	if flag.NArg() == 0 {
+		cat, err := tech.ParseCatalog(tech.BuiltinJSON())
+		check("builtin", cat, err)
+	}
+	for _, path := range flag.Args() {
+		cat, err := tech.LoadCatalog(path)
+		check(path, cat, err)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "catalogcheck: %d of %d failed\n", failed, max(flag.NArg(), 1))
+		os.Exit(1)
+	}
+}

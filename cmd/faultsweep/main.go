@@ -44,7 +44,8 @@ import (
 func main() {
 	var (
 		wl        = flag.String("workload", "Graph500", "workload to sweep")
-		nvmName   = flag.String("nvm", "PCM", "NVM technology (PCM, STTRAM, FeRAM)")
+		nvmName   = flag.String("nvm", "PCM", "NVM technology (PCM, STTRAM, FeRAM, or any catalog nvm entry)")
+		catalogF  = flag.String("catalog", "", "technology catalog file (hybridmem-catalog/1 JSON; empty = builtin Table 1; see FORMATS.md)")
 		scale     = flag.Uint64("scale", design.DefaultScale, "capacity co-scaling divisor")
 		wScale    = flag.Uint64("workload-scale", 0, "workload footprint divisor (0 = scale)")
 		iters     = flag.Int("iters", 0, "workload iteration override (0 = default)")
@@ -60,7 +61,11 @@ func main() {
 
 	rates, err := parseRates(*bers)
 	exitOn(err)
-	nvm, err := tech.ByName(*nvmName)
+	cat, err := tech.LoadCatalogOrBuiltin(*catalogF)
+	exitOn(err)
+	reg, err := design.NewRegistry(cat)
+	exitOn(err)
+	nvm, err := cat.Tech(*nvmName)
 	exitOn(err)
 
 	logw, closeLog, err := obs.OpenSink(*runlog, os.Stderr)
@@ -78,20 +83,21 @@ func main() {
 	exitOn(err)
 	fmt.Fprintf(os.Stderr, "faultsweep: profiling %s...\n", *wl)
 	stopProfile := stages.Time("profile")
-	wp, err := exp.ProfileWorkloadOpts(ctx, w, exp.ProfileOptions{Scale: *scale, Log: logger})
+	wp, err := exp.ProfileWorkloadOpts(ctx, w, exp.ProfileOptions{Scale: *scale, Catalog: cat, Log: logger})
 	stopProfile()
 	exitOn(err)
 
 	backends := []design.Backend{}
-	for _, cfg := range design.NConfigs {
-		backends = append(backends, design.NMM(cfg, nvm, *scale, wp.Footprint))
+	for _, cfg := range reg.NConfigs() {
+		backends = append(backends, reg.NMMWith(cfg, nvm, *scale, wp.Footprint))
 	}
 	if *withNDM {
 		cands := ndm.Candidates(wp.Regions, 0, 3)
 		profiled, _ := ndm.Profile(cands, wp.Boundary)
 		p := ndm.WriteAwarePlacement(profiled, design.NDMDRAMCapacity / *scale)
-		backends = append(backends,
-			design.NDM(nvm, p.NVMRanges(), p.NVMBytes(), wp.Footprint, "write-aware"))
+		b, err := reg.NDM(nvm.Name, p.NVMRanges(), p.NVMBytes(), wp.Footprint, "write-aware")
+		exitOn(err)
+		backends = append(backends, b)
 	}
 
 	// The whole (configuration x error-rate) grid replays one workload's

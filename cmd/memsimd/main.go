@@ -47,6 +47,7 @@ import (
 	"hybridmem/internal/obs"
 	"hybridmem/internal/serve"
 	"hybridmem/internal/store"
+	"hybridmem/internal/tech"
 )
 
 func main() {
@@ -60,6 +61,7 @@ func main() {
 		warmScale  = flag.Uint64("warm-scale", 0, "design scale for the warmup profile (0 = default)")
 		warmWScale = flag.Uint64("warm-workload-scale", 0, "workload footprint divisor for the warmup profile (0 = co-scale with -warm-scale)")
 		storeDir   = flag.String("store", "", "directory for the durable result/profile store (empty = in-memory only)")
+		catalogF   = flag.String("catalog", "", "technology catalog file to serve (hybridmem-catalog/1 JSON; empty = builtin Table 1; see FORMATS.md)")
 		runlog     = flag.String("runlog", "", `write structured JSONL run events here ("-" = stderr)`)
 		drainFor   = flag.Duration("drain", 30*time.Second, "max time to wait for in-flight evaluations on shutdown")
 
@@ -88,6 +90,12 @@ func main() {
 	exitOn(err)
 	defer closeLog()
 	logger := obs.NewLogger(logw)
+
+	cat, err := tech.LoadCatalogOrBuiltin(*catalogF)
+	exitOn(err)
+	logger.Event("catalog", obs.Fields{
+		"name": cat.Name(), "version": cat.Version(), "hash": cat.Hash(), "techs": cat.Len(),
+	})
 
 	var chaos *fault.ServicePlan
 	if *chaosPanic > 0 || *chaosTransient > 0 {
@@ -135,6 +143,7 @@ func main() {
 		Retry:        fault.RetryPolicy{Attempts: *retryN, BaseDelay: *retryBase},
 		Chaos:        chaos,
 		Store:        st,
+		Catalog:      cat,
 		Log:          logger,
 	})
 
@@ -155,7 +164,7 @@ func main() {
 				Scale:         *warmScale,
 				WorkloadScale: *warmWScale,
 			}
-			if err := warmup(ev, &req); err != nil {
+			if err := warmup(ev, cat, &req); err != nil {
 				logger.Warn("warmup failed", obs.Fields{"workload": *warm, "error": err.Error()})
 			} else {
 				logger.Event("warmup_done", obs.Fields{
@@ -191,9 +200,10 @@ func main() {
 }
 
 // warmup profiles the warm flag's workload through the evaluator so the
-// first real request hits a warm profile cache.
-func warmup(ev *serve.Evaluator, req *serve.EvalRequest) error {
-	if apiErr := req.Normalize(); apiErr != nil {
+// first real request hits a warm profile cache. It normalizes against the
+// serving catalog so the warmed profile key matches real traffic.
+func warmup(ev *serve.Evaluator, cat *tech.Catalog, req *serve.EvalRequest) error {
+	if apiErr := req.NormalizeWith(cat); apiErr != nil {
 		return apiErr
 	}
 	_, err := ev.Evaluate(context.Background(), req)

@@ -43,7 +43,8 @@ func main() {
 		scale     = flag.Uint64("scale", design.DefaultScale, "capacity co-scaling divisor (power of two, 1-64)")
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all)")
 		llcName   = flag.String("llc", "eDRAM", "LLC technology for figures 3-6 (eDRAM or HMC)")
-		nvmName   = flag.String("nvm", "PCM", "NVM technology for figures 1-2 and 5-6 (PCM, STTRAM, FeRAM)")
+		nvmName   = flag.String("nvm", "PCM", "NVM technology for figures 1-2 and 5-6 (PCM, STTRAM, FeRAM, or any catalog nvm entry)")
+		catalogF  = flag.String("catalog", "", "technology catalog file (hybridmem-catalog/1 JSON; empty = builtin Table 1; see FORMATS.md)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		dilution  = flag.Int("dilution", 0, "L1-hit dilution factor (0 = default)")
 		workers   = flag.Int("workers", 0, "replay worker bound; same-workload design points within the bound share each block decode (0 = GOMAXPROCS)")
@@ -75,20 +76,22 @@ func main() {
 	logger := obs.NewLogger(logw)
 	ctx, _, stages := obs.NewRunContext(context.Background())
 
-	llc, err := tech.ByName(*llcName)
+	cat, err := tech.LoadCatalogOrBuiltin(*catalogF)
 	exitOn(err)
-	nvm, err := tech.ByName(*nvmName)
+	llc, err := cat.Tech(*llcName)
+	exitOn(err)
+	nvm, err := cat.Tech(*nvmName)
 	exitOn(err)
 
 	if *timeseries != "" && *epoch == 0 {
 		*epoch = obs.DefaultEpochRefs
 	}
-	cfg := exp.Config{Scale: *scale, Dilution: *dilution, Workers: *workers, Epoch: *epoch, Log: logger, Ctx: ctx}
+	cfg := exp.Config{Scale: *scale, Dilution: *dilution, Workers: *workers, Epoch: *epoch, Catalog: cat, Log: logger, Ctx: ctx}
 	if *workloads != "" {
 		cfg.Workloads = strings.Split(*workloads, ",")
 	}
 
-	r := &runner{cfg: cfg, llc: llc, nvm: nvm, csv: *csv, log: logger, timeseries: *timeseries}
+	r := &runner{cfg: cfg, cat: cat, llc: llc, nvm: nvm, csv: *csv, log: logger, timeseries: *timeseries}
 
 	runStart := time.Now()
 	logger.EventCtx(ctx, "run_start", obs.Fields{
@@ -132,6 +135,7 @@ func exitOn(err error) {
 // runner caches the profiled suite across multiple tables/figures.
 type runner struct {
 	cfg        exp.Config
+	cat        *tech.Catalog
 	llc        tech.Tech
 	nvm        tech.Tech
 	csv        bool
@@ -220,7 +224,13 @@ func (r *runner) table(n int) error {
 			Title:   "Table 1: Characteristics of different memory technologies",
 			Headers: []string{"Memory Technology", "Read delay (ns)", "Write delay (ns)", "Read energy (pJ/bit)", "Write energy (pJ/bit)", "Static power (W/GB)"},
 		}
-		for _, tc := range []tech.Tech{tech.DRAM, tech.PCM, tech.STTRAM, tech.FeRAM, tech.EDRAM, tech.HMC} {
+		// Catalog entry order is Table 1's row order; the SRAM cache levels
+		// and post-2014 extensions are not part of the paper's table.
+		for _, e := range r.cat.Entries() {
+			if e.Class == tech.ClassSRAM || e.Extension {
+				continue
+			}
+			tc := e.Tech
 			t.AddRow(tc.Name,
 				fmt.Sprintf("%g", tc.ReadNS), fmt.Sprintf("%g", tc.WriteNS),
 				fmt.Sprintf("%g", tc.ReadPJPerBit), fmt.Sprintf("%g", tc.WritePJPerBit),
@@ -334,7 +344,7 @@ func (r *runner) figure(n int) error {
 			fmt.Sprintf("Figure 6: normalized energy, 4LCNVM (%s+%s)", r.llc.Name, r.nvm.Name), r.flcnvm, names, normEnergy))
 	case 7, 8:
 		var rows []exp.Row
-		for _, nvm := range tech.NVMs() {
+		for _, nvm := range r.cat.NVMs() {
 			_, row, err := s.NDM(nvm)
 			if err != nil {
 				return err

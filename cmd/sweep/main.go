@@ -31,6 +31,8 @@ func main() {
 	var (
 		dsgn      = flag.String("design", "all", "design family: nmm, 4lc, 4lcnvm, ndm, all")
 		scale     = flag.Uint64("scale", design.DefaultScale, "capacity co-scaling divisor")
+		catalogF  = flag.String("catalog", "", "technology catalog file (hybridmem-catalog/1 JSON; empty = builtin Table 1; see FORMATS.md)")
+		exts      = flag.Bool("extensions", false, "also sweep post-2014 extension technologies on each axis")
 		workloads = flag.String("workloads", "", "comma-separated workload subset")
 		workers   = flag.Int("workers", 0, "replay worker bound; same-workload design points within the bound share each block decode (0 = GOMAXPROCS)")
 
@@ -64,7 +66,9 @@ func main() {
 	if *timeseries != "" && *epoch == 0 {
 		*epoch = obs.DefaultEpochRefs
 	}
-	cfg := exp.Config{Scale: *scale, Workers: *workers, Epoch: *epoch, Log: logger, Ctx: ctx}
+	cat, err := tech.LoadCatalogOrBuiltin(*catalogF)
+	exitOn(err)
+	cfg := exp.Config{Scale: *scale, Workers: *workers, Epoch: *epoch, Catalog: cat, Log: logger, Ctx: ctx}
 	if *workloads != "" {
 		cfg.Workloads = strings.Split(*workloads, ",")
 	}
@@ -75,32 +79,40 @@ func main() {
 
 	fmt.Println("design,config,tech,workload,norm_time,norm_energy,norm_edp,amat_ns,dynamic_j,static_j")
 
+	// Paper-default axes come from the catalog (identical to the hardcoded
+	// Table 1 sets for the builtin); -extensions widens each axis to every
+	// catalog entry of the class, including post-2014 additions.
+	nvms, llcs := cat.NVMs(), cat.LLCs()
+	if *exts {
+		nvms, llcs = cat.Class(tech.ClassNVM), cat.Class(tech.ClassLLC)
+	}
+
 	run := func(family string) {
 		done := logger.Span("family_sweep", obs.Fields{"family": family})
 		defer done(nil)
 		switch family {
 		case "nmm":
-			for _, nvm := range tech.NVMs() {
+			for _, nvm := range nvms {
 				rows, err := s.NMM(nvm)
 				exitOn(err)
 				emit("NMM", nvm.Name, s, rows)
 			}
 		case "4lc":
-			for _, llc := range tech.LLCs() {
+			for _, llc := range llcs {
 				rows, err := s.FourLC(llc)
 				exitOn(err)
 				emit("4LC", llc.Name, s, rows)
 			}
 		case "4lcnvm":
-			for _, llc := range tech.LLCs() {
-				for _, nvm := range tech.NVMs() {
+			for _, llc := range llcs {
+				for _, nvm := range nvms {
 					rows, err := s.FourLCNVM(llc, nvm)
 					exitOn(err)
 					emit("4LCNVM", llc.Name+"+"+nvm.Name, s, rows)
 				}
 			}
 		case "ndm":
-			for _, nvm := range tech.NVMs() {
+			for _, nvm := range nvms {
 				results, _, err := s.NDM(nvm)
 				exitOn(err)
 				for _, res := range results {

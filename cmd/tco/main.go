@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -32,16 +33,23 @@ func main() {
 	var (
 		wlName = flag.String("workload", "Hashing", "workload name")
 		scale  = flag.Uint64("scale", design.DefaultScale, "capacity co-scaling divisor")
+		catF   = flag.String("catalog", "", "technology catalog file (hybridmem-catalog/1 JSON; empty = builtin Table 1; see FORMATS.md)")
 		years  = flag.Float64("years", 5, "deployment lifetime in years")
 		kwh    = flag.Float64("kwh", 0.12, "electricity price, $/kWh")
 		duty   = flag.Float64("duty", 0.7, "duty cycle (fraction of lifetime under load)")
 	)
 	flag.Parse()
 
+	cat, err := tech.LoadCatalogOrBuiltin(*catF)
+	exitOn(err)
+	reg, err := design.NewRegistry(cat)
+	exitOn(err)
+
 	w, err := catalog.New(*wlName, workload.Options{Scale: *scale})
 	exitOn(err)
 	fmt.Fprintf(os.Stderr, "profiling %s...\n", *wlName)
-	wp, err := exp.ProfileWorkload(w, *scale, exp.DefaultDilution)
+	wp, err := exp.ProfileWorkloadOpts(context.Background(), w,
+		exp.ProfileOptions{Scale: *scale, Dilution: exp.DefaultDilution, Catalog: cat})
 	exitOn(err)
 
 	params := cost.DefaultParams()
@@ -49,12 +57,16 @@ func main() {
 	params.EnergyDollarsPerKWh = *kwh
 	params.DutyCycle = *duty
 
+	mk := func(b design.Backend, err error) design.Backend {
+		exitOn(err)
+		return b
+	}
 	backends := []design.Backend{
-		design.Reference(wp.Footprint),
-		design.NMM(design.NConfigs[5], tech.PCM, *scale, wp.Footprint),
-		design.NMM(design.NConfigs[5], tech.STTRAM, *scale, wp.Footprint),
-		design.FourLC(design.EHConfigs[0], tech.EDRAM, *scale, wp.Footprint),
-		design.FourLCNVM(design.EHConfigs[2], tech.EDRAM, tech.PCM, *scale, wp.Footprint),
+		reg.Reference(wp.Footprint),
+		mk(reg.NMM("N6", "PCM", *scale, wp.Footprint)),
+		mk(reg.NMM("N6", "STTRAM", *scale, wp.Footprint)),
+		mk(reg.FourLC("EH1", "eDRAM", *scale, wp.Footprint)),
+		mk(reg.FourLCNVM("EH3", "eDRAM", "PCM", *scale, wp.Footprint)),
 	}
 
 	var labelled []cost.Labelled

@@ -45,6 +45,11 @@ type MemorySpec struct {
 	NVMCapacity uint64
 	// DRAMCapacity is the DRAM partition size.
 	DRAMCapacity uint64
+	// DRAMTech is the DRAM partition's technology. The zero value (empty
+	// Name) selects the package default tech.DRAM, preserving the
+	// pre-catalog behaviour; registry-built NDM backends set it from
+	// their catalog.
+	DRAMTech tech.Tech
 
 	// RowBuffer selects the open-page row-buffer timing refinement for
 	// the (uniform) terminal instead of the paper's flat latency; see
@@ -95,9 +100,13 @@ func (b Backend) components(prefix []core.Level) ([]core.Level, core.Memory, err
 	var mem core.Memory
 	switch {
 	case b.Memory.Partitioned:
+		dram := b.Memory.DRAMTech
+		if dram.Name == "" {
+			dram = tech.DRAM
+		}
 		pm, err := core.NewPartitionedMemory(b.Memory.NVMRanges,
 			"NVM("+b.Memory.NVMTech.Name+")", b.Memory.NVMTech, b.Memory.NVMCapacity,
-			"DRAM-part", tech.DRAM, b.Memory.DRAMCapacity)
+			"DRAM-part", dram, b.Memory.DRAMCapacity)
 		if err != nil {
 			return nil, nil, fmt.Errorf("design %s: %w", b.Name, err)
 		}
@@ -137,9 +146,15 @@ func (b Backend) WithRowBuffer() Backend {
 // workload footprint, directly below L3 ("3 on chip SRAM caches followed by
 // a DRAM big enough to support necessary memory footprint").
 func Reference(footprint uint64) Backend {
+	return referenceWith(tech.DRAM, footprint)
+}
+
+// referenceWith is Reference with an explicit DRAM characterization (the
+// registry passes its catalog's).
+func referenceWith(dram tech.Tech, footprint uint64) Backend {
 	return Backend{
 		Name:   "reference",
-		Memory: MemorySpec{Name: "DRAM", Tech: tech.DRAM, Capacity: footprint},
+		Memory: MemorySpec{Name: "DRAM", Tech: dram, Capacity: footprint},
 	}
 }
 
@@ -147,13 +162,18 @@ func Reference(footprint uint64) Backend {
 // cache (Table 2 configuration cfg, capacities divided by scale) in front of
 // footprint-sized DRAM.
 func FourLC(cfg EHConfig, llc tech.Tech, scale, footprint uint64) Backend {
+	return fourLCWith(cfg, llc, tech.DRAM, scale, footprint)
+}
+
+// fourLCWith is FourLC with an explicit DRAM characterization.
+func fourLCWith(cfg EHConfig, llc, dram tech.Tech, scale, footprint uint64) Backend {
 	return Backend{
 		Name: fmt.Sprintf("4LC/%s/%s", cfg.Name, llc.Name),
 		Caches: []LevelSpec{{
 			Name: llc.Name + "-L4", Tech: llc,
 			Size: cfg.Capacity / scale, Line: cfg.PageSize, Assoc: pageCacheAssoc,
 		}},
-		Memory: MemorySpec{Name: "DRAM", Tech: tech.DRAM, Capacity: footprint},
+		Memory: MemorySpec{Name: "DRAM", Tech: dram, Capacity: footprint},
 	}
 }
 
@@ -161,10 +181,15 @@ func FourLC(cfg EHConfig, llc tech.Tech, scale, footprint uint64) Backend {
 // configuration cfg, capacity divided by scale) in front of footprint-sized
 // NVM.
 func NMM(cfg NConfig, nvm tech.Tech, scale, footprint uint64) Backend {
+	return nmmWith(cfg, nvm, tech.DRAM, scale, footprint)
+}
+
+// nmmWith is NMM with an explicit DRAM characterization for the cache.
+func nmmWith(cfg NConfig, nvm, dram tech.Tech, scale, footprint uint64) Backend {
 	return Backend{
 		Name: fmt.Sprintf("NMM/%s/%s", cfg.Name, nvm.Name),
 		Caches: []LevelSpec{{
-			Name: "DRAM$", Tech: tech.DRAM,
+			Name: "DRAM$", Tech: dram,
 			Size: cfg.Capacity / scale, Line: cfg.PageSize, Assoc: pageCacheAssoc,
 		}},
 		Memory: MemorySpec{Name: "NVM(" + nvm.Name + ")", Tech: nvm, Capacity: footprint},

@@ -34,7 +34,7 @@ func (s *Suite) DynamicNDM(nvm tech.Tech, cfg ndm.DynamicConfig) (DynamicNDMRow,
 		if err != nil {
 			return DynamicNDMRow{}, fmt.Errorf("exp: dynamic NDM on %s: %w", wp.Name, err)
 		}
-		modules := dynamicModules(res, nvm, c.DRAMBudget, wp.Footprint)
+		modules := dynamicModules(res, nvm, s.reg.DRAM(), c.DRAMBudget, wp.Footprint)
 		ev, err := wp.EvaluateProfile(fmt.Sprintf("%s/%s", label, wp.Name), modules)
 		if err != nil {
 			return DynamicNDMRow{}, err
@@ -49,7 +49,7 @@ func (s *Suite) DynamicNDM(nvm tech.Tech, cfg ndm.DynamicConfig) (DynamicNDMRow,
 // dynamicModules converts a dynamic simulation's traffic split into the two
 // memory-module snapshots the model consumes. The DRAM partition is sized
 // at its budget; the NVM holds the remainder of the footprint.
-func dynamicModules(res ndm.DynamicResult, nvm tech.Tech, dramBudget, footprint uint64) []core.LevelStats {
+func dynamicModules(res ndm.DynamicResult, nvm, dram tech.Tech, dramBudget, footprint uint64) []core.LevelStats {
 	nvmCap := uint64(0)
 	if footprint > res.ResidentDRAMBytes {
 		nvmCap = footprint - res.ResidentDRAMBytes
@@ -64,6 +64,6 @@ func dynamicModules(res ndm.DynamicResult, nvm tech.Tech, dramBudget, footprint 
 	}
 	return []core.LevelStats{
 		mk("NVM("+nvm.Name+")", nvm, nvmCap, res.NVM),
-		mk("DRAM-part", tech.DRAM, dramBudget, res.DRAM),
+		mk("DRAM-part", dram, dramBudget, res.DRAM),
 	}
 }

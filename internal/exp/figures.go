@@ -27,7 +27,7 @@ func (s *Suite) NMM(nvm tech.Tech) ([]Row, error) {
 	for _, cfg := range design.NConfigs {
 		labels = append(labels, cfg.Name)
 		backends = append(backends, s.backendsPerWorkload(func(footprint uint64) design.Backend {
-			return design.NMM(cfg, nvm, s.Cfg.Scale, footprint)
+			return s.reg.NMMWith(cfg, nvm, s.Cfg.Scale, footprint)
 		})...)
 	}
 	return s.run(labels, backends)
@@ -41,7 +41,7 @@ func (s *Suite) FourLC(llc tech.Tech) ([]Row, error) {
 	for _, cfg := range design.EHConfigs {
 		labels = append(labels, cfg.Name)
 		backends = append(backends, s.backendsPerWorkload(func(footprint uint64) design.Backend {
-			return design.FourLC(cfg, llc, s.Cfg.Scale, footprint)
+			return s.reg.FourLCWith(cfg, llc, s.Cfg.Scale, footprint)
 		})...)
 	}
 	return s.run(labels, backends)
@@ -128,7 +128,7 @@ func (s *Suite) NDM(nvm tech.Tech) ([]NDMResult, Row, error) {
 		res := NDMResult{Workload: wp.Name, Placements: placements, Chosen: -1}
 		fallback := -1
 		for _, p := range placements {
-			modules := ndmModules(p, profiled, other, nvm, wp.Footprint)
+			modules := ndmModules(p, profiled, other, nvm, s.reg.DRAM(), wp.Footprint)
 			ev, err := wp.EvaluateProfile(fmt.Sprintf("NDM/%s/%s", nvm.Name, p.Label), modules)
 			if err != nil {
 				return nil, Row{}, err
@@ -155,7 +155,7 @@ func (s *Suite) NDM(nvm tech.Tech) ([]NDMResult, Row, error) {
 
 // ndmModules builds the partitioned memory's two module snapshots
 // analytically from the profiled per-range traffic.
-func ndmModules(p ndm.Placement, all []ndm.RangeStats, other ndm.RangeStats, nvm tech.Tech, footprint uint64) []core.LevelStats {
+func ndmModules(p ndm.Placement, all []ndm.RangeStats, other ndm.RangeStats, nvm, dram tech.Tech, footprint uint64) []core.LevelStats {
 	nvmLoads, nvmStores, nvmLB, nvmSB := p.Traffic()
 
 	var totLoads, totStores, totLB, totSB uint64
@@ -184,7 +184,7 @@ func ndmModules(p ndm.Placement, all []ndm.RangeStats, other ndm.RangeStats, nvm
 	nvmModule.Stats.LoadBits = nvmLB
 	nvmModule.Stats.StoreBits = nvmSB
 
-	dramModule := core.LevelStats{Name: "DRAM-part", Tech: tech.DRAM, Capacity: dramBytes}
+	dramModule := core.LevelStats{Name: "DRAM-part", Tech: dram, Capacity: dramBytes}
 	dramModule.Stats.Loads = totLoads - nvmLoads
 	dramModule.Stats.LoadHits = totLoads - nvmLoads
 	dramModule.Stats.Stores = totStores - nvmStores

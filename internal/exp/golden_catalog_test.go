@@ -1,0 +1,217 @@
+package exp
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hybridmem/internal/design"
+	"hybridmem/internal/model"
+	"hybridmem/internal/tech"
+	"hybridmem/internal/workload"
+	"hybridmem/internal/workload/catalog"
+)
+
+// updateGolden regenerates the pre-refactor Table 2/3 fixture from the
+// hardcoded (package-variable) design path. The committed fixture was
+// generated before the catalog refactor landed; regenerate it only when the
+// legacy path itself intentionally changes.
+var updateGolden = flag.Bool("update-golden", false, "regenerate testdata/golden_table23.json from the hardcoded design path")
+
+// goldenPath is the committed fixture location.
+const goldenPath = "testdata/golden_table23.json"
+
+// goldenScale and goldenWorkloadScale shrink the fixture run to test size
+// while keeping every Table 2/3 design shape intact.
+const (
+	goldenScale         = 64
+	goldenWorkloadScale = 2048
+	goldenWorkload      = "CG"
+)
+
+// goldenCase is one fixture row: a design-point label and its evaluation.
+type goldenCase struct {
+	Label string           `json:"label"`
+	Eval  model.Evaluation `json:"eval"`
+}
+
+// goldenProfile profiles the fixture workload exactly as the fixture
+// generator did.
+func goldenProfile(t *testing.T) *WorkloadProfile {
+	t.Helper()
+	w, err := catalog.New(goldenWorkload, workload.Options{Scale: goldenWorkloadScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp, err := ProfileWorkload(w, goldenScale, DefaultDilution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wp
+}
+
+// legacyTable23Backends enumerates every Table 2/3 design point through the
+// hardcoded constructors and package technology variables — the
+// pre-catalog-refactor path the fixture pins.
+func legacyTable23Backends(footprint uint64) []design.Backend {
+	var out []design.Backend
+	for _, cfg := range design.EHConfigs {
+		for _, llc := range []tech.Tech{tech.EDRAM, tech.HMC} {
+			out = append(out, design.FourLC(cfg, llc, goldenScale, footprint))
+		}
+	}
+	for _, cfg := range design.NConfigs {
+		for _, nvm := range []tech.Tech{tech.PCM, tech.STTRAM, tech.FeRAM} {
+			out = append(out, design.NMM(cfg, nvm, goldenScale, footprint))
+		}
+	}
+	for _, cfg := range design.EHConfigs {
+		for _, llc := range []tech.Tech{tech.EDRAM, tech.HMC} {
+			for _, nvm := range []tech.Tech{tech.PCM, tech.STTRAM, tech.FeRAM} {
+				out = append(out, design.FourLCNVM(cfg, llc, nvm, goldenScale, footprint))
+			}
+		}
+	}
+	return out
+}
+
+// evaluateAll replays the profiled stream into each backend serially (width-1
+// fan-out; TestFanoutMatchesSerial pins the wider paths to this one).
+func evaluateAll(t *testing.T, wp *WorkloadProfile, backends []design.Backend) []goldenCase {
+	t.Helper()
+	out := make([]goldenCase, len(backends))
+	for i, b := range backends {
+		ev, err := wp.EvaluateCtx(context.Background(), b)
+		if err != nil {
+			t.Fatalf("evaluate %s: %v", b.Name, err)
+		}
+		out[i] = goldenCase{Label: b.Name, Eval: ev}
+	}
+	return out
+}
+
+// TestGoldenTable23Fixture pins the hardcoded design path to the committed
+// pre-refactor fixture: every Table 2/3 design point's evaluation of the
+// fixture workload must be struct-equal to the fixture row. With
+// -update-golden it regenerates the fixture instead.
+func TestGoldenTable23Fixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixture replay in -short mode")
+	}
+	wp := goldenProfile(t)
+	got := evaluateAll(t, wp, legacyTable23Backends(wp.Footprint))
+
+	if *updateGolden {
+		b, err := json.MarshalIndent(got, "", "\t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d cases to %s", len(got), goldenPath)
+		return
+	}
+
+	want := readGolden(t)
+	compareGolden(t, want, got, "hardcoded")
+}
+
+// registryTable23Backends enumerates the same Table 2/3 design points
+// through the catalog-backed registry, by name.
+func registryTable23Backends(t *testing.T, r *design.Registry, footprint uint64) []design.Backend {
+	t.Helper()
+	build := func(b design.Backend, err error) design.Backend {
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	var out []design.Backend
+	for _, cfg := range r.EHConfigs() {
+		for _, llc := range []string{"eDRAM", "HMC"} {
+			out = append(out, build(r.FourLC(cfg.Name, llc, goldenScale, footprint)))
+		}
+	}
+	for _, cfg := range r.NConfigs() {
+		for _, nvm := range []string{"PCM", "STTRAM", "FeRAM"} {
+			out = append(out, build(r.NMM(cfg.Name, nvm, goldenScale, footprint)))
+		}
+	}
+	for _, cfg := range r.EHConfigs() {
+		for _, llc := range []string{"eDRAM", "HMC"} {
+			for _, nvm := range []string{"PCM", "STTRAM", "FeRAM"} {
+				out = append(out, build(r.FourLCNVM(cfg.Name, llc, nvm, goldenScale, footprint)))
+			}
+		}
+	}
+	return out
+}
+
+// TestGoldenCatalogEquivalence is the refactor's acceptance gate: building
+// every Table 2/3 design point by name through the embedded catalog and
+// registry must reproduce the committed pre-refactor fixture struct-for-
+// struct. The backends themselves must also be deep-equal to the hardcoded
+// constructors' output, so the equivalence holds at the spec level, not just
+// in the aggregated metrics.
+func TestGoldenCatalogEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixture replay in -short mode")
+	}
+	wp := goldenProfile(t)
+	r := design.DefaultRegistry()
+
+	legacy := legacyTable23Backends(wp.Footprint)
+	viaCatalog := registryTable23Backends(t, r, wp.Footprint)
+	if len(legacy) != len(viaCatalog) {
+		t.Fatalf("registry enumerates %d design points, hardcoded path %d", len(viaCatalog), len(legacy))
+	}
+	for i := range legacy {
+		if !reflect.DeepEqual(legacy[i], viaCatalog[i]) {
+			t.Errorf("%s: registry backend diverges from hardcoded constructor\n got %+v\nwant %+v",
+				legacy[i].Name, viaCatalog[i], legacy[i])
+		}
+	}
+
+	got := evaluateAll(t, wp, viaCatalog)
+	compareGolden(t, readGolden(t), got, "catalog")
+}
+
+// readGolden loads the committed fixture.
+func readGolden(t *testing.T) []goldenCase {
+	t.Helper()
+	b, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read fixture (regenerate with -update-golden): %v", err)
+	}
+	var want []goldenCase
+	if err := json.Unmarshal(b, &want); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// compareGolden asserts got is struct-equal to the fixture, case by case.
+func compareGolden(t *testing.T, want, got []goldenCase, path string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s path: %d cases, fixture has %d", path, len(got), len(want))
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.Label != w.Label {
+			t.Errorf("case %d: %s path label %q, fixture %q", i, path, g.Label, w.Label)
+			continue
+		}
+		if g.Eval != w.Eval {
+			t.Errorf("%s: %s path evaluation diverges from fixture\n got %+v\nwant %+v", w.Label, path, g.Eval, w.Eval)
+		}
+	}
+}

@@ -48,7 +48,7 @@ var HeatmapConfig = design.NConfig{Name: "N6", Capacity: 512 << 20, PageSize: 51
 func (s *Suite) heatmapProfiles() ([]heatmapProfile, error) {
 	out := make([]heatmapProfile, len(s.Profiles))
 	for i, wp := range s.Profiles {
-		b := design.NMM(HeatmapConfig, tech.DRAM, s.Cfg.Scale, wp.Footprint)
+		b := s.reg.NMMWith(HeatmapConfig, s.reg.DRAM(), s.Cfg.Scale, wp.Footprint)
 		b.Name = "heatmap/N6"
 		built, err := b.Build()
 		if err != nil {

@@ -22,6 +22,7 @@ import (
 	"hybridmem/internal/fault"
 	"hybridmem/internal/model"
 	"hybridmem/internal/obs"
+	"hybridmem/internal/tech"
 	"hybridmem/internal/trace"
 	"hybridmem/internal/workload"
 	"hybridmem/internal/workload/catalog"
@@ -64,6 +65,11 @@ type Config struct {
 	// Log receives structured JSONL run events (workload profiling spans,
 	// per-design-point timing and throughput). Nil disables logging.
 	Log *obs.Logger
+	// Catalog selects the technology catalog backing the suite: the shared
+	// SRAM prefix, the reference DRAM, and the implicit DRAM in every
+	// figure sweep resolve from it. Nil means the builtin catalog
+	// (byte-for-byte the paper's Table 1).
+	Catalog *tech.Catalog
 }
 
 // DefaultDilution is the default ratio of untraced (always-L1-hit)
@@ -143,6 +149,17 @@ type ProfileOptions struct {
 	Epoch uint64
 	// Log receives profiling spans and later per-design-point events.
 	Log *obs.Logger
+	// Catalog backs the SRAM prefix and reference DRAM. Nil means the
+	// builtin catalog.
+	Catalog *tech.Catalog
+}
+
+// registryFor resolves a catalog (nil = builtin) to a design registry.
+func registryFor(cat *tech.Catalog) (*design.Registry, error) {
+	if cat == nil {
+		return design.DefaultRegistry(), nil
+	}
+	return design.NewRegistry(cat)
 }
 
 // ProfileWorkload runs w once through the shared SRAM prefix, recording the
@@ -167,7 +184,11 @@ func ProfileWorkload(w workload.Workload, scale uint64, dilution int) (*Workload
 // shared; see serve.Evaluator).
 func ProfileWorkloadOpts(ctx context.Context, w workload.Workload, opt ProfileOptions) (wp *WorkloadProfile, err error) {
 	defer fault.RecoverTo(&err, "profile "+w.Name())
-	prefix, err := design.BuildPrefix(opt.Scale)
+	reg, err := registryFor(opt.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	prefix, err := reg.BuildPrefix(opt.Scale)
 	if err != nil {
 		return nil, err
 	}
@@ -225,7 +246,7 @@ func ProfileWorkloadOpts(ctx context.Context, w workload.Workload, opt ProfileOp
 		wp.TotalRefs += extra
 	}
 
-	refBackend, err := design.Reference(wp.Footprint).Build()
+	refBackend, err := reg.Reference(wp.Footprint).Build()
 	if err != nil {
 		return nil, err
 	}
@@ -360,10 +381,16 @@ type Suite struct {
 	// context.Background()); the figure sweeps pass it to RunJobs so replay
 	// stages and trace IDs accumulate on the run's breakdown.
 	ctx context.Context
+	// reg is the design registry over Config.Catalog (builtin when nil);
+	// every sweep resolves its implicit DRAM through it.
+	reg *design.Registry
 }
 
 // Ctx returns the suite's resolved observability context.
 func (s *Suite) Ctx() context.Context { return s.ctx }
+
+// Registry returns the design registry the suite builds design points with.
+func (s *Suite) Registry() *design.Registry { return s.reg }
 
 // NewSuite builds and profiles the configured workloads.
 func NewSuite(cfg Config) (*Suite, error) {
@@ -372,7 +399,11 @@ func NewSuite(cfg Config) (*Suite, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	s := &Suite{Cfg: cfg, ctx: ctx}
+	reg, err := registryFor(cfg.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	s := &Suite{Cfg: cfg, ctx: ctx, reg: reg}
 	suiteFields := obs.Fields{
 		"workloads": cfg.Workloads, "scale": cfg.Scale, "workload_scale": cfg.WorkloadScale,
 	}
@@ -388,6 +419,7 @@ func NewSuite(cfg Config) (*Suite, error) {
 		stop := obs.TimeStage(ctx, "profile")
 		wp, err := ProfileWorkloadOpts(ctx, w, ProfileOptions{
 			Scale: cfg.Scale, Dilution: cfg.Dilution, Epoch: cfg.Epoch, Log: cfg.Log,
+			Catalog: cfg.Catalog,
 		})
 		stop()
 		if err != nil {

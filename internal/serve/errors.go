@@ -15,8 +15,14 @@ const (
 	CodeUnknownWorkload = "unknown_workload"
 	// CodeUnknownDesign marks an unknown design family or table row.
 	CodeUnknownDesign = "unknown_design"
-	// CodeUnknownTech marks an unknown memory technology name.
+	// CodeUnknownTech marks an unknown memory technology name, or a known
+	// technology requested on a design axis its catalog class does not
+	// serve (e.g. PCM as a fourth-level cache).
 	CodeUnknownTech = "unknown_tech"
+	// CodeCatalogMismatch means the request pinned catalog_version to a
+	// version the server is not serving. Do not retry; re-issue without
+	// the pin or against a server running the expected catalog.
+	CodeCatalogMismatch = "catalog_mismatch"
 	// CodeOverloaded means the in-flight evaluation limit is reached;
 	// retry after the Retry-After header's delay.
 	CodeOverloaded = "overloaded"
@@ -92,7 +98,7 @@ func errField(code, field, msg string) *APIError {
 // httpStatus maps an error code to its HTTP status.
 func httpStatus(code string) int {
 	switch code {
-	case CodeInvalidRequest, CodeUnknownTech:
+	case CodeInvalidRequest, CodeUnknownTech, CodeCatalogMismatch:
 		return http.StatusBadRequest
 	case CodeUnknownWorkload, CodeUnknownDesign:
 		return http.StatusNotFound

@@ -155,9 +155,13 @@ func (e *Evaluator) ReplayedRefs() uint64 { return e.replayedRefs.Load() }
 func (e *Evaluator) ProfilesRun() uint64 { return e.profilesRun.Load() }
 
 // profileKey canonicalizes the profile-cache key: every request field that
-// changes the profiled stream.
+// changes the profiled stream, plus the effective catalog's content hash.
+// The catalog component is deliberately conservative — only the SRAM and
+// reference-DRAM entries actually shape the profiled stream, but keying on
+// the whole-catalog hash guarantees a stale profile is never restored for
+// edited parameters, at worst re-profiling when an unrelated entry changed.
 func profileKey(r *EvalRequest) string {
-	return fmt.Sprintf("%s|s%d|w%d|i%d|d%d", r.Workload, r.Scale, r.WorkloadScale, r.Iters, r.Dilution)
+	return fmt.Sprintf("%s|s%d|w%d|i%d|d%d|c%s", r.Workload, r.Scale, r.WorkloadScale, r.Iters, r.Dilution, r.CatalogHash())
 }
 
 // profile returns the cached profile for the request's workload tuple,
@@ -191,6 +195,7 @@ func (e *Evaluator) profile(ctx context.Context, r *EvalRequest) (*exp.WorkloadP
 		}
 		wp, err := exp.ProfileWorkloadOpts(ctx, w, exp.ProfileOptions{
 			Scale: r.Scale, Dilution: dilution, Log: e.Log,
+			Catalog: r.EffectiveCatalog(),
 		})
 		if err != nil {
 			return nil, err
@@ -318,7 +323,7 @@ func (e *Evaluator) Evaluate(ctx context.Context, r *EvalRequest) (*EvalResult, 
 	if err != nil {
 		return nil, err
 	}
-	b, needsReplay, err := r.Design.backend(r.Scale, wp.Footprint)
+	b, needsReplay, err := r.backend(wp.Footprint)
 	if err != nil {
 		return nil, err
 	}

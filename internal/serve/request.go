@@ -4,7 +4,9 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"hybridmem/internal/design"
@@ -44,6 +46,48 @@ type EvalRequest struct {
 	// design's terminal memory (nil = fault-free). Not valid for the
 	// reference design, which is answered without a replay.
 	Fault *FaultSpec `json:"fault,omitempty"`
+	// CatalogVersion, when set, pins the request to a specific technology
+	// catalog: the request is rejected (CodeCatalogMismatch) unless it
+	// equals the serving catalog's version. Clients that bake expectations
+	// about Table 1 values into their analysis set this to fail fast when
+	// the server is launched with different numbers.
+	CatalogVersion string `json:"catalog_version,omitempty"`
+	// TechOverrides replaces or adds technology characterizations for this
+	// request only, keyed by technology name. Each entry is a complete
+	// characterization (not a patch). Overridden technologies are usable
+	// anywhere a catalog name is: design axes, custom hierarchies, and the
+	// implicit DRAM. Overrides change the effective catalog hash and
+	// therefore the result-cache key.
+	TechOverrides map[string]TechSpec `json:"tech_overrides,omitempty"`
+
+	// effCatalog is the effective catalog the request resolves against:
+	// the serving catalog plus TechOverrides. Set by NormalizeWith.
+	effCatalog *tech.Catalog
+	// effReg builds design points from effCatalog. Set by NormalizeWith.
+	effReg *design.Registry
+	// effHash is effCatalog's content hash, folded into Key. Set by
+	// NormalizeWith.
+	effHash string
+}
+
+// TechSpec is a complete technology characterization in catalog-file field
+// names (see FORMATS.md). Used by EvalRequest.TechOverrides.
+type TechSpec struct {
+	// ReadNS and WriteNS are access latencies in nanoseconds (> 0).
+	ReadNS  float64 `json:"read_ns"`
+	WriteNS float64 `json:"write_ns"`
+	// ReadPJPerBit and WritePJPerBit are dynamic energies (>= 0).
+	ReadPJPerBit  float64 `json:"read_pj_per_bit"`
+	WritePJPerBit float64 `json:"write_pj_per_bit"`
+	// StaticWPerGB and StaticWFixed are static-power coefficients (>= 0).
+	StaticWPerGB float64 `json:"static_w_per_gb,omitempty"`
+	StaticWFixed float64 `json:"static_w_fixed,omitempty"`
+	// NonVolatile marks a technology that retains data unpowered.
+	NonVolatile bool `json:"non_volatile,omitempty"`
+	// Class is the catalog class (sram, dram, llc, nvm). Required for
+	// names new to the catalog; defaults to the overridden entry's class
+	// otherwise.
+	Class string `json:"class,omitempty"`
 }
 
 // FaultSpec parameterizes device-fault injection for one evaluation; see
@@ -207,14 +251,41 @@ var workloadSet = func() map[string]bool {
 	return m
 }()
 
-// Normalize validates the request in place, resolves defaulted fields to
-// their concrete values, and returns the first validation failure as an
-// *APIError (nil on success). After Normalize returns nil the request is
-// fully canonical: two requests asking the same question marshal to
-// identical bytes, which is what makes Key a sound cache key. The HTTP
-// handler normalizes every request; in-process callers (cmd/memsimd's
-// warmup, tests) must do it themselves before Evaluator.Evaluate.
+// Normalize is NormalizeWith against the builtin catalog.
 func (r *EvalRequest) Normalize() *APIError {
+	return r.NormalizeWith(nil)
+}
+
+// NormalizeWith validates the request in place against the given serving
+// catalog (nil = builtin), resolves defaulted fields to their concrete
+// values, and returns the first validation failure as an *APIError (nil on
+// success). After it returns nil the request is fully canonical — two
+// requests asking the same question marshal to identical bytes, and the
+// request carries its effective catalog (serving catalog plus any
+// TechOverrides) and that catalog's content hash, which Key folds into the
+// cache key — so a catalog edit can never serve a stale cached result. The
+// HTTP handler normalizes every request; in-process callers (cmd/memsimd's
+// warmup, tests) must do it themselves before Evaluator.Evaluate.
+func (r *EvalRequest) NormalizeWith(cat *tech.Catalog) *APIError {
+	if cat == nil {
+		cat = tech.Builtin()
+	}
+	if r.CatalogVersion != "" && r.CatalogVersion != cat.Version() {
+		return errField(CodeCatalogMismatch, "catalog_version",
+			fmt.Sprintf("request pins catalog version %q; server is serving %q (%s)",
+				r.CatalogVersion, cat.Version(), cat.Name()))
+	}
+	eff, apiErr := applyOverrides(cat, r.TechOverrides)
+	if apiErr != nil {
+		return apiErr
+	}
+	reg, err := design.NewRegistry(eff)
+	if err != nil {
+		// An override broke a fixed role (e.g. reclassed DRAM): the
+		// request, not the server, is at fault.
+		return errField(CodeInvalidRequest, "tech_overrides", err.Error())
+	}
+	r.effCatalog, r.effReg, r.effHash = eff, reg, eff.Hash()
 	if r.Workload == "" {
 		return errField(CodeInvalidRequest, "workload", "workload is required")
 	}
@@ -261,23 +332,92 @@ func (r *EvalRequest) Normalize() *APIError {
 				"page_bytes must be 0 (default) or a power of two >= 64")
 		}
 	}
-	return r.Design.normalize()
+	return r.Design.normalize(r.effCatalog)
 }
 
-// normalize validates the design spec and resolves defaulted technologies.
-func (d *DesignSpec) normalize() *APIError {
-	checkTech := func(field, name string, allowed []tech.Tech) *APIError {
-		for _, t := range allowed {
-			if t.Name == name {
-				return nil
+// applyOverrides folds TechOverrides into the serving catalog, producing
+// the request's effective catalog. Entries are applied in sorted name order
+// so the derived catalog (and its hash) is deterministic.
+func applyOverrides(cat *tech.Catalog, overrides map[string]TechSpec) (*tech.Catalog, *APIError) {
+	if len(overrides) == 0 {
+		return cat, nil
+	}
+	names := make([]string, 0, len(overrides))
+	for name := range overrides {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	entries := make([]tech.Entry, 0, len(names))
+	for _, name := range names {
+		s := overrides[name]
+		field := "tech_overrides." + name
+		if name == "" {
+			return nil, errField(CodeInvalidRequest, "tech_overrides", "technology name must not be empty")
+		}
+		class := s.Class
+		if class == "" {
+			e, ok := cat.Entry(name)
+			if !ok {
+				return nil, errField(CodeInvalidRequest, field+".class",
+					fmt.Sprintf("%q is new to the catalog; class is required (sram, dram, llc, nvm)", name))
 			}
+			class = e.Class
 		}
-		var names []string
-		for _, t := range allowed {
-			names = append(names, t.Name)
+		t, err := tech.NewCustom(tech.Tech{
+			Name:          name,
+			ReadNS:        s.ReadNS,
+			WriteNS:       s.WriteNS,
+			ReadPJPerBit:  s.ReadPJPerBit,
+			WritePJPerBit: s.WritePJPerBit,
+			StaticWPerGB:  s.StaticWPerGB,
+			StaticWFixed:  s.StaticWFixed,
+			NonVolatile:   s.NonVolatile,
+		})
+		if err != nil {
+			var ve *tech.ValueError
+			if errors.As(err, &ve) {
+				return nil, errField(CodeInvalidRequest, field+"."+ve.Field, ve.Error())
+			}
+			return nil, errField(CodeInvalidRequest, field, err.Error())
 		}
-		return errField(CodeUnknownTech, field,
-			fmt.Sprintf("unknown technology %q (known: %s)", name, strings.Join(names, ", ")))
+		entries = append(entries, tech.Entry{Tech: t, Class: class, Extension: true, Source: "request tech_overrides"})
+	}
+	eff, err := cat.WithEntries(entries...)
+	if err != nil {
+		return nil, errField(CodeInvalidRequest, "tech_overrides", err.Error())
+	}
+	return eff, nil
+}
+
+// normalize validates the design spec against the effective catalog and
+// resolves defaulted and aliased technology names to their canonical
+// spellings (which is what makes the cache key spelling-independent).
+func (d *DesignSpec) normalize(cat *tech.Catalog) *APIError {
+	if cat == nil {
+		cat = tech.Builtin()
+	}
+	// checkTech resolves name on a class axis, returning the canonical
+	// name. Unknown names and known-but-wrong-class names both come back
+	// as CodeUnknownTech listing the axis's legal values (class members,
+	// extensions included).
+	checkTech := func(field, name, class string) (string, *APIError) {
+		known := func() string {
+			var names []string
+			for _, t := range cat.Class(class) {
+				names = append(names, t.Name)
+			}
+			return strings.Join(names, ", ")
+		}
+		t, err := cat.Tech(name)
+		if err != nil {
+			return "", errField(CodeUnknownTech, field,
+				fmt.Sprintf("unknown technology %q (known: %s)", name, known()))
+		}
+		if e, _ := cat.Entry(t.Name); e.Class != class {
+			return "", errField(CodeUnknownTech, field,
+				fmt.Sprintf("technology %q has catalog class %q, not %q (known: %s)", t.Name, e.Class, class, known()))
+		}
+		return t.Name, nil
 	}
 	switch d.Family {
 	case "reference":
@@ -291,9 +431,11 @@ func (d *DesignSpec) normalize() *APIError {
 		if d.LLC == "" {
 			d.LLC = tech.EDRAM.Name
 		}
-		if err := checkTech("design.llc", d.LLC, tech.LLCs()); err != nil {
-			return err
+		name, apiErr := checkTech("design.llc", d.LLC, tech.ClassLLC)
+		if apiErr != nil {
+			return apiErr
 		}
+		d.LLC = name
 		if d.NVM != "" {
 			return errField(CodeInvalidRequest, "design.nvm", "4LC has a DRAM main memory; nvm does not apply")
 		}
@@ -304,9 +446,11 @@ func (d *DesignSpec) normalize() *APIError {
 		if d.NVM == "" {
 			d.NVM = tech.PCM.Name
 		}
-		if err := checkTech("design.nvm", d.NVM, tech.NVMs()); err != nil {
-			return err
+		name, apiErr := checkTech("design.nvm", d.NVM, tech.ClassNVM)
+		if apiErr != nil {
+			return apiErr
 		}
+		d.NVM = name
 		if d.LLC != "" {
 			return errField(CodeInvalidRequest, "design.llc", "NMM has no fourth-level cache; llc does not apply")
 		}
@@ -317,15 +461,19 @@ func (d *DesignSpec) normalize() *APIError {
 		if d.LLC == "" {
 			d.LLC = tech.EDRAM.Name
 		}
-		if err := checkTech("design.llc", d.LLC, tech.LLCs()); err != nil {
-			return err
+		name, apiErr := checkTech("design.llc", d.LLC, tech.ClassLLC)
+		if apiErr != nil {
+			return apiErr
 		}
+		d.LLC = name
 		if d.NVM == "" {
 			d.NVM = tech.PCM.Name
 		}
-		if err := checkTech("design.nvm", d.NVM, tech.NVMs()); err != nil {
-			return err
+		name, apiErr = checkTech("design.nvm", d.NVM, tech.ClassNVM)
+		if apiErr != nil {
+			return apiErr
 		}
+		d.NVM = name
 	case "custom":
 		if d.Custom == nil {
 			return errField(CodeInvalidRequest, "design.custom", `family "custom" requires a custom spec`)
@@ -338,9 +486,11 @@ func (d *DesignSpec) normalize() *APIError {
 		}
 		for i, l := range d.Custom.Caches {
 			field := fmt.Sprintf("design.custom.caches[%d]", i)
-			if _, err := tech.ByName(l.Tech); err != nil {
+			ct, err := cat.Tech(l.Tech)
+			if err != nil {
 				return errField(CodeUnknownTech, field+".tech", err.Error())
 			}
+			d.Custom.Caches[i].Tech = ct.Name
 			if l.SizeBytes == 0 || l.LineBytes == 0 {
 				return errField(CodeInvalidRequest, field, "size_bytes and line_bytes must be > 0")
 			}
@@ -351,9 +501,11 @@ func (d *DesignSpec) normalize() *APIError {
 				return errField(CodeInvalidRequest, field, "assoc and prefetch_next must be >= 0")
 			}
 		}
-		if _, err := tech.ByName(d.Custom.Memory.Tech); err != nil {
+		mt, err := cat.Tech(d.Custom.Memory.Tech)
+		if err != nil {
 			return errField(CodeUnknownTech, "design.custom.memory.tech", err.Error())
 		}
+		d.Custom.Memory.Tech = mt.Name
 	case "":
 		return errField(CodeInvalidRequest, "design.family", "design family is required")
 	default:
@@ -374,13 +526,20 @@ type cacheKeyRequest struct {
 	Iters         int        `json:"iters"`
 	Dilution      int        `json:"dilution"`
 	Fault         *FaultSpec `json:"fault"`
+	// CatalogHash is the effective catalog's content hash. Because
+	// TechOverrides fold into the effective catalog before hashing, this
+	// one field covers both a server launched with an edited catalog file
+	// and per-request overrides: any technology-parameter change anywhere
+	// produces a different key, so a cached or persisted result can never
+	// be served for different numbers.
+	CatalogHash string `json:"catalog_hash"`
 }
 
 // Key returns the canonical cache key of a normalized request: the
 // SHA-256 hex digest of its defaults-resolved (config, workload,
-// parameters) tuple. Requests that resolve to the same evaluation hash to
-// the same key regardless of spelling (path vs. object design, omitted
-// vs. explicit defaults).
+// parameters, catalog) tuple. Requests that resolve to the same evaluation
+// hash to the same key regardless of spelling (path vs. object design,
+// omitted vs. explicit defaults, aliased vs. canonical tech names).
 func (r *EvalRequest) Key() string {
 	b, err := json.Marshal(cacheKeyRequest{
 		Design:        r.Design,
@@ -390,6 +549,7 @@ func (r *EvalRequest) Key() string {
 		Iters:         r.Iters,
 		Dilution:      r.Dilution,
 		Fault:         r.Fault,
+		CatalogHash:   r.CatalogHash(),
 	})
 	if err != nil {
 		// cacheKeyRequest contains only marshalable fields; unreachable.
@@ -397,6 +557,32 @@ func (r *EvalRequest) Key() string {
 	}
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:])
+}
+
+// EffectiveCatalog returns the catalog the normalized request resolves
+// against: the serving catalog plus any TechOverrides (builtin for a
+// request that was never normalized).
+func (r *EvalRequest) EffectiveCatalog() *tech.Catalog {
+	if r.effCatalog == nil {
+		return tech.Builtin()
+	}
+	return r.effCatalog
+}
+
+// CatalogHash returns the effective catalog's content hash.
+func (r *EvalRequest) CatalogHash() string {
+	if r.effHash == "" {
+		return tech.Builtin().Hash()
+	}
+	return r.effHash
+}
+
+// registry returns the design registry over the effective catalog.
+func (r *EvalRequest) registry() *design.Registry {
+	if r.effReg == nil {
+		return design.DefaultRegistry()
+	}
+	return r.effReg
 }
 
 // breakerKey returns the design-point identity the circuit breaker tracks:
@@ -416,53 +602,30 @@ func (d *DesignSpec) breakerKey() string {
 	return strings.Join(parts, "/")
 }
 
-// backend resolves the normalized spec into a buildable design.Backend.
-// footprint is the profiled workload's footprint (custom memories with
-// zero capacity and all family designs size their terminal from it).
-// Reference designs return ok=false: they are answered from the profile's
-// cached reference evaluation without a replay.
-func (d *DesignSpec) backend(scale, footprint uint64) (b design.Backend, ok bool, err error) {
+// backend resolves the normalized request into a buildable design.Backend
+// via the effective catalog's registry. footprint is the profiled
+// workload's footprint (custom memories with zero capacity and all family
+// designs size their terminal from it). Reference designs return ok=false:
+// they are answered from the profile's cached reference evaluation without
+// a replay.
+func (r *EvalRequest) backend(footprint uint64) (b design.Backend, ok bool, err error) {
+	d, reg, scale := &r.Design, r.registry(), r.Scale
 	switch d.Family {
 	case "reference":
 		return design.Backend{}, false, nil
 	case "4LC":
-		cfg, err := design.EHByName(d.Config)
-		if err != nil {
-			return design.Backend{}, false, err
-		}
-		llc, err := tech.ByName(d.LLC)
-		if err != nil {
-			return design.Backend{}, false, err
-		}
-		return design.FourLC(cfg, llc, scale, footprint), true, nil
+		b, err := reg.FourLC(d.Config, d.LLC, scale, footprint)
+		return b, true, err
 	case "NMM":
-		cfg, err := design.NByName(d.Config)
-		if err != nil {
-			return design.Backend{}, false, err
-		}
-		nvm, err := tech.ByName(d.NVM)
-		if err != nil {
-			return design.Backend{}, false, err
-		}
-		return design.NMM(cfg, nvm, scale, footprint), true, nil
+		b, err := reg.NMM(d.Config, d.NVM, scale, footprint)
+		return b, true, err
 	case "4LCNVM":
-		cfg, err := design.EHByName(d.Config)
-		if err != nil {
-			return design.Backend{}, false, err
-		}
-		llc, err := tech.ByName(d.LLC)
-		if err != nil {
-			return design.Backend{}, false, err
-		}
-		nvm, err := tech.ByName(d.NVM)
-		if err != nil {
-			return design.Backend{}, false, err
-		}
-		return design.FourLCNVM(cfg, llc, nvm, scale, footprint), true, nil
+		b, err := reg.FourLCNVM(d.Config, d.LLC, d.NVM, scale, footprint)
+		return b, true, err
 	case "custom":
 		b := design.Backend{Name: "custom/" + d.Custom.Name}
 		for i, l := range d.Custom.Caches {
-			lt, err := tech.ByName(l.Tech)
+			lt, err := reg.Tech(l.Tech)
 			if err != nil {
 				return design.Backend{}, false, err
 			}
@@ -479,7 +642,7 @@ func (d *DesignSpec) backend(scale, footprint uint64) (b design.Backend, ok bool
 				Assoc: assoc, WriteThrough: l.WriteThrough, PrefetchNext: l.PrefetchNext,
 			})
 		}
-		mt, err := tech.ByName(d.Custom.Memory.Tech)
+		mt, err := reg.Tech(d.Custom.Memory.Tech)
 		if err != nil {
 			return design.Backend{}, false, err
 		}

@@ -93,6 +93,12 @@ type Config struct {
 	// points that panic and per-call transient failures — for resilience
 	// testing (nil = none; see fault.ServicePlan).
 	Chaos *fault.ServicePlan
+	// Catalog is the technology catalog requests resolve against (nil =
+	// tech.Builtin(), the paper's Table 1 plus post-2014 extensions).
+	// Request TechOverrides derive from it per request; its content hash
+	// is folded into every result-cache, store, and profile key, so
+	// serving a different catalog can never reuse stale results.
+	Catalog *tech.Catalog
 	// Store, when non-nil, adds a durable result tier behind the in-process
 	// LRU: cache misses probe the on-disk index before spending replay
 	// capacity (outcome "store_hit", promoted back into the LRU), and
@@ -153,6 +159,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.Timeout == 0 {
 		cfg.Timeout = DefaultTimeout
+	}
+	if cfg.Catalog == nil {
+		cfg.Catalog = tech.Builtin()
 	}
 	s := &Server{
 		cfg:      cfg,
@@ -273,9 +282,12 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleDesigns lists the design space: families, their configuration-table
-// rows, and the technology axes.
+// handleDesigns lists the design space from the serving catalog: families,
+// their configuration-table rows, the technology axes (class members, with
+// post-2014 catalog extensions listed separately from the paper defaults),
+// and the catalog's identity so clients can pin catalog_version.
 func (s *Server) handleDesigns(w http.ResponseWriter, r *http.Request) {
+	cat := s.cfg.Catalog
 	ehNames := make([]string, len(design.EHConfigs))
 	for i, c := range design.EHConfigs {
 		ehNames[i] = c.Name
@@ -284,12 +296,17 @@ func (s *Server) handleDesigns(w http.ResponseWriter, r *http.Request) {
 	for i, c := range design.NConfigs {
 		nNames[i] = c.Name
 	}
-	var llcs, nvms []string
-	for _, t := range tech.LLCs() {
-		llcs = append(llcs, t.Name)
+	classNames := func(class string) []string {
+		var out []string
+		for _, t := range cat.Class(class) {
+			out = append(out, t.Name)
+		}
+		return out
 	}
-	for _, t := range tech.NVMs() {
-		nvms = append(nvms, t.Name)
+	llcs, nvms := classNames(tech.ClassLLC), classNames(tech.ClassNVM)
+	var extensions []string
+	for _, e := range cat.Extensions() {
+		extensions = append(extensions, e.Tech.Name)
 	}
 	writeJSON(w, map[string]any{
 		"families": map[string]any{
@@ -299,8 +316,14 @@ func (s *Server) handleDesigns(w http.ResponseWriter, r *http.Request) {
 			"4LCNVM":    map[string]any{"configs": ehNames, "llc": llcs, "nvm": nvms},
 			"custom":    map[string]any{"note": "free-form hierarchy; see DesignSpec.Custom"},
 		},
-		"techs":   tech.Names(),
-		"metrics": MetricNames,
+		"techs":      cat.TechNames(),
+		"extensions": extensions,
+		"metrics":    MetricNames,
+		"catalog": map[string]any{
+			"name":    cat.Name(),
+			"version": cat.Version(),
+			"hash":    cat.Hash(),
+		},
 	})
 }
 
@@ -354,7 +377,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		fail("invalid", errField(CodeInvalidRequest, "", "invalid JSON body: "+err.Error()))
 		return
 	}
-	if apiErr := req.Normalize(); apiErr != nil {
+	if apiErr := req.NormalizeWith(s.cfg.Catalog); apiErr != nil {
 		stopValidate()
 		fail("invalid", apiErr)
 		return
@@ -503,7 +526,7 @@ func (s *Server) storePut(key string, res *EvalResult) {
 // histogram's outcome label.
 func outcomeForCode(code string) string {
 	switch code {
-	case CodeInvalidRequest, CodeUnknownWorkload, CodeUnknownDesign, CodeUnknownTech:
+	case CodeInvalidRequest, CodeUnknownWorkload, CodeUnknownDesign, CodeUnknownTech, CodeCatalogMismatch:
 		return "invalid"
 	case CodeShuttingDown:
 		return "shutting_down"

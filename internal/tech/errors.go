@@ -1,0 +1,75 @@
+package tech
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ValueError reports one invalid numeric parameter of a technology: a
+// non-finite, negative, or (for latencies) zero value that would otherwise
+// flow silently into the AMAT and energy math. Field uses the catalog file's
+// JSON names ("read_ns", "write_pj_per_bit", ...) so callers can surface
+// machine-readable field paths.
+type ValueError struct {
+	// Tech names the offending technology (may be empty for an unnamed
+	// custom entry).
+	Tech string
+	// Field is the JSON field name of the invalid parameter.
+	Field string
+	// Value is the rejected value.
+	Value float64
+	// Reason says what the field requires ("must be finite and > 0").
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *ValueError) Error() string {
+	name := e.Tech
+	if name == "" {
+		name = "<unnamed>"
+	}
+	return fmt.Sprintf("tech %s: %s = %g %s", name, e.Field, e.Value, e.Reason)
+}
+
+// UnknownError reports a lookup of a technology name that the catalog does
+// not define.
+type UnknownError struct {
+	// Name is the unknown name as given.
+	Name string
+	// Known lists the catalog's canonical names.
+	Known []string
+}
+
+// Error implements the error interface.
+func (e *UnknownError) Error() string {
+	return fmt.Sprintf("tech: unknown technology %q (known: %s)", e.Name, strings.Join(e.Known, ", "))
+}
+
+// CatalogError reports a structural defect in a catalog file: a bad format
+// line, a duplicate name, an unknown class, or an entry-level value error.
+type CatalogError struct {
+	// Entry names the offending entry ("" for file-level defects).
+	Entry string
+	// Reason explains the defect.
+	Reason string
+	// Err is the underlying error, when one exists (e.g. a *ValueError).
+	Err error
+}
+
+// Error implements the error interface.
+func (e *CatalogError) Error() string {
+	msg := "tech: catalog"
+	if e.Entry != "" {
+		msg += " entry " + e.Entry
+	}
+	if e.Reason != "" {
+		msg += ": " + e.Reason
+	}
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying error for errors.As/Is.
+func (e *CatalogError) Unwrap() error { return e.Err }

@@ -15,6 +15,7 @@ package tech
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -143,10 +144,11 @@ var registry = map[string]Tech{
 
 // ByName looks a technology up by case-insensitive name ("DRAM", "PCM",
 // "STTRAM", "FeRAM", "eDRAM", "HMC"; "RAM" is accepted as an alias for DRAM).
+// Unknown names return a *UnknownError.
 func ByName(name string) (Tech, error) {
 	t, ok := registry[strings.ToLower(name)]
 	if !ok {
-		return Tech{}, fmt.Errorf("tech: unknown technology %q (known: %s)", name, strings.Join(Names(), ", "))
+		return Tech{}, &UnknownError{Name: name, Known: Names()}
 	}
 	return t, nil
 }
@@ -208,20 +210,54 @@ func (t Tech) WithStatic(wPerGB, wFixed float64) Tech {
 	return t
 }
 
-// Validate reports an error if the technology has non-positive latencies,
-// negative energies, or negative static power coefficients.
+// Validate reports the first invalid parameter of the technology as a typed
+// error: an empty name, a non-finite/non-positive latency (*ValueError), or
+// a non-finite/negative energy or static-power coefficient (*ValueError).
+// NaN and infinities are rejected explicitly — a plain `<= 0` comparison
+// lets NaN flow silently into the AMAT and energy math.
 func (t Tech) Validate() error {
-	switch {
-	case t.Name == "":
+	if t.Name == "" {
 		return fmt.Errorf("tech: empty name")
-	case t.ReadNS <= 0 || t.WriteNS <= 0:
-		return fmt.Errorf("tech %s: latencies must be positive (read %g ns, write %g ns)", t.Name, t.ReadNS, t.WriteNS)
-	case t.ReadPJPerBit < 0 || t.WritePJPerBit < 0:
-		return fmt.Errorf("tech %s: energies must be non-negative", t.Name)
-	case t.StaticWPerGB < 0 || t.StaticWFixed < 0:
-		return fmt.Errorf("tech %s: static power must be non-negative", t.Name)
+	}
+	positive := []struct {
+		field string
+		v     float64
+	}{
+		{"read_ns", t.ReadNS},
+		{"write_ns", t.WriteNS},
+	}
+	for _, p := range positive {
+		if math.IsNaN(p.v) || math.IsInf(p.v, 0) || p.v <= 0 {
+			return &ValueError{Tech: t.Name, Field: p.field, Value: p.v, Reason: "must be finite and > 0"}
+		}
+	}
+	nonNegative := []struct {
+		field string
+		v     float64
+	}{
+		{"read_pj_per_bit", t.ReadPJPerBit},
+		{"write_pj_per_bit", t.WritePJPerBit},
+		{"static_w_per_gb", t.StaticWPerGB},
+		{"static_w_fixed", t.StaticWFixed},
+	}
+	for _, p := range nonNegative {
+		if math.IsNaN(p.v) || math.IsInf(p.v, 0) || p.v < 0 {
+			return &ValueError{Tech: t.Name, Field: p.field, Value: p.v, Reason: "must be finite and >= 0"}
+		}
 	}
 	return nil
+}
+
+// NewCustom validates and returns a user-defined technology. It is the
+// front door for characterizations that did not come from the embedded
+// catalog: malformed values (NaN, infinities, negative energies,
+// zero-latency devices) are rejected with a typed *ValueError instead of
+// flowing silently into the AMAT/energy math.
+func NewCustom(t Tech) (Tech, error) {
+	if err := t.Validate(); err != nil {
+		return Tech{}, err
+	}
+	return t, nil
 }
 
 // IsNVMCandidate reports whether t is one of the paper's non-volatile
