@@ -9,6 +9,7 @@
 //	memsimd -warm Graph500           # profile one workload before readying
 //	memsimd -store /var/lib/memsimd  # durable result + profile store
 //	memsimd -runlog -                # JSONL request/profiling events to stderr
+//	memsimd -rate-limit 5 -rate-burst 20 -retry-budget 2   # admission control
 //
 // Evaluate a design point:
 //
@@ -43,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"hybridmem/internal/admit"
 	"hybridmem/internal/fault"
 	"hybridmem/internal/obs"
 	"hybridmem/internal/serve"
@@ -69,6 +71,10 @@ func main() {
 		brkCooldown  = flag.Duration("breaker-cooldown", fault.DefaultBreakerCooldown, "open-breaker cooldown before a half-open probe is admitted")
 		retryN       = flag.Int("retry-attempts", fault.DefaultRetryAttempts, "total attempts per evaluation for transient faults (1 = no retries)")
 		retryBase    = flag.Duration("retry-base", fault.DefaultRetryBase, "first retry backoff delay (doubles per attempt, jittered)")
+
+		rateLimit   = flag.Float64("rate-limit", 0, "per-client admission rate in requests/s (0 = unlimited); clients are keyed by X-Memsimd-Client or remote host and throttled requests get 429 rate_limited with Retry-After")
+		rateBurst   = flag.Float64("rate-burst", 0, "per-client token-bucket burst capacity (0 = the -rate-limit value)")
+		retryBudget = flag.Float64("retry-budget", 0, "process-wide transient-retry credits/s shared by every request (0 = unlimited); an empty budget fails would-be retries fast with 503 retry_budget")
 
 		chaosPanic     = flag.Float64("chaos-panic", 0, "TESTING: fraction of request keys whose evaluation always panics")
 		chaosTransient = flag.Float64("chaos-transient", 0, "TESTING: per-call transient failure probability")
@@ -111,12 +117,17 @@ func main() {
 	// The durable tier opens before the server exists: a warm restart is an
 	// index scan (plus torn-tail truncation after a crash), never a replay.
 	// The store_open event's wall_ms is the whole startup cost of warmth.
-	var st *store.Store
+	// All access goes through a self-healing StoreGuard: a wounded store
+	// (failed append) is quarantined and reopened in the background while
+	// serving continues cache/replay-only.
+	var guard *serve.StoreGuard
 	if *storeDir != "" {
 		openStart := time.Now()
-		st, err = store.Open(*storeDir, store.Options{})
+		st, err := store.Open(*storeDir, store.Options{})
 		exitOn(err)
-		defer st.Close()
+		reopen := func() (*store.Store, error) { return store.Open(*storeDir, store.Options{}) }
+		guard = serve.NewStoreGuard(st, reopen, fault.RetryPolicy{}, logger)
+		defer guard.Close()
 		stats := st.Stats()
 		logger.Event("store_open", obs.Fields{
 			"dir":                  *storeDir,
@@ -127,12 +138,12 @@ func main() {
 			"torn_bytes_recovered": stats.TornBytesRecovered,
 			"wall_ms":              float64(time.Since(openStart)) / float64(time.Millisecond),
 		})
-		obs.PublishFunc("memsimd.store_stats", func() any { return st.Stats() })
+		obs.PublishFunc("memsimd.store_stats", func() any { return guard.Stats() })
 	}
 
 	ev := serve.NewEvaluator(*profiles, logger)
-	if st != nil {
-		ev.SetStore(st)
+	if guard != nil {
+		ev.SetStoreGuard(guard)
 	}
 	srv := serve.New(serve.Config{
 		Runner:       ev,
@@ -141,8 +152,10 @@ func main() {
 		Timeout:      *timeout,
 		Breaker:      fault.BreakerConfig{Threshold: *brkThreshold, Cooldown: *brkCooldown},
 		Retry:        fault.RetryPolicy{Attempts: *retryN, BaseDelay: *retryBase},
+		RateLimit:    admit.LimiterConfig{Rate: *rateLimit, Burst: *rateBurst},
+		RetryBudget:  admit.BudgetConfig{Rate: *retryBudget},
 		Chaos:        chaos,
-		Store:        st,
+		StoreGuard:   guard,
 		Catalog:      cat,
 		Log:          logger,
 	})

@@ -9,6 +9,12 @@
 //     plus the mean stage coverage — how much of each request's wall time
 //     the stage breakdown accounts for;
 //   - replay throughput: per-design refs/sec over design_point events;
+//   - request outcomes: http_request events tabulated by outcome (hit,
+//     miss, rate_limited, would_deadline, retry_budget, circuit_open, ...)
+//     with each outcome classed as served / refused / rejected / failed;
+//   - store lifecycle: store_open and store_heal events plus store_wound
+//     and store_reopen_failed warnings, summarizing how the durable tier's
+//     self-healing behaved across the run;
 //   - span trees: -trace <id> reconstructs one request's (or one CLI
 //     run's) event tree from the trace_id/span_id/parent_id annotations and
 //     prints its stage breakdown against the recorded wall time.
@@ -58,6 +64,8 @@ func main() {
 	exitOn(printEventLatency(os.Stdout, recs))
 	exitOn(printStageLatency(os.Stdout, recs))
 	exitOn(printThroughput(os.Stdout, recs))
+	exitOn(printOutcomes(os.Stdout, recs))
+	exitOn(printStoreLifecycle(os.Stdout, recs))
 }
 
 // record is one parsed JSONL run-log line. Field values keep their JSON
@@ -331,6 +339,121 @@ func printThroughput(w io.Writer, recs []record) error {
 	fmt.Fprintln(w)
 	_, err := t.WriteTo(w)
 	return err
+}
+
+// outcomeClass buckets one http_request outcome for the request-outcome
+// table. "served" answered with a result (whatever tier produced it);
+// "refused" is admission control and graceful degradation doing its job —
+// rate limiting, deadline shedding, retry-budget fail-fast, backpressure,
+// breakers, drain — where the client is expected to back off and retry;
+// "rejected" is the client's fault and not retryable; "failed" is an
+// evaluation that was admitted and then went wrong. Anything else reports
+// as "unknown" so a new outcome label cannot hide inside an old class.
+func outcomeClass(outcome string) string {
+	switch outcome {
+	case "hit", "miss", "dedup", "store_hit":
+		return "served"
+	case "rate_limited", "would_deadline", "retry_budget", "overloaded",
+		"circuit_open", "shutting_down":
+		return "refused"
+	case "invalid":
+		return "rejected"
+	case "panic", "timeout", "canceled", "error":
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// printOutcomes tabulates http_request records by outcome with each
+// outcome's class and share of total requests.
+func printOutcomes(w io.Writer, recs []record) error {
+	counts := map[string]int{}
+	total := 0
+	for _, r := range recs {
+		if r.str("event") != "http_request" {
+			continue
+		}
+		outcome := r.str("outcome")
+		if outcome == "" {
+			outcome = "(none)"
+		}
+		counts[outcome]++
+		total++
+	}
+	if total == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(counts))
+	for k := range counts {
+		names = append(names, k)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if counts[names[i]] != counts[names[j]] {
+			return counts[names[i]] > counts[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	t := &report.Table{
+		Title:   "request outcomes (http_request events)",
+		Headers: []string{"outcome", "class", "count", "share"},
+	}
+	for _, name := range names {
+		t.AddRow(name, outcomeClass(name), fmt.Sprintf("%d", counts[name]),
+			fmt.Sprintf("%.1f%%", float64(counts[name])/float64(total)*100))
+	}
+	fmt.Fprintln(w)
+	_, err := t.WriteTo(w)
+	return err
+}
+
+// printStoreLifecycle summarizes the durable tier's health transitions:
+// store_open and store_heal events plus the store_wound and
+// store_reopen_failed warnings the self-healing guard emits. One wound
+// with a matching heal is a survived incident; wounds without heals mean
+// the process ended degraded.
+func printStoreLifecycle(w io.Writer, recs []record) error {
+	var opens, wounds, reopenFails, heals int
+	var tornBytes, healAttempts float64
+	for _, r := range recs {
+		switch r.str("event") {
+		case "store_open":
+			opens++
+			if v, ok := r.num("torn_bytes_recovered"); ok {
+				tornBytes += v
+			}
+		case "store_heal":
+			heals++
+			if v, ok := r.num("torn_bytes_recovered"); ok {
+				tornBytes += v
+			}
+			if v, ok := r.num("attempts"); ok {
+				healAttempts += v
+			}
+		case "warning":
+			switch r.str("message") {
+			case "store_wound":
+				wounds++
+			case "store_reopen_failed":
+				reopenFails++
+			}
+		}
+	}
+	if opens+wounds+reopenFails+heals == 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "\ndurable store lifecycle: %d open(s), %d wound(s), %d heal(s), %d failed reopen attempt(s)\n",
+		opens, wounds, heals, reopenFails)
+	if tornBytes > 0 {
+		fmt.Fprintf(w, "  torn bytes recovered: %.0f\n", tornBytes)
+	}
+	if heals > 0 {
+		fmt.Fprintf(w, "  mean reopen attempts per heal: %.1f\n", healAttempts/float64(heals))
+	}
+	if wounds > heals {
+		fmt.Fprintf(w, "  WARNING: %d wound(s) never healed; the run ended with durability degraded\n", wounds-heals)
+	}
+	return nil
 }
 
 // printTrace reconstructs one trace's span tree. Every record annotated

@@ -17,6 +17,18 @@ not json at all
 {"no_event_key":true}
 
 {"event":"orphan","trace_id":"aaaa000011112222","span_id":"s9","parent_id":"missing","wall_ms":1.0}
+{"event":"http_request","outcome":"miss","status":200,"wall_ms":14.0}
+{"event":"http_request","outcome":"hit","status":200,"wall_ms":0.2}
+{"event":"http_request","outcome":"hit","status":200,"wall_ms":0.1}
+{"event":"http_request","outcome":"rate_limited","status":429,"wall_ms":0.05}
+{"event":"http_request","outcome":"would_deadline","status":503,"wall_ms":0.05}
+{"event":"http_request","outcome":"retry_budget","status":503,"wall_ms":0.3}
+{"event":"http_request","outcome":"from_the_future","status":200,"wall_ms":1.0}
+{"event":"store_open","dir":"/tmp/x","streams":1,"docs":2,"torn_bytes_recovered":64,"wall_ms":3.0}
+{"event":"warning","message":"store_wound","err":"store: simulated crash (torn write injected)","state":"degraded"}
+{"event":"warning","message":"store_reopen_failed","attempt":1,"err":"gated"}
+{"event":"warning","message":"store_reopen_failed","attempt":2,"err":"gated"}
+{"event":"store_heal","state":"ok","attempts":3,"wall_ms":9.0,"torn_bytes_recovered":128,"streams":1,"docs":3}
 `
 
 func writeFixture(t *testing.T) string {
@@ -33,8 +45,8 @@ func TestLoadSkipsMalformedLines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(recs) != 6 {
-		t.Fatalf("loaded %d records, want 6", len(recs))
+	if len(recs) != 18 {
+		t.Fatalf("loaded %d records, want 18", len(recs))
 	}
 	if skipped != 2 {
 		t.Fatalf("skipped %d lines, want 2 (junk + missing event key)", skipped)
@@ -131,5 +143,99 @@ func TestPrintThroughputAndLatency(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("report missing %q:\n%s", want, text)
 		}
+	}
+}
+
+func TestOutcomeClassCoversServeLabels(t *testing.T) {
+	classes := map[string]string{
+		"hit": "served", "miss": "served", "dedup": "served", "store_hit": "served",
+		"rate_limited": "refused", "would_deadline": "refused", "retry_budget": "refused",
+		"overloaded": "refused", "circuit_open": "refused", "shutting_down": "refused",
+		"invalid": "rejected",
+		"panic":   "failed", "timeout": "failed", "canceled": "failed", "error": "failed",
+		"something_new": "unknown",
+	}
+	for outcome, want := range classes {
+		if got := outcomeClass(outcome); got != want {
+			t.Errorf("outcomeClass(%q) = %q, want %q", outcome, got, want)
+		}
+	}
+}
+
+func TestPrintOutcomes(t *testing.T) {
+	recs, _, err := load([]string{writeFixture(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := printOutcomes(&out, recs); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	// Admission-control refusals must show up classed, and the unknown
+	// label must be flagged rather than absorbed.
+	for _, want := range []string{
+		"request outcomes", "rate_limited", "would_deadline", "retry_budget",
+		"refused", "served", "from_the_future", "unknown",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("outcome report missing %q:\n%s", want, text)
+		}
+	}
+	// 2 hits of 7 http_request records.
+	if !strings.Contains(text, "28.6%") {
+		t.Errorf("outcome shares wrong (want a 28.6%% row for hits):\n%s", text)
+	}
+	// Logs without http_request events print nothing.
+	var empty strings.Builder
+	if err := printOutcomes(&empty, recs[:4]); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Len() != 0 {
+		t.Errorf("outcome report for a serverless log should be empty, got:\n%s", empty.String())
+	}
+}
+
+func TestPrintStoreLifecycle(t *testing.T) {
+	recs, _, err := load([]string{writeFixture(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := printStoreLifecycle(&out, recs); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"1 open(s)", "1 wound(s)", "1 heal(s)", "2 failed reopen attempt(s)",
+		"torn bytes recovered: 192", "mean reopen attempts per heal: 3.0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("store lifecycle report missing %q:\n%s", want, text)
+		}
+	}
+	// Every wound healed: no degraded-at-exit warning.
+	if strings.Contains(text, "never healed") {
+		t.Errorf("unexpected unhealed-wound warning:\n%s", text)
+	}
+	// A wound with no heal must be called out.
+	wounded := append([]record(nil), recs...)
+	wounded = append(wounded, record{fields: map[string]any{
+		"event": "warning", "message": "store_wound", "err": "disk full",
+	}})
+	var warn strings.Builder
+	if err := printStoreLifecycle(&warn, wounded); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warn.String(), "1 wound(s) never healed") {
+		t.Errorf("missing unhealed-wound warning:\n%s", warn.String())
+	}
+	// Logs without store events print nothing.
+	var empty strings.Builder
+	if err := printStoreLifecycle(&empty, recs[:4]); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Len() != 0 {
+		t.Errorf("store report for a storeless log should be empty, got:\n%s", empty.String())
 	}
 }

@@ -1,0 +1,105 @@
+package admit
+
+import (
+	"sync"
+	"time"
+)
+
+// BudgetConfig configures a RetryBudget.
+type BudgetConfig struct {
+	// Rate is the steady-state retry allowance in credits per second,
+	// shared across every request the process serves. Rate = 0 with a
+	// positive Burst gives a fixed, non-replenishing allowance (useful
+	// in tests); Rate <= 0 and Burst <= 0 disables the budget
+	// (NewRetryBudget returns nil, and a nil *RetryBudget always
+	// grants).
+	Rate float64
+
+	// Burst is the maximum number of banked retry credits. Burst <= 0
+	// defaults to max(1, Rate).
+	Burst float64
+
+	// Now is the clock; nil means time.Now.
+	Now func() time.Time
+}
+
+// RetryBudget is a process-wide token bucket of retry credits. Every
+// server-side retry spends one credit; when the bucket is empty, retries
+// are denied until credits replenish. This caps the retry amplification
+// factor under overload: transient faults during a traffic spike degrade
+// to fail-fast instead of multiplying the offered load. A nil
+// *RetryBudget grants every retry.
+type RetryBudget struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	tokens  float64
+	last    time.Time
+	spends  uint64
+	denials uint64
+}
+
+// NewRetryBudget builds a RetryBudget from cfg, or returns nil (unlimited
+// retries) when both cfg.Rate and cfg.Burst are <= 0.
+func NewRetryBudget(cfg BudgetConfig) *RetryBudget {
+	if cfg.Rate <= 0 && cfg.Burst <= 0 {
+		return nil
+	}
+	burst := cfg.Burst
+	if burst <= 0 {
+		burst = cfg.Rate
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	return &RetryBudget{
+		rate:   cfg.Rate,
+		burst:  burst,
+		now:    now,
+		tokens: burst,
+		last:   now(),
+	}
+}
+
+// Spend takes one retry credit, reporting whether the retry may proceed.
+// It satisfies the fault.RetryPolicy Budget hook.
+func (b *RetryBudget) Spend() bool {
+	if b == nil {
+		return true
+	}
+	now := b.now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rate > 0 {
+		if elapsed := now.Sub(b.last); elapsed > 0 {
+			b.tokens += elapsed.Seconds() * b.rate
+			if b.tokens > b.burst {
+				b.tokens = b.burst
+			}
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		b.spends++
+		return true
+	}
+	b.denials++
+	return false
+}
+
+// Stats reports how many retries the budget has granted and denied.
+func (b *RetryBudget) Stats() (granted, denied uint64) {
+	if b == nil {
+		return 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.spends, b.denials
+}

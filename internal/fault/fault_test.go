@@ -290,6 +290,78 @@ func TestRetryDoHonorsContext(t *testing.T) {
 	}
 }
 
+func TestRetryDelayInjectableJitter(t *testing.T) {
+	// A seeded jitter source replaces the hash draw, pinning exact delays.
+	var draws []int
+	p := RetryPolicy{
+		BaseDelay: 100 * time.Millisecond,
+		MaxDelay:  time.Second,
+		Jitter: func(key string, attempt int) float64 {
+			draws = append(draws, attempt)
+			return 0.5
+		},
+	}
+	if d := p.Delay("k", 1); d != 75*time.Millisecond {
+		t.Fatalf("Delay with u=0.5 = %v, want 75ms (d/2 + 0.5*d/2)", d)
+	}
+	if d := p.Delay("k", 2); d != 150*time.Millisecond {
+		t.Fatalf("Delay with u=0.5 = %v, want 150ms", d)
+	}
+	if len(draws) != 2 || draws[0] != 1 || draws[1] != 2 {
+		t.Fatalf("jitter source saw attempts %v, want [1 2]", draws)
+	}
+	// u=0 pins the lower bound of the equal-jitter interval.
+	p.Jitter = func(string, int) float64 { return 0 }
+	if d := p.Delay("k", 1); d != 50*time.Millisecond {
+		t.Fatalf("Delay with u=0 = %v, want 50ms (interval floor)", d)
+	}
+}
+
+type fixedBudget struct{ credits int }
+
+func (b *fixedBudget) Spend() bool {
+	if b.credits <= 0 {
+		return false
+	}
+	b.credits--
+	return true
+}
+
+func TestRetryDoBudgetCutsRetries(t *testing.T) {
+	instant := func(ctx context.Context, d time.Duration) error { return nil }
+	budget := &fixedBudget{credits: 1}
+	p := RetryPolicy{Attempts: 4, Sleep: instant, Budget: budget}
+
+	calls := 0
+	err := p.Do(context.Background(), "k", func(int) error {
+		calls++
+		return Transient("op", nil)
+	})
+	// One credit: the first retry runs, the second is denied, so exactly
+	// two attempts execute and the schedule ends in a BudgetError.
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (budget allowed one retry)", calls)
+	}
+	if !IsBudgetExhausted(err) {
+		t.Fatalf("err = %v, want a BudgetError", err)
+	}
+	// The BudgetError wraps the transient cause, so client-visible
+	// retryability is preserved even though the server stopped retrying.
+	if !IsTransient(err) {
+		t.Fatalf("BudgetError lost the transient cause: %v", err)
+	}
+
+	// Budget never charges the first attempt: a success spends nothing.
+	budget.credits = 0
+	calls = 0
+	if err := p.Do(context.Background(), "k", func(int) error { calls++; return nil }); err != nil || calls != 1 {
+		t.Fatalf("success with empty budget: calls = %d err = %v", calls, err)
+	}
+	if IsBudgetExhausted(errors.New("plain")) {
+		t.Fatal("IsBudgetExhausted matched a plain error")
+	}
+}
+
 func TestServicePlanDeterministicAndProportional(t *testing.T) {
 	p := &ServicePlan{Seed: 42, PanicFraction: 0.25, TransientFraction: 0.1}
 	poisoned := 0

@@ -2,6 +2,8 @@ package fault
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"time"
 )
 
@@ -42,6 +44,44 @@ type RetryPolicy struct {
 	// Sleep waits between attempts (nil = a ctx-aware timer); tests
 	// inject an instant clock.
 	Sleep func(ctx context.Context, d time.Duration) error
+	// Jitter overrides the deterministic jitter draw for a retry: it
+	// returns a value in [0, 1) for (key, attempt). Nil uses the
+	// hash(Seed, key, attempt) draw. Tests inject a fixed source to pin
+	// exact delays without re-deriving the hash.
+	Jitter func(key string, attempt int) float64
+	// Budget, when non-nil, gates every retry (never the first
+	// attempt): a retry is scheduled only if Spend returns true.
+	// Sharing one budget across all RetryPolicy call sites caps the
+	// process-wide retry amplification factor, so transient faults
+	// during an overload degrade to fail-fast instead of multiplying
+	// the offered load. A denied retry returns a *BudgetError wrapping
+	// the attempt's error.
+	Budget interface{ Spend() bool }
+}
+
+// BudgetError reports a retry schedule cut short because the shared retry
+// budget was exhausted. It wraps the transient error that would otherwise
+// have been retried. Callers should treat it as retryable by the *client*
+// (after backing off) but must not count it against per-design health:
+// the design did not fail, the process declined to retry.
+type BudgetError struct {
+	// Err is the transient error the denied retry would have addressed.
+	Err error
+}
+
+// Error describes the denied retry and its cause.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("retry budget exhausted: %v", e.Err)
+}
+
+// Unwrap exposes the underlying transient error.
+func (e *BudgetError) Unwrap() error { return e.Err }
+
+// IsBudgetExhausted reports whether err (or anything it wraps) is a
+// BudgetError.
+func IsBudgetExhausted(err error) bool {
+	var be *BudgetError
+	return errors.As(err, &be)
 }
 
 // Delay returns the jittered backoff before the given attempt (attempt 1 is
@@ -59,7 +99,12 @@ func (p RetryPolicy) Delay(key string, attempt int) time.Duration {
 	if d <= 0 || d > max {
 		d = max
 	}
-	u := unit(hash(p.Seed, hashString(key), uint64(attempt)))
+	var u float64
+	if p.Jitter != nil {
+		u = p.Jitter(key, attempt)
+	} else {
+		u = unit(hash(p.Seed, hashString(key), uint64(attempt)))
+	}
 	return d/2 + time.Duration(u*float64(d/2))
 }
 
@@ -82,7 +127,8 @@ func (p RetryPolicy) sleep(ctx context.Context, d time.Duration) error {
 // spent. fn receives the zero-based attempt number (so callers can count
 // retries). key seeds the jitter draws; ctx cancels the inter-attempt
 // sleeps (the in-flight fn must watch ctx itself). The returned error is
-// fn's last error, or ctx's error when cancellation cut the schedule short.
+// fn's last error, ctx's error when cancellation cut the schedule short, or
+// a *BudgetError when the shared retry Budget denied a retry.
 func (p RetryPolicy) Do(ctx context.Context, key string, fn func(attempt int) error) error {
 	attempts := p.Attempts
 	if attempts == 0 {
@@ -94,6 +140,9 @@ func (p RetryPolicy) Do(ctx context.Context, key string, fn func(attempt int) er
 	var err error
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
+			if p.Budget != nil && !p.Budget.Spend() {
+				return &BudgetError{Err: err}
+			}
 			if serr := p.sleep(ctx, p.Delay(key, a)); serr != nil {
 				return serr
 			}

@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hybridmem/internal/admit"
+)
+
+// admitClock is a hand-advanced clock for driving the limiter through
+// refill windows without wall-clock sleeps.
+type admitClock struct {
+	nanos atomic.Int64
+}
+
+func (c *admitClock) Now() time.Time          { return time.Unix(0, c.nanos.Load()) }
+func (c *admitClock) Advance(d time.Duration) { c.nanos.Add(int64(d)) }
+
+// postWith is post with extra request headers.
+func postWith(t *testing.T, ts *httptest.Server, body string, headers map[string]string) (*http.Response, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/evaluate", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var decoded map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, decoded
+}
+
+// okRunner answers every evaluation immediately.
+func okRunner() *stubRunner {
+	return &stubRunner{fn: func(ctx context.Context, req *EvalRequest) (*EvalResult, error) {
+		return &EvalResult{Key: req.Key(), Metrics: map[string]float64{"norm_time": 1}}, nil
+	}}
+}
+
+// TestRateLimitPerClient drives two clients through a frozen-clock limiter:
+// the saturating client is throttled with exact refill guidance while the
+// well-behaved client is never starved, and advancing the clock re-admits
+// the throttled client.
+func TestRateLimitPerClient(t *testing.T) {
+	clock := &admitClock{}
+	s := New(Config{
+		Runner:    okRunner(),
+		RateLimit: admit.LimiterConfig{Rate: 1, Burst: 2, Now: clock.Now},
+	})
+	ts := newHTTPServer(t, s)
+	sweep := map[string]string{clientHeader: "sweep"}
+	interactive := map[string]string{clientHeader: "interactive"}
+
+	// Burst capacity admits the first two sweep requests.
+	for i := 0; i < 2; i++ {
+		resp, decoded := postWith(t, ts, testBody("4LC/EH1"), sweep)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("burst request %d status = %d (%v)", i, resp.StatusCode, decoded)
+		}
+	}
+	// The third is throttled: 429 rate_limited, Retry-After from the
+	// actual refill time (1 token / 1 rps = exactly 1s).
+	for i := 0; i < 3; i++ {
+		resp, decoded := postWith(t, ts, testBody("4LC/EH1"), sweep)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("saturated request %d status = %d (%v)", i, resp.StatusCode, decoded)
+		}
+		if code := errorCode(t, decoded); code != CodeRateLimited {
+			t.Fatalf("code = %q, want %q", code, CodeRateLimited)
+		}
+		if got := resp.Header.Get("Retry-After"); got != "1" {
+			t.Fatalf("Retry-After = %q, want %q", got, "1")
+		}
+		e := decoded["error"].(map[string]any)
+		if ms, _ := e["retry_after_ms"].(float64); int64(ms) != 1000 {
+			t.Fatalf("retry_after_ms = %v, want 1000 (exact bucket refill)", e["retry_after_ms"])
+		}
+	}
+	// A differently-keyed client is unaffected by the sweep's saturation.
+	resp, decoded := postWith(t, ts, testBody("4LC/EH1"), interactive)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("interactive client starved: status = %d (%v)", resp.StatusCode, decoded)
+	}
+	// One refill interval later the sweep client is admitted again.
+	clock.Advance(time.Second)
+	resp, decoded = postWith(t, ts, testBody("4LC/EH1"), sweep)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-refill status = %d (%v)", resp.StatusCode, decoded)
+	}
+}
+
+// TestRateLimitFallbackKeyIsRemoteHost confirms requests without the client
+// header share one bucket keyed on the remote host, so anonymous traffic
+// cannot dodge the limiter by omitting the header.
+func TestRateLimitFallbackKeyIsRemoteHost(t *testing.T) {
+	clock := &admitClock{}
+	s := New(Config{
+		Runner:    okRunner(),
+		RateLimit: admit.LimiterConfig{Rate: 1, Burst: 1, Now: clock.Now},
+	})
+	ts := newHTTPServer(t, s)
+	resp, _ := post(t, ts, testBody("4LC/EH1"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first anonymous request status = %d", resp.StatusCode)
+	}
+	resp, decoded := post(t, ts, testBody("4LC/EH1"))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second anonymous request status = %d, want 429 (%v)", resp.StatusCode, decoded)
+	}
+	if code := errorCode(t, decoded); code != CodeRateLimited {
+		t.Fatalf("code = %q, want %q", code, CodeRateLimited)
+	}
+}
+
+// TestDeadlineHeaderValidation rejects malformed or non-positive deadlines
+// with a field-pinned 400 rather than silently ignoring them.
+func TestDeadlineHeaderValidation(t *testing.T) {
+	s := New(Config{Runner: okRunner()})
+	ts := newHTTPServer(t, s)
+	for _, bad := range []string{"abc", "-5", "0", "1.5"} {
+		resp, decoded := postWith(t, ts, testBody("4LC/EH1"), map[string]string{deadlineHeader: bad})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("deadline %q status = %d, want 400 (%v)", bad, resp.StatusCode, decoded)
+		}
+		if code := errorCode(t, decoded); code != CodeInvalidRequest {
+			t.Fatalf("deadline %q code = %q, want %q", bad, code, CodeInvalidRequest)
+		}
+		e := decoded["error"].(map[string]any)
+		if field, _ := e["field"].(string); field != deadlineHeader {
+			t.Fatalf("deadline %q field = %q, want %q", bad, field, deadlineHeader)
+		}
+	}
+	// A generous valid deadline sails through.
+	resp, decoded := postWith(t, ts, testBody("4LC/EH1"), map[string]string{deadlineHeader: "60000"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid deadline status = %d (%v)", resp.StatusCode, decoded)
+	}
+}
+
+// TestDeadlineShed pins deadline-aware shedding: when the remaining
+// deadline is under the live service-time estimate, the request is refused
+// up front as would_deadline instead of burning a replay slot, and the
+// runner is never invoked.
+func TestDeadlineShed(t *testing.T) {
+	var calls atomic.Int64
+	s := New(Config{Runner: &stubRunner{fn: func(ctx context.Context, req *EvalRequest) (*EvalResult, error) {
+		calls.Add(1)
+		return &EvalResult{Key: req.Key(), Metrics: map[string]float64{"norm_time": 1}}, nil
+	}}})
+	ts := newHTTPServer(t, s)
+	s.estimate = func() time.Duration { return 10 * time.Second }
+
+	resp, decoded := postWith(t, ts, testBody("4LC/EH1"), map[string]string{deadlineHeader: "50"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 (%v)", resp.StatusCode, decoded)
+	}
+	if code := errorCode(t, decoded); code != CodeWouldDeadline {
+		t.Fatalf("code = %q, want %q", code, CodeWouldDeadline)
+	}
+	if n := calls.Load(); n != 0 {
+		t.Fatalf("runner invoked %d times for a doomed request, want 0", n)
+	}
+
+	// With an achievable estimate the same deadline is accepted.
+	s.estimate = func() time.Duration { return time.Millisecond }
+	resp, decoded = postWith(t, ts, testBody("4LC/EH1"), map[string]string{deadlineHeader: "30000"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("achievable deadline status = %d (%v)", resp.StatusCode, decoded)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("runner calls = %d, want 1", n)
+	}
+
+	// No estimate yet (cold histogram) means no shedding: admission control
+	// must not refuse work it cannot price.
+	s.estimate = func() time.Duration { return 0 }
+	resp, decoded = postWith(t, ts, testBody("4LC/EH2"), map[string]string{deadlineHeader: "50"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold-estimator status = %d (%v)", resp.StatusCode, decoded)
+	}
+}
+
+// TestDeadlineShedSkipsCacheHits confirms a cached answer is served even
+// under a deadline the evaluator could not meet — the shed check prices an
+// evaluation, and cache hits do not evaluate.
+func TestDeadlineShedSkipsCacheHits(t *testing.T) {
+	s := New(Config{Runner: okRunner()})
+	ts := newHTTPServer(t, s)
+	if resp, decoded := post(t, ts, testBody("4LC/EH1")); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm-up status = %d (%v)", resp.StatusCode, decoded)
+	}
+	s.estimate = func() time.Duration { return 10 * time.Second }
+	resp, decoded := postWith(t, ts, testBody("4LC/EH1"), map[string]string{deadlineHeader: "50"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cache-hit under tight deadline status = %d, want 200 (%v)", resp.StatusCode, decoded)
+	}
+	if resp.Header.Get("X-Memsimd-Cache") != "hit" {
+		t.Fatalf("X-Memsimd-Cache = %q, want hit", resp.Header.Get("X-Memsimd-Cache"))
+	}
+}

@@ -2,8 +2,10 @@ package serve
 
 import (
 	"encoding/json"
+	"math"
 	"net/http"
 	"strconv"
+	"time"
 )
 
 // Error codes returned in the "error.code" field of failed responses.
@@ -26,6 +28,22 @@ const (
 	// CodeOverloaded means the in-flight evaluation limit is reached;
 	// retry after the Retry-After header's delay.
 	CodeOverloaded = "overloaded"
+	// CodeRateLimited means this client's token bucket is empty; the
+	// request never reached the evaluator. RetryAfterMS is the actual
+	// bucket refill time, so retrying after it will be admitted (absent
+	// competing traffic from the same client).
+	CodeRateLimited = "rate_limited"
+	// CodeWouldDeadline means the request's propagated deadline
+	// (X-Memsimd-Deadline-Ms) leaves less time than the server's live
+	// estimate of the service time, so the work was shed on arrival
+	// instead of occupying a replay slot it was doomed to waste. Retry
+	// with a longer deadline, or not at all.
+	CodeWouldDeadline = "would_deadline"
+	// CodeRetryBudget means a transient evaluation fault would normally
+	// have been retried server-side, but the process-wide retry budget
+	// was exhausted (an overload signal). The design itself is healthy;
+	// retry after backing off.
+	CodeRetryBudget = "retry_budget"
 	// CodeTimeout means the per-request deadline expired; the in-flight
 	// replay was aborted.
 	CodeTimeout = "timeout"
@@ -61,10 +79,20 @@ const (
 //
 //   - CodeOverloaded (429) and CodeCircuitOpen (503): retry with the given
 //     backoff; the breaker admits a probe once its cooldown elapses.
+//   - CodeRateLimited (429): this client exceeded its admission rate;
+//     RetryAfterMS is the exact bucket refill time, so earlier retries
+//     are wasted round trips.
+//   - CodeShuttingDown (503): this process is draining; retry against the
+//     fleet after the given backoff and another instance will serve it.
+//   - CodeRetryBudget (503): the server declined to retry a transient
+//     fault because the shared retry budget was exhausted — an overload
+//     signal, not a design failure; retry with the given backoff.
 //   - CodeInternal (500) with retry guidance: a transient fault survived
 //     the server's own retries; one client-side retry is reasonable.
 //   - CodeTimeout (504): retry only with a smaller request (larger
 //     workload_scale) — the same request will time out again.
+//   - CodeWouldDeadline (503): the offered deadline cannot be met; retry
+//     only with a longer X-Memsimd-Deadline-Ms.
 //   - CodePanic (500) and all 4xx codes: do not retry; the failure is a
 //     deterministic property of the request.
 type APIError struct {
@@ -80,6 +108,29 @@ type APIError struct {
 	// JitterMS is the suggested uniform jitter width to add to
 	// RetryAfterMS (see the client retry contract above).
 	JitterMS int64 `json:"jitter_ms,omitempty"`
+}
+
+// Backoff computes the client retry contract's sleep for one uniform draw
+// u in [0, 1): RetryAfterMS + u*JitterMS, i.e. a duration in
+// [RetryAfterMS, RetryAfterMS+JitterMS). Client implementations should use
+// exactly this shape so a fleet retrying the same failure decorrelates;
+// the serve tests hold the bounds as a property over seeded draws.
+func (e *APIError) Backoff(u float64) time.Duration {
+	if u < 0 {
+		u = 0
+	} else if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	ms := float64(e.RetryAfterMS) + u*float64(e.JitterMS)
+	d := time.Duration(ms * float64(time.Millisecond))
+	// Float rounding near u=1 can land exactly on the open upper bound;
+	// clamp so the half-open interval holds for every representable draw.
+	if e.JitterMS > 0 {
+		if hi := time.Duration(e.RetryAfterMS+e.JitterMS) * time.Millisecond; d >= hi {
+			d = hi - time.Nanosecond
+		}
+	}
+	return d
 }
 
 // Error implements the error interface.
@@ -102,11 +153,11 @@ func httpStatus(code string) int {
 		return http.StatusBadRequest
 	case CodeUnknownWorkload, CodeUnknownDesign:
 		return http.StatusNotFound
-	case CodeOverloaded:
+	case CodeOverloaded, CodeRateLimited:
 		return http.StatusTooManyRequests
 	case CodeTimeout, CodeCanceled:
 		return http.StatusGatewayTimeout
-	case CodeShuttingDown, CodeCircuitOpen:
+	case CodeShuttingDown, CodeCircuitOpen, CodeWouldDeadline, CodeRetryBudget:
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
@@ -124,7 +175,7 @@ func writeError(w http.ResponseWriter, apiErr *APIError) {
 			secs = 1
 		}
 		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
-	} else if apiErr.Code == CodeOverloaded {
+	} else if apiErr.Code == CodeOverloaded || apiErr.Code == CodeRateLimited {
 		w.Header().Set("Retry-After", "1")
 	}
 	w.WriteHeader(httpStatus(apiErr.Code))

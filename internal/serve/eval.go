@@ -67,11 +67,12 @@ type Evaluator struct {
 	useClock    uint64
 	profFlight  *flightGroup[*exp.WorkloadProfile]
 
-	// store, when set, is the durable tier behind the in-memory profile
+	// guard, when set, is the durable tier behind the in-memory profile
 	// cache: a profile evicted (or belonging to a previous process) is
 	// restored from its persisted manifest + boundary stream with zero
-	// replay instead of being re-profiled. See SetStore.
-	store *store.Store
+	// replay instead of being re-profiled. All access goes through the
+	// wounded-store self-healing StoreGuard. See SetStore/SetStoreGuard.
+	guard *StoreGuard
 
 	replays      atomic.Uint64
 	replayedRefs atomic.Uint64
@@ -139,8 +140,18 @@ func NewEvaluator(maxProfiles int, log *obs.Logger) *Evaluator {
 // restored — manifest plus content-addressed boundary stream, zero replay —
 // instead of re-profiled, and every freshly profiled workload is written
 // through for the next process. Call before serving traffic; the evaluator
-// does not close the store.
-func (e *Evaluator) SetStore(st *store.Store) { e.store = st }
+// does not close the store. The store is wrapped in a non-healing
+// StoreGuard; use SetStoreGuard to share a self-healing guard with the
+// Server.
+func (e *Evaluator) SetStore(st *store.Store) {
+	e.guard = NewStoreGuard(st, nil, fault.RetryPolicy{}, e.Log)
+}
+
+// SetStoreGuard attaches an already-supervised durable tier (see
+// StoreGuard), typically the same guard the Server routes result documents
+// through, so a wound observed on either path quarantines one shared
+// instance and a single background reopen heals both.
+func (e *Evaluator) SetStoreGuard(g *StoreGuard) { e.guard = g }
 
 // Replays returns how many boundary replays this evaluator has performed —
 // the instrumentation behind cache-effectiveness assertions: a request
@@ -241,11 +252,11 @@ const profileStorePrefix = "profile:"
 // miss: the caller falls through to a fresh profiling pass, and the
 // write-through afterwards repairs the stored copy.
 func (e *Evaluator) restoreProfile(key string) (*exp.WorkloadProfile, bool) {
-	if e.store == nil {
+	if e.guard == nil {
 		return nil, false
 	}
 	start := time.Now()
-	boundary, meta, ok, err := e.store.GetStream(profileStorePrefix + key)
+	boundary, meta, ok, err := e.guard.GetStream(profileStorePrefix + key)
 	if err == nil && !ok {
 		e.profileStoreMisses.Add(1)
 		return nil, false
@@ -282,13 +293,13 @@ func (e *Evaluator) restoreProfile(key string) (*exp.WorkloadProfile, bool) {
 // the in-memory profile still serves this process, only the next restart
 // pays the re-profiling cost.
 func (e *Evaluator) persistProfile(key string, wp *exp.WorkloadProfile) {
-	if e.store == nil {
+	if e.guard == nil {
 		return
 	}
 	start := time.Now()
 	meta, err := json.Marshal(wp.Manifest())
 	if err == nil {
-		err = e.store.PutStream(profileStorePrefix+key, wp.Boundary, meta)
+		err = e.guard.PutStream(profileStorePrefix+key, wp.Boundary, meta)
 	}
 	if err != nil {
 		e.profileStoreErrors.Add(1)

@@ -15,6 +15,17 @@
 //   - per-request timeouts and cancellation that genuinely abort in-flight
 //     replays (exp.EvaluateCtx's chunked replay);
 //   - a bounded in-flight evaluation limit with 429 backpressure;
+//   - admission control ahead of that limit (see internal/admit): an
+//     optional per-client token-bucket rate limiter (429 rate_limited
+//     with the actual bucket refill time as Retry-After), client deadline
+//     propagation via X-Memsimd-Deadline-Ms with load shedding (503
+//     would_deadline when the remaining deadline is below the live
+//     service-time estimate), and a process-wide retry budget so
+//     transient-fault retries cannot amplify an overload;
+//   - wounded-store self-healing (StoreGuard): a durable-tier write
+//     failure quarantines the store, serving continues cache/replay-only
+//     while a background reopen with equal-jitter backoff restores
+//     durability, with every transition logged and gauged;
 //   - graceful shutdown that drains active evaluations;
 //   - /healthz and /readyz probes, expvar counters (request totals, cache
 //     hit ratio, replay milliseconds saved), and obs.Logger run events;
@@ -44,10 +55,13 @@ import (
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"hybridmem/internal/admit"
 	"hybridmem/internal/design"
 	"hybridmem/internal/fault"
 	"hybridmem/internal/obs"
@@ -104,8 +118,27 @@ type Config struct {
 	// capacity (outcome "store_hit", promoted back into the LRU), and
 	// freshly computed results are written through so the next process
 	// restarts warm. The server reads and writes the store but does not
-	// close it. See internal/store and FORMATS.md.
+	// close it. See internal/store and FORMATS.md. New wraps it in a
+	// non-healing StoreGuard; set StoreGuard instead for wounded-store
+	// self-healing.
 	Store *store.Store
+	// StoreGuard supersedes Store when non-nil: the durable tier routed
+	// through wounded-store self-healing (and typically shared with the
+	// Evaluator via SetStoreGuard, so one background reopen heals both
+	// the result and profile paths).
+	StoreGuard *StoreGuard
+	// RateLimit enables per-client token-bucket admission control ahead
+	// of the in-flight semaphore when Rate > 0 (see internal/admit).
+	// Clients are keyed by the X-Memsimd-Client header, falling back to
+	// the request's remote host; a throttled request is refused with 429
+	// rate_limited before any validation or cache work.
+	RateLimit admit.LimiterConfig
+	// RetryBudget bounds server-side transient-fault retries across all
+	// requests when enabled (see admit.BudgetConfig): once the shared
+	// credit bucket empties, a would-be retry fails fast with 503
+	// retry_budget instead of amplifying an overload. Ignored when
+	// Retry.Budget is already set.
+	RetryBudget admit.BudgetConfig
 	// Log receives http_request events (may be nil).
 	Log *obs.Logger
 }
@@ -118,9 +151,17 @@ type Server struct {
 	flight   *flightGroup[*EvalResult]
 	inflight chan struct{}
 	breakers *fault.BreakerSet
+	limiter  *admit.Limiter
+	budget   *admit.RetryBudget
+	guard    *StoreGuard
 	ready    atomic.Bool
 	draining atomic.Bool
 	active   sync.WaitGroup
+
+	// estimate predicts one evaluation's service time for deadline-aware
+	// shedding; the default reads the live miss-latency histogram (see
+	// estimateServiceTime). Tests substitute a fixed estimator.
+	estimate func() time.Duration
 
 	requests        *obs.Counter
 	hits            *obs.Counter
@@ -133,12 +174,28 @@ type Server struct {
 	breakerOpened   *obs.Counter
 	breakerRejected *obs.Counter
 
+	// Admission-control outcomes: requests refused by the per-client
+	// limiter, shed because their propagated deadline could not be met,
+	// and retry schedules cut by the shared retry budget.
+	rateLimited     *obs.Counter
+	deadlineShed    *obs.Counter
+	budgetExhausted *obs.Counter
+
+	// Per-client admission traffic, bounded-cardinality (the obs vec caps
+	// distinct label values and overflows to "other").
+	clientRequests  *obs.CounterVec
+	clientThrottled *obs.CounterVec
+
 	// Durable-tier traffic (zero without Config.Store): storeHits are
 	// requests answered from disk after an LRU miss; storeMisses fell
 	// through to evaluation; storeWriteErrors are dropped write-throughs.
 	storeHits        *obs.Counter
 	storeMisses      *obs.Counter
 	storeWriteErrors *obs.Counter
+	// storeDropped counts write-throughs skipped while the durable tier
+	// is quarantined (StoreStateDegraded) — expected behaviour, not
+	// errors.
+	storeDropped *obs.Counter
 
 	// latency is the outcome-labeled evaluate-request latency histogram
 	// (memsimd_request_seconds on /metrics). Like the counters above it is
@@ -163,12 +220,22 @@ func New(cfg Config) *Server {
 	if cfg.Catalog == nil {
 		cfg.Catalog = tech.Builtin()
 	}
+	if cfg.StoreGuard == nil && cfg.Store != nil {
+		cfg.StoreGuard = NewStoreGuard(cfg.Store, nil, fault.RetryPolicy{}, cfg.Log)
+	}
+	budget := admit.NewRetryBudget(cfg.RetryBudget)
+	if cfg.Retry.Budget == nil && budget != nil {
+		cfg.Retry.Budget = budget
+	}
 	s := &Server{
 		cfg:      cfg,
 		cache:    newLRUCache(cfg.CacheEntries),
 		flight:   newFlightGroup[*EvalResult](),
 		inflight: make(chan struct{}, cfg.MaxInFlight),
 		breakers: fault.NewBreakerSet(cfg.Breaker),
+		limiter:  admit.NewLimiter(cfg.RateLimit),
+		budget:   budget,
+		guard:    cfg.StoreGuard,
 
 		requests:        obs.NewCounter("memsimd.requests_total"),
 		hits:            obs.NewCounter("memsimd.cache_hits"),
@@ -181,14 +248,25 @@ func New(cfg Config) *Server {
 		breakerOpened:   obs.NewCounter("memsimd.breaker_open_total"),
 		breakerRejected: obs.NewCounter("memsimd.breaker_rejected"),
 
+		rateLimited:     obs.NewCounter("memsimd.rate_limited_total"),
+		deadlineShed:    obs.NewCounter("memsimd.deadline_shed_total"),
+		budgetExhausted: obs.NewCounter("memsimd.retry_budget_exhausted_total"),
+
+		clientRequests: obs.NewCounterVec("memsimd.client_requests",
+			"Evaluate requests by admission-control client key.", "client"),
+		clientThrottled: obs.NewCounterVec("memsimd.client_throttled",
+			"Rate-limited (429 rate_limited) requests by client key.", "client"),
+
 		storeHits:        obs.NewCounter("memsimd.store_hits"),
 		storeMisses:      obs.NewCounter("memsimd.store_misses"),
 		storeWriteErrors: obs.NewCounter("memsimd.store_write_errors"),
+		storeDropped:     obs.NewCounter("memsimd.store_dropped_writes"),
 
 		latency: obs.NewLatencyHistogramVec("memsimd.request_seconds",
 			"Evaluate-request latency by outcome (hit, miss, dedup, invalid, timeout, ...).",
 			"outcome"),
 	}
+	s.estimate = s.estimateServiceTime
 	s.ready.Store(true)
 	hitRatio := func() float64 {
 		h, m := s.hits.Value(), s.misses.Value()
@@ -262,6 +340,15 @@ func (s *Server) Handler() http.Handler {
 		if !s.ready.Load() {
 			w.WriteHeader(http.StatusServiceUnavailable)
 			io.WriteString(w, "not ready\n")
+			return
+		}
+		// A wounded durable tier degrades readiness without failing it:
+		// the server still answers from cache and replay, so load
+		// balancers keep routing here, but the body (and the
+		// memsimd_store_state gauge) tell operators durability is off
+		// until the background reopen completes.
+		if s.guard != nil && s.guard.State() == StoreStateDegraded {
+			io.WriteString(w, "degraded: durable store wounded, reopen in progress\n")
 			return
 		}
 		io.WriteString(w, "ready\n")
@@ -363,11 +450,58 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if s.draining.Load() {
-		fail("shutting_down", &APIError{Code: CodeShuttingDown, Message: "server is shutting down"})
+		// Draining is transient from the fleet's point of view: tell the
+		// client to retry (elsewhere, or here after a restart) instead of
+		// failing the sweep.
+		fail("shutting_down", &APIError{
+			Code:         CodeShuttingDown,
+			Message:      "server is shutting down; retry against another instance",
+			RetryAfterMS: drainRetryAfterMS,
+			JitterMS:     drainRetryAfterMS / 2,
+		})
 		return
 	}
 	s.active.Add(1)
 	defer s.active.Done()
+
+	// Admission control, cheapest checks first — all before the body is
+	// even read. The per-client token bucket caps each client's request
+	// rate independently, so one saturating sweep cannot starve an
+	// interactive caller; the refused request costs the server one map
+	// lookup and no allocation.
+	if s.limiter != nil {
+		client := clientKey(r)
+		s.clientRequests.With(client).Add(1)
+		if retryAfter, ok := s.limiter.Allow(client); !ok {
+			s.rateLimited.Add(1)
+			s.clientThrottled.With(client).Add(1)
+			ms := retryAfter.Milliseconds()
+			if ms < 1 {
+				ms = 1
+			}
+			fail("rate_limited", &APIError{
+				Code:         CodeRateLimited,
+				Message:      "client " + client + " exceeded its admission rate",
+				RetryAfterMS: ms,
+				JitterMS:     ms / 2,
+			})
+			return
+		}
+	}
+
+	// Deadline propagation: X-Memsimd-Deadline-Ms bounds this request's
+	// whole evaluation (the per-server Timeout still applies as a cap).
+	if h := r.Header.Get(deadlineHeader); h != "" {
+		ms, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || ms <= 0 {
+			fail("invalid", errField(CodeInvalidRequest, deadlineHeader,
+				"deadline must be a positive integer millisecond count"))
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+		defer cancel()
+	}
 
 	stopValidate := obs.TimeStage(ctx, "validate")
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
@@ -399,7 +533,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	// Like an LRU hit, a store hit costs no replay capacity, so it too
 	// bypasses the breaker; the result is promoted back into the LRU so
 	// the next identical request is a plain "hit".
-	if s.cfg.Store != nil {
+	if s.guard != nil {
 		stopStore := obs.TimeStage(ctx, "store_lookup")
 		res, ok = s.storeGet(key)
 		stopStore()
@@ -411,6 +545,23 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.storeMisses.Add(1)
+	}
+
+	// Deadline-aware shedding: every cheap way to answer has missed, so
+	// this request is about to queue for a replay slot. If its remaining
+	// deadline is under the live estimate of one evaluation's service
+	// time, it is doomed — shed it now so the slot goes to a request
+	// that can still make it.
+	if dl, ok := ctx.Deadline(); ok {
+		if est := s.estimate(); est > 0 && time.Until(dl) < est {
+			s.deadlineShed.Add(1)
+			fail("would_deadline", &APIError{
+				Code: CodeWouldDeadline,
+				Message: "remaining deadline is below the estimated service time (" +
+					est.Round(time.Millisecond).String() + "); retry with a longer deadline",
+			})
+			return
+		}
 	}
 
 	// Cache hits bypass the breaker (they cost nothing and prove
@@ -459,9 +610,12 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	s.concludeBreaker(bkey, led, err)
 	if err != nil {
 		apiErr := toAPIError(err)
-		if apiErr.Code == CodeOverloaded {
+		switch apiErr.Code {
+		case CodeOverloaded:
 			s.rejected.Add(1)
-		} else if apiErr.Code == CodeInternal {
+		case CodeRetryBudget:
+			s.budgetExhausted.Add(1)
+		case CodeInternal:
 			s.evalErrors.Add(1)
 		}
 		fail(outcomeForCode(apiErr.Code), apiErr)
@@ -470,7 +624,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if led {
 		s.misses.Add(1)
 		s.cache.Add(key, res)
-		if s.cfg.Store != nil {
+		if s.guard != nil {
 			stopWrite := obs.TimeStage(ctx, "store_write")
 			s.storePut(key, res)
 			stopWrite()
@@ -489,7 +643,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 // failures degrade to a miss — the request falls through to evaluation and
 // the write-through replaces the bad document.
 func (s *Server) storeGet(key string) (*EvalResult, bool) {
-	val, ok, err := s.cfg.Store.GetDoc(key)
+	val, ok, err := s.guard.GetDoc(key)
 	if err != nil || !ok {
 		if err != nil && s.cfg.Log != nil {
 			s.cfg.Log.Warn("store_read_failed", obs.Fields{"key": key, "err": err.Error()})
@@ -508,11 +662,17 @@ func (s *Server) storeGet(key string) (*EvalResult, bool) {
 
 // storePut writes a freshly computed result through to the durable tier.
 // Failures are logged and dropped: the request already has its answer, and
-// only the next process restart loses the warm copy.
+// only the next process restart loses the warm copy. Writes skipped while
+// the store is quarantined count separately (storeDropped) — degraded mode
+// working as intended, not an error.
 func (s *Server) storePut(key string, res *EvalResult) {
 	val, err := json.Marshal(res)
 	if err == nil {
-		err = s.cfg.Store.PutDoc(key, val)
+		err = s.guard.PutDoc(key, val)
+	}
+	if errors.Is(err, errStoreDegraded) {
+		s.storeDropped.Add(1)
+		return
 	}
 	if err != nil {
 		s.storeWriteErrors.Add(1)
@@ -520,6 +680,51 @@ func (s *Server) storePut(key string, res *EvalResult) {
 			s.cfg.Log.Warn("store_write_failed", obs.Fields{"key": key, "err": err.Error()})
 		}
 	}
+}
+
+// deadlineHeader carries the client's end-to-end deadline for one request
+// in whole milliseconds; the server refuses work it estimates cannot
+// finish in time (CodeWouldDeadline).
+const deadlineHeader = "X-Memsimd-Deadline-Ms"
+
+// clientHeader names the admission-control client; absent, the client key
+// falls back to the request's remote host.
+const clientHeader = "X-Memsimd-Client"
+
+// drainRetryAfterMS is the backoff guidance attached to shutting_down
+// refusals: long enough for a load balancer to notice /readyz went 503.
+const drainRetryAfterMS = 2000
+
+// estimatorMinSamples is how many miss-outcome observations the latency
+// histogram needs before deadline-aware shedding trusts its quantiles; a
+// cold server sheds nothing.
+const estimatorMinSamples = 20
+
+// clientKey derives a request's admission-control identity: the
+// X-Memsimd-Client header when present (deployments put an API key or
+// tenant ID there), else the remote host with its ephemeral port dropped,
+// so reconnecting clients keep one bucket.
+func clientKey(r *http.Request) string {
+	if c := r.Header.Get(clientHeader); c != "" {
+		return c
+	}
+	host := r.RemoteAddr
+	if i := strings.LastIndexByte(host, ':'); i >= 0 {
+		host = host[:i]
+	}
+	return host
+}
+
+// estimateServiceTime predicts one uncached evaluation's duration from the
+// live request-latency histogram: the p90 of the "miss" outcome, the
+// pessimistic-but-honest bound a doomed-work check wants. Returns 0 (shed
+// nothing) until enough misses have been observed.
+func (s *Server) estimateServiceTime() time.Duration {
+	snap := s.latency.With("miss").Snapshot()
+	if snap.Count < estimatorMinSamples {
+		return 0
+	}
+	return time.Duration(snap.Quantile(0.9))
 }
 
 // outcomeForCode maps a terminal API error code onto the request-latency
@@ -534,6 +739,12 @@ func outcomeForCode(code string) string {
 		return "circuit_open"
 	case CodeOverloaded:
 		return "overloaded"
+	case CodeRateLimited:
+		return "rate_limited"
+	case CodeWouldDeadline:
+		return "would_deadline"
+	case CodeRetryBudget:
+		return "retry_budget"
 	case CodeTimeout:
 		return "timeout"
 	case CodeCanceled:
@@ -601,6 +812,10 @@ func (s *Server) concludeBreaker(bkey string, led bool, err error) {
 			}
 		}
 	default:
+		// CodeRetryBudget lands here deliberately: the shared budget
+		// denying a retry is an overload property of the process, not
+		// evidence against this design, so it must not open breakers
+		// for healthy designs.
 		s.breakers.Release(bkey)
 	}
 }
@@ -621,6 +836,13 @@ func toAPIError(err error) *APIError {
 		return &APIError{Code: CodeCanceled, Message: "request canceled; in-flight replay aborted"}
 	case errors.As(err, &panicErr):
 		return &APIError{Code: CodePanic, Message: panicErr.Error()}
+	// Checked before IsTransient: a BudgetError wraps the transient cause
+	// (so clients still see it as retryable) but must map to its own code
+	// — the design is healthy, the process declined the retry.
+	case fault.IsBudgetExhausted(err):
+		return &APIError{Code: CodeRetryBudget,
+			Message:      "server retry budget exhausted: " + err.Error(),
+			RetryAfterMS: 1000, JitterMS: 1000}
 	case fault.IsTransient(err):
 		return &APIError{Code: CodeInternal, Message: err.Error() + " (transient; retries exhausted)",
 			RetryAfterMS: 1000, JitterMS: 500}

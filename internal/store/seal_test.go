@@ -1,0 +1,69 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"hybridmem/internal/trace"
+)
+
+// TestSealQuarantinesWithoutInvalidatingReads pins the wounded-store
+// recovery contract: Seal refuses every operation with ErrSealed, but a
+// stream handed out before the seal keeps decoding (its mmap'd segment
+// bytes stay valid), and a fresh Open on the same directory serves all
+// previously committed data.
+func TestSealQuarantinesWithoutInvalidatingReads(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	want := testStream(11, 3*trace.BlockRefs/2)
+	if err := s.PutStream("w", want, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutDoc("result", []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	got, _, ok, err := s.GetStream("w")
+	if err != nil || !ok {
+		t.Fatalf("GetStream before seal: ok=%v err=%v", ok, err)
+	}
+
+	s.Seal()
+
+	if err := s.PutDoc("late", nil); !errors.Is(err, ErrSealed) {
+		t.Fatalf("PutDoc on sealed store: %v, want ErrSealed", err)
+	}
+	if err := s.PutStream("late", testStream(1, 8), nil); !errors.Is(err, ErrSealed) {
+		t.Fatalf("PutStream on sealed store: %v, want ErrSealed", err)
+	}
+	if _, _, err := s.GetDoc("result"); !errors.Is(err, ErrSealed) {
+		t.Fatalf("GetDoc on sealed store: %v, want ErrSealed", err)
+	}
+	if _, _, _, err := s.GetStream("w"); !errors.Is(err, ErrSealed) {
+		t.Fatalf("GetStream on sealed store: %v, want ErrSealed", err)
+	}
+	if err := s.Sync(); !errors.Is(err, ErrSealed) {
+		t.Fatalf("Sync on sealed store: %v, want ErrSealed", err)
+	}
+
+	// The stream fetched before the seal must still decode in full: the
+	// sealed instance keeps its files and mappings open.
+	assertStreamEqual(t, want, got)
+
+	// A fresh instance on the same directory — the reopened writer in the
+	// self-healing path — sees every committed key.
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	got2, _, ok, err := s2.GetStream("w")
+	if err != nil || !ok {
+		t.Fatalf("GetStream after reopen: ok=%v err=%v", ok, err)
+	}
+	assertStreamEqual(t, want, got2)
+	if v, ok, err := s2.GetDoc("result"); err != nil || !ok || string(v) != `{"v":1}` {
+		t.Fatalf("GetDoc after reopen: %q ok=%v err=%v", v, ok, err)
+	}
+
+	// Closing the sealed instance still releases it cleanly.
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close of sealed store: %v", err)
+	}
+}

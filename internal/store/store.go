@@ -32,6 +32,7 @@ package store
 import (
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"strings"
@@ -39,6 +40,12 @@ import (
 
 	"hybridmem/internal/trace"
 )
+
+// ErrSealed marks every operation against a store quarantined by Seal: the
+// instance was wounded, a reopened instance on the same directory has
+// superseded it, and it exists only to keep previously handed-out mapped
+// block slices valid.
+var ErrSealed = errors.New("store: sealed after a wound; superseded by a reopened instance")
 
 // Keyspace prefixes inside the KV index. Callers never see them; they keep
 // stream manifests and documents from colliding on the same user key.
@@ -70,6 +77,7 @@ type Store struct {
 	blocks *blockLog
 	kv     *kvIndex
 	closed bool
+	sealed bool
 }
 
 // Stats is a point-in-time summary of an open store, exported by memsimd's
@@ -137,6 +145,35 @@ func Open(dir string, opts Options) (*Store, error) {
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
+// Seal permanently quarantines the store: every subsequent operation fails
+// with ErrSealed, but — unlike Close — files and mappings stay open, so
+// mapped block slices previously handed out by GetStream remain valid.
+//
+// This is the wounded-store recovery contract: when an append fails and
+// the store reports ErrWounded, the serving layer seals the instance
+// (guaranteeing it issues no further writes against the directory) and
+// opens a fresh Store on the same path, which performs torn-tail recovery
+// and becomes the directory's only writer. Restored profiles that still
+// reference the sealed instance's mmap'd segments keep working; the sealed
+// instance is finally released by Close (typically at process exit).
+func (s *Store) Seal() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sealed = true
+}
+
+// unusableLocked reports why the store can accept no operations (closed or
+// sealed), or nil when it is usable. Callers hold s.mu.
+func (s *Store) unusableLocked() error {
+	if s.closed {
+		return fmt.Errorf("store: use after Close")
+	}
+	if s.sealed {
+		return ErrSealed
+	}
+	return nil
+}
+
 // PutStream persists a packed stream under key with an opaque metadata
 // document (may be nil; must be valid JSON when present). Blocks are
 // written content-addressed — re-putting an identical stream appends
@@ -146,8 +183,8 @@ func (s *Store) Dir() string { return s.dir }
 func (s *Store) PutStream(key string, p *trace.Packed, meta []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return fmt.Errorf("store: use after Close")
+	if err := s.unusableLocked(); err != nil {
+		return err
 	}
 	m := streamManifest{Version: fileVersion, Refs: p.Len(), Meta: meta}
 	for i := 0; i < p.Blocks(); i++ {
@@ -181,8 +218,8 @@ func (s *Store) PutStream(key string, p *trace.Packed, meta []byte) error {
 func (s *Store) GetStream(key string) (*trace.Packed, []byte, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return nil, nil, false, fmt.Errorf("store: use after Close")
+	if err := s.unusableLocked(); err != nil {
+		return nil, nil, false, err
 	}
 	val, ok, err := s.kv.Get(streamPrefix + key)
 	if err != nil || !ok {
@@ -222,8 +259,8 @@ func (s *Store) GetStream(key string) (*trace.Packed, []byte, bool, error) {
 func (s *Store) PutDoc(key string, val []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return fmt.Errorf("store: use after Close")
+	if err := s.unusableLocked(); err != nil {
+		return err
 	}
 	if err := s.kv.Put(docPrefix+key, val); err != nil {
 		return err
@@ -236,8 +273,8 @@ func (s *Store) PutDoc(key string, val []byte) error {
 func (s *Store) GetDoc(key string) ([]byte, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return nil, false, fmt.Errorf("store: use after Close")
+	if err := s.unusableLocked(); err != nil {
+		return nil, false, err
 	}
 	return s.kv.Get(docPrefix + key)
 }
@@ -271,6 +308,9 @@ func (s *Store) Stats() Stats {
 func (s *Store) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.unusableLocked(); err != nil {
+		return err
+	}
 	if err := s.blocks.Sync(); err != nil {
 		return err
 	}
