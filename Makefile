@@ -54,7 +54,7 @@ chaos:
 # Godoc hygiene: every package needs a package comment; the listed
 # packages additionally need doc comments on every exported symbol.
 doccheck:
-	$(GO) run ./cmd/doccheck -exported internal/serve,internal/exp,internal/obs,internal/design,internal/trace,internal/cache,internal/core,internal/fault,internal/store,internal/tech,internal/admit .
+	$(GO) run ./cmd/doccheck -exported internal/serve,internal/exp,internal/obs,internal/design,internal/trace,internal/cache,internal/core,internal/fault,internal/store,internal/tech,internal/admit,internal/reuse,internal/analytic .
 
 # Schema-validate the embedded builtin catalog and every example catalog
 # file (hybridmem-catalog/1, see FORMATS.md).

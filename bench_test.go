@@ -16,6 +16,7 @@ import (
 	"io"
 	"sync"
 	"testing"
+	"time"
 
 	"hybridmem/internal/cache"
 	"hybridmem/internal/core"
@@ -377,6 +378,76 @@ func BenchmarkFanoutReplay(b *testing.B) {
 		b.ReportMetric(refs*float64(b.N)/b.Elapsed().Seconds(), "refs/s")
 		b.ReportMetric(1, "decodes/ref")
 	})
+}
+
+// TestAnalyticSpeedupFloor enforces the two-fidelity acceptance criterion
+// in the regular test suite: screening a design point from the sketch must
+// be at least 100x cheaper than exact replay of the same point (the
+// benchmarks above measure the real ratio, ~1000x and up; the floor here is
+// deliberately slack so CI load cannot flake it).
+func TestAnalyticSpeedupFloor(t *testing.T) {
+	s, err := exp.NewSuite(exp.Config{
+		Scale: 64, WorkloadScale: 1024, Workloads: []string{"CG"}, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp := s.Profiles[0]
+	bk := design.NMM(design.NConfigs[5], tech.PCM, 64, wp.Footprint)
+	pred, err := wp.Predictor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pred.Predict(bk); err != nil { // warm up
+		t.Fatal(err)
+	}
+	const preds = 200
+	start := time.Now()
+	for i := 0; i < preds; i++ {
+		if _, err := pred.Predict(bk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	analytic := time.Since(start) / preds
+	start = time.Now()
+	if _, err := wp.EvaluateSerialCtx(context.Background(), bk); err != nil {
+		t.Fatal(err)
+	}
+	replay := time.Since(start)
+	t.Logf("replay %v vs analytic %v per design point (%.0fx)",
+		replay, analytic, float64(replay)/float64(analytic))
+	if replay < 100*analytic {
+		t.Errorf("analytic fast path only %.0fx faster than replay (floor 100x)",
+			float64(replay)/float64(analytic))
+	}
+}
+
+// BenchmarkAnalyticPredict is the fast half of the two-fidelity pipeline:
+// it evaluates the same nine NMM/PCM design points as BenchmarkFanoutReplay
+// from the workload's reuse sketch alone — no boundary replay. Compare
+// ns/designpt here against FanoutReplay's wall clock divided by its nine
+// design points: the acceptance gate requires the analytic path to be at
+// least 1000x cheaper per design point (see TestAnalyticSpeedupFloor).
+func BenchmarkAnalyticPredict(b *testing.B) {
+	s := suite(b)
+	wp := s.Profiles[0]
+	var backends []design.Backend
+	for _, cfg := range design.NConfigs {
+		backends = append(backends, design.NMM(cfg, tech.PCM, 64, wp.Footprint))
+	}
+	pred, err := wp.Predictor()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, bk := range backends {
+			if _, err := pred.Predict(bk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(b.Elapsed().Seconds()*1e9/float64(b.N*len(backends)), "ns/designpt")
 }
 
 // BenchmarkAblationPageGranularity shows the cost/benefit of page-organized

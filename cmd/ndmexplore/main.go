@@ -5,6 +5,15 @@
 // ("typically we found 2 or 3 address ranges in each workload ... we placed
 // an address range to NVM at a time, and the rest to DRAM").
 //
+// ndmexplore and cmd/explore split the design space between them: explore
+// screens uniform and cached memory systems analytically (microseconds per
+// point, from reuse sketches) and promotes only its Pareto frontier to exact
+// replay, while ndmexplore stays replay-based throughout, because address-
+// range (NDM) placement depends on which addresses are hot — information a
+// reuse-distance sketch deliberately discards. The analytic predictor
+// refuses Partitioned designs with a typed *analytic.UnsupportedError for
+// the same reason; this command is the exact path for that family.
+//
 // Usage:
 //
 //	ndmexplore                       # PCM, all workloads

@@ -7,6 +7,7 @@ import (
 	"hybridmem/internal/core"
 	"hybridmem/internal/model"
 	"hybridmem/internal/obs"
+	"hybridmem/internal/reuse"
 	"hybridmem/internal/trace"
 	"hybridmem/internal/workload"
 )
@@ -22,8 +23,11 @@ import (
 // from O(replay) into O(index).
 
 // ProfileManifestVersion is the manifest schema version; RestoreProfile
-// rejects manifests written by an incompatible schema.
-const ProfileManifestVersion = 1
+// rejects manifests written by an incompatible schema. Version 2 added the
+// reuse sketch (the analytic fast path's input); v1 manifests fail restore,
+// which callers treat as a cache miss — the workload re-profiles and the
+// write-through repairs the store with a sketch-bearing manifest.
+const ProfileManifestVersion = 2
 
 // ProfileManifest is the JSON-serializable state of a WorkloadProfile minus
 // its boundary stream. It deliberately includes the reference-system
@@ -52,6 +56,10 @@ type ProfileManifest struct {
 	// BoundaryRefs pins the expected boundary-stream length; restore
 	// fails fast on a stream that does not match its manifest.
 	BoundaryRefs int `json:"boundary_refs"`
+	// Sketch is the boundary stream's reuse sketch (FORMATS.md documents
+	// the schema). Omitted when profiling ran with NoSketch; restored
+	// profiles then simply cannot serve analytic queries.
+	Sketch *reuse.Sketch `json:"sketch,omitempty"`
 }
 
 // Manifest captures the profile's serializable state (everything but the
@@ -67,6 +75,7 @@ func (wp *WorkloadProfile) Manifest() *ProfileManifest {
 		TotalRefs:    wp.TotalRefs,
 		RefProfile:   wp.refProfile,
 		BoundaryRefs: wp.Boundary.Len(),
+		Sketch:       wp.Sketch,
 	}
 }
 
@@ -98,6 +107,7 @@ func RestoreProfile(m *ProfileManifest, boundary *trace.Packed, log *obs.Logger)
 		Prefix:     m.Prefix,
 		Boundary:   boundary,
 		TotalRefs:  m.TotalRefs,
+		Sketch:     m.Sketch,
 		refProfile: m.RefProfile,
 		log:        log,
 	}, nil

@@ -67,6 +67,31 @@ func TestManifestRestoreEvaluatesIdentically(t *testing.T) {
 	if got, want := restored.ReferenceEvaluation(), wp.ReferenceEvaluation(); got != want {
 		t.Fatalf("reference evaluation diverges:\n got %+v\nwant %+v", got, want)
 	}
+	// The sketch travels in the manifest: a restored profile answers
+	// analytic queries identically with zero replay.
+	if restored.Sketch == nil {
+		t.Fatal("restored profile lost its sketch")
+	}
+	origPred, err := wp.Predictor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restPred, err := restored.Predictor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyticBackend := design.NMM(design.NConfigs[5], tech.PCM, 64, wp.Footprint)
+	wantPred, err := origPred.Predict(analyticBackend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPred, err := restPred.Predict(analyticBackend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPred.Eval != wantPred.Eval || gotPred.LifetimeYears != wantPred.LifetimeYears {
+		t.Fatalf("restored analytic prediction diverges:\n got %+v\nwant %+v", gotPred.Eval, wantPred.Eval)
+	}
 	ctx := context.Background()
 	backends := []design.Backend{
 		design.FourLC(design.EHConfigs[3], tech.EDRAM, 64, wp.Footprint),

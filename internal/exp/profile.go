@@ -17,11 +17,13 @@ import (
 	"sync"
 	"time"
 
+	"hybridmem/internal/analytic"
 	"hybridmem/internal/core"
 	"hybridmem/internal/design"
 	"hybridmem/internal/fault"
 	"hybridmem/internal/model"
 	"hybridmem/internal/obs"
+	"hybridmem/internal/reuse"
 	"hybridmem/internal/tech"
 	"hybridmem/internal/trace"
 	"hybridmem/internal/workload"
@@ -129,6 +131,12 @@ type WorkloadProfile struct {
 	// Series is the epoch time-series of the prefix simulation, captured
 	// when profiling ran with ProfileOptions.Epoch > 0 (nil otherwise).
 	Series *obs.Series
+	// Sketch is the boundary stream's multi-granularity reuse sketch, the
+	// input of the analytic fast path (package analytic). Captured by
+	// default (see ProfileOptions.NoSketch) and persisted in the profile
+	// manifest, so restored profiles answer analytic queries with zero
+	// replay. Nil when capture was disabled or the manifest predates it.
+	Sketch *reuse.Sketch
 
 	// refProfile is the reference system's full profile (prefix +
 	// footprint-sized DRAM), computed once.
@@ -152,6 +160,10 @@ type ProfileOptions struct {
 	// Catalog backs the SRAM prefix and reference DRAM. Nil means the
 	// builtin catalog.
 	Catalog *tech.Catalog
+	// NoSketch disables reuse-sketch capture. The sketch costs one extra
+	// in-memory pass over the (already recorded) boundary stream — cheap
+	// next to the prefix simulation — so capture defaults to on.
+	NoSketch bool
 }
 
 // registryFor resolves a catalog (nil = builtin) to a design registry.
@@ -218,10 +230,30 @@ func ProfileWorkloadOpts(ctx context.Context, w workload.Workload, opt ProfileOp
 		obs.CountRefs(h.Refs())
 	}
 	boundary := rec.Stream()
+
+	var sketch *reuse.Sketch
+	if !opt.NoSketch {
+		sketcher, err := reuse.NewSketcher()
+		if err != nil {
+			return nil, err
+		}
+		buf := replayBufPool.Get().([]trace.Ref)
+		err = boundary.Batches(buf, func(refs []trace.Ref) error {
+			sketcher.AccessBatch(refs)
+			return nil
+		})
+		replayBufPool.Put(buf)
+		if err != nil {
+			return nil, fmt.Errorf("exp: sketching %s: %w", w.Name(), err)
+		}
+		sketch = sketcher.Sketch()
+	}
+
 	f := obs.ThroughputFields(h.Refs(), time.Since(start))
 	f["boundary_refs"] = boundary.Len()
 	f["boundary_packed_bytes"] = boundary.PackedBytes()
 	f["boundary_raw_bytes"] = boundary.RawBytes()
+	f["sketch"] = sketch != nil
 	done(f)
 
 	wp = &WorkloadProfile{
@@ -232,6 +264,7 @@ func ProfileWorkloadOpts(ctx context.Context, w workload.Workload, opt ProfileOp
 		Prefix:    h.Levels(),
 		Boundary:  boundary,
 		TotalRefs: h.Refs(),
+		Sketch:    sketch,
 		log:       opt.Log,
 	}
 	if sampler != nil {
@@ -261,6 +294,31 @@ func (wp *WorkloadProfile) profileWith(backend []core.LevelStats) model.Profile 
 		Levels:    append(append([]core.LevelStats(nil), wp.Prefix...), backend...),
 		TotalRefs: wp.TotalRefs,
 	}
+}
+
+// Predictor returns the analytic fast-path predictor over the profile's
+// sketch: it shares the profile's prefix statistics, reference profile, and
+// reference runtime with the exact path, so analytic and replayed
+// evaluations of the same design normalize against the same baseline. It
+// errors when the profile carries no sketch (ProfileOptions.NoSketch, or a
+// profile restored from a pre-sketch manifest).
+func (wp *WorkloadProfile) Predictor() (*analytic.Predictor, error) {
+	return wp.PredictorWith(0)
+}
+
+// PredictorWith is Predictor with an explicit per-cell write-endurance
+// override for NVM lifetime estimates (cmd/explore's -endurance flag); zero
+// selects the per-technology default (wear.EnduranceFor).
+func (wp *WorkloadProfile) PredictorWith(enduranceWrites float64) (*analytic.Predictor, error) {
+	return analytic.New(analytic.Input{
+		Workload:        wp.Name,
+		Sketch:          wp.Sketch,
+		Prefix:          wp.Prefix,
+		TotalRefs:       wp.TotalRefs,
+		RefProfile:      wp.refProfile,
+		RefTime:         wp.RefTime,
+		EnduranceWrites: enduranceWrites,
+	})
 }
 
 // ReferenceProfile returns the cached reference-system profile.

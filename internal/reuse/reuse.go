@@ -28,10 +28,31 @@ type fenwick struct {
 	tree []int64
 }
 
+// fenwickMinSpan is the smallest tree span allocated on first growth.
+const fenwickMinSpan = 1024
+
+// grow ensures position n is addressable, doubling capacity so the span
+// stays a power of two. That invariant matters for correctness, not just
+// speed: update chains (j += j&(-j)) climb to the root, and with a
+// power-of-two span the root is always in range, so no chain is ever
+// truncated. On growth only the new roots' ranges cross old content, and
+// each covers the entire populated prefix, so it inherits the old root.
 func (f *fenwick) grow(n int) {
-	for len(f.tree) < n+1 {
-		f.tree = append(f.tree, make([]int64, len(f.tree)+1024)...)
+	if len(f.tree) >= n+1 {
+		return
 	}
+	span := fenwickMinSpan
+	for span < n {
+		span <<= 1
+	}
+	t := make([]int64, span+1)
+	copy(t, f.tree)
+	if old := len(f.tree) - 1; old > 0 {
+		for s := old << 1; s <= span; s <<= 1 {
+			t[s] = t[s>>1]
+		}
+	}
+	f.tree = t
 }
 
 // add adds delta at position i (1-based internally).
@@ -93,6 +114,26 @@ func (p *Profiler) Access(r trace.Ref) {
 	}
 }
 
+// AccessBatch implements trace.BatchSink. The per-Ref loop is hoisted here
+// so batch-native replay does not pay an interface call per reference; the
+// hot loop itself allocates only when the footprint grows (map inserts and
+// Fenwick doubling).
+func (p *Profiler) AccessBatch(refs []trace.Ref) {
+	shift := p.lineShift
+	for i := range refs {
+		r := &refs[i]
+		size := uint64(r.Size)
+		if size == 0 {
+			size = 1
+		}
+		first := r.Addr >> shift
+		last := (r.Addr + size - 1) >> shift
+		for line := first; line <= last; line++ {
+			p.touch(line)
+		}
+	}
+}
+
 // touch records one line access.
 func (p *Profiler) touch(line uint64) {
 	if prev, ok := p.last[line]; ok {
@@ -113,27 +154,35 @@ func (p *Profiler) touch(line uint64) {
 
 // record buckets one reuse distance.
 func (p *Profiler) record(d uint64) {
-	k := 0
-	if d > 1 {
-		k = bits.Len64(d) - 1
-	}
-	if k >= len(p.hist) {
-		k = len(p.hist) - 1
-	}
-	p.hist[k]++
+	p.hist[bucket(d)]++
 }
 
-// Histogram is the profiler's result.
+// bucket maps a finite reuse distance to its histogram bucket index:
+// bucket 0 covers distances 0 and 1, bucket k covers [2^k, 2^(k+1)).
+func bucket(d uint64) int {
+	if d <= 1 {
+		return 0
+	}
+	k := bits.Len64(d) - 1
+	if k > 47 {
+		k = 47
+	}
+	return k
+}
+
+// Histogram is the profiler's result. The JSON tags define the persisted
+// sketch schema (FORMATS.md); empty buckets marshal as an explicit array so
+// restored histograms compare equal.
 type Histogram struct {
 	// Buckets[k] counts accesses with reuse distance in [2^k, 2^(k+1))
 	// (bucket 0 covers distances 0 and 1).
-	Buckets []uint64
+	Buckets []uint64 `json:"buckets"`
 	// Cold counts first-touch accesses (infinite distance).
-	Cold uint64
+	Cold uint64 `json:"cold"`
 	// Lines is the number of distinct lines touched.
-	Lines uint64
+	Lines uint64 `json:"lines"`
 	// Total is the total line-accesses profiled.
-	Total uint64
+	Total uint64 `json:"total"`
 }
 
 // Histogram snapshots the profiler.

@@ -151,6 +151,116 @@ func leadingZeros(x uint64) int {
 	return n
 }
 
+// TestGrowthBoundaryDistances crosses the Fenwick tree's growth boundaries
+// with exactly-known distances: cycling over n lines yields distance n-1 on
+// every reuse. A grow that loses internal-node contributions (the failure
+// mode of zero-extending a truncated update chain) undercounts these.
+func TestGrowthBoundaryDistances(t *testing.T) {
+	const n = 2000 // > fenwickMinSpan timestamps in the first pass alone
+	p, _ := New(64)
+	for rep := 0; rep < 2; rep++ {
+		for l := uint64(0); l < n; l++ {
+			p.touch(l)
+		}
+	}
+	h := p.Histogram()
+	if h.Cold != n {
+		t.Fatalf("cold = %d, want %d", h.Cold, n)
+	}
+	k := 0
+	for (uint64(1) << (k + 1)) <= n-1 {
+		k++
+	}
+	if h.Buckets[k] != n {
+		t.Fatalf("bucket[%d] = %d, want %d (hist %v)", k, h.Buckets[k], n, h.Buckets[:16])
+	}
+}
+
+// TestGrowthBoundaryAgainstNaiveStack is the oracle property test across
+// growth boundaries: long random streams (far beyond fenwickMinSpan
+// timestamps) must still match the explicit LRU stack exactly.
+func TestGrowthBoundaryAgainstNaiveStack(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1234, 5678))
+	p, _ := New(64)
+	var oracle naiveDistance
+	perBucket := map[int]uint64{}
+	for i := 0; i < 5000; i++ {
+		line := rng.Uint64N(1500)
+		p.touch(line)
+		oracle.touch(line)
+	}
+	for d, c := range oracle.hist {
+		perBucket[bucket(d)] += c
+	}
+	h := p.Histogram()
+	if h.Cold != oracle.cold {
+		t.Fatalf("cold = %d, want %d", h.Cold, oracle.cold)
+	}
+	for k, want := range perBucket {
+		if h.Buckets[k] != want {
+			t.Fatalf("bucket[%d] = %d, want %d", k, h.Buckets[k], want)
+		}
+	}
+}
+
+// TestAccessBatchMatchesAccess replays the same stream through the per-Ref
+// and batch entry points and requires identical histograms.
+func TestAccessBatchMatchesAccess(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	refs := make([]trace.Ref, 3000)
+	for i := range refs {
+		refs[i] = trace.Ref{
+			Addr: rng.Uint64N(1 << 16),
+			Size: uint32(rng.Uint64N(128)), // includes 0 and line-spanning sizes
+			Kind: trace.Kind(rng.Uint64N(2)),
+		}
+	}
+	one, _ := New(64)
+	batch, _ := New(64)
+	for _, r := range refs {
+		one.Access(r)
+	}
+	batch.AccessBatch(refs)
+	ho, hb := one.Histogram(), batch.Histogram()
+	if ho.Cold != hb.Cold || ho.Total != hb.Total || ho.Lines != hb.Lines {
+		t.Fatalf("scalars differ: %+v vs %+v", ho, hb)
+	}
+	for k := range ho.Buckets {
+		if ho.Buckets[k] != hb.Buckets[k] {
+			t.Fatalf("bucket[%d]: %d vs %d", k, ho.Buckets[k], hb.Buckets[k])
+		}
+	}
+}
+
+// TestAccessBatchZeroAlloc pins the batch hot loop at zero allocations once
+// the footprint is established (map keys present, Fenwick tree pre-grown).
+func TestAccessBatchZeroAlloc(t *testing.T) {
+	p, _ := New(64)
+	refs := make([]trace.Ref, 64)
+	for i := range refs {
+		refs[i] = trace.Ref{Addr: uint64(i) * 64, Size: 8, Kind: trace.Load}
+	}
+	p.AccessBatch(refs) // establish the footprint
+	p.bit.grow(1 << 20) // pre-grow past every timestamp the loop will mint
+	if n := testing.AllocsPerRun(100, func() { p.AccessBatch(refs) }); n != 0 {
+		t.Fatalf("AccessBatch allocated %v times per run on a warm footprint", n)
+	}
+}
+
+// BenchmarkFenwickGrow is the regression benchmark for geometric growth:
+// one pass of widely-spaced adds forces the tree through every doubling up
+// to ~2M entries.
+func BenchmarkFenwickGrow(b *testing.B) {
+	const n = 1 << 21
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var f fenwick
+		for pos := 0; pos < n; pos += n / 256 {
+			f.add(pos, 1)
+		}
+	}
+}
+
 func TestHitRateMonotone(t *testing.T) {
 	p, _ := New(64)
 	rng := rand.New(rand.NewPCG(9, 9))

@@ -3,11 +3,14 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"hybridmem/internal/analytic"
+	"hybridmem/internal/design"
 	"hybridmem/internal/exp"
 	"hybridmem/internal/fault"
 	"hybridmem/internal/model"
@@ -319,10 +322,33 @@ func (e *Evaluator) persistProfile(key string, wp *exp.WorkloadProfile) {
 	}
 }
 
+// evaluateAnalytic answers a design point from the profile's reuse sketch
+// (no replay), mapping the predictor's typed refusals onto API errors: a
+// sketch-less profile is CodeNoSketch, a design outside the analytic model
+// is CodeAnalyticUnsupported — both client-correctable 400s, neither
+// evidence against the design's health.
+func (e *Evaluator) evaluateAnalytic(wp *exp.WorkloadProfile, b design.Backend) (model.Evaluation, error) {
+	pred, err := wp.Predictor()
+	if err != nil {
+		return model.Evaluation{}, errField(CodeNoSketch, "fidelity", err.Error())
+	}
+	p, err := pred.Predict(b)
+	if err != nil {
+		var ue *analytic.UnsupportedError
+		if errors.As(err, &ue) {
+			return model.Evaluation{}, errField(CodeAnalyticUnsupported, "design", ue.Error())
+		}
+		return model.Evaluation{}, err
+	}
+	return p.Eval, nil
+}
+
 // Evaluate computes the result for a normalized request: profile (or reuse
 // the profiled) workload, replay its boundary stream through the requested
 // back end, and apply the paper's models. The returned metrics are exactly
-// what exp/paperrepro would compute for the same configuration.
+// what exp/paperrepro would compute for the same configuration. Requests at
+// analytic fidelity skip the replay and answer from the workload's reuse
+// sketch (ReplayRefs 0).
 func (e *Evaluator) Evaluate(ctx context.Context, r *EvalRequest) (*EvalResult, error) {
 	start := time.Now()
 	// The evaluator owns the "profile" stage: it covers the cache hit, the
@@ -340,7 +366,20 @@ func (e *Evaluator) Evaluate(ctx context.Context, r *EvalRequest) (*EvalResult, 
 	}
 	var ev model.Evaluation
 	var replayed uint64
-	if needsReplay {
+	switch {
+	case !needsReplay:
+		// Reference designs are answered from the profile's cached
+		// reference evaluation at either fidelity (the analytic model is
+		// exact on cache-less designs anyway).
+		ev = wp.ReferenceEvaluation()
+	case r.Fidelity == FidelityAnalytic:
+		stopAnalytic := obs.TimeStage(ctx, "analytic")
+		ev, err = e.evaluateAnalytic(wp, b)
+		stopAnalytic()
+		if err != nil {
+			return nil, err
+		}
+	default:
 		if f := r.Fault; f != nil {
 			b.Fault = &fault.Config{
 				Seed:            f.Seed,
@@ -364,8 +403,6 @@ func (e *Evaluator) Evaluate(ctx context.Context, r *EvalRequest) (*EvalResult, 
 		e.faultRetired.Add(ev.Fault.RetiredPages)
 		e.faultRemapped.Add(ev.Fault.Remapped)
 		stopAccount()
-	} else {
-		ev = wp.ReferenceEvaluation()
 	}
 	return &EvalResult{
 		Design:        ev.Design,

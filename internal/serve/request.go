@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"hybridmem/internal/design"
+	"hybridmem/internal/reuse"
 	"hybridmem/internal/tech"
 	"hybridmem/internal/workload/catalog"
 )
@@ -28,6 +29,14 @@ type EvalRequest struct {
 	// Workload names a catalog workload (Table 4 names plus LU and
 	// STREAM).
 	Workload string `json:"workload"`
+	// Fidelity selects the evaluation path: "exact" (the default)
+	// replays the recorded boundary stream through the design; "analytic"
+	// answers from the profile's reuse sketch in microseconds (within the
+	// accuracy envelope internal/exp's goldens pin) without any replay.
+	// Analytic requests are rejected with CodeNoSketch when the profile
+	// carries no sketch, with CodeAnalyticUnsupported for designs outside
+	// the analytic model, and cannot combine with fault injection.
+	Fidelity string `json:"fidelity,omitempty"`
 	// Scale is the design-space capacity co-scaling divisor (power of
 	// two in [1,64]; 0 = design.DefaultScale).
 	Scale uint64 `json:"scale,omitempty"`
@@ -318,6 +327,18 @@ func (r *EvalRequest) NormalizeWith(cat *tech.Catalog) *APIError {
 				fmt.Sprintf("unknown metric %q (known: %s)", m, strings.Join(MetricNames, ", ")))
 		}
 	}
+	switch r.Fidelity {
+	case "":
+		r.Fidelity = FidelityExact
+	case FidelityExact, FidelityAnalytic:
+	default:
+		return errField(CodeInvalidRequest, "fidelity",
+			fmt.Sprintf("unknown fidelity %q (known: %s, %s)", r.Fidelity, FidelityExact, FidelityAnalytic))
+	}
+	if r.Fidelity == FidelityAnalytic && r.Fault != nil {
+		return errField(CodeInvalidRequest, "fault",
+			"fault injection needs an exact replay; it does not apply at analytic fidelity")
+	}
 	if f := r.Fault; f != nil {
 		if r.Design.Family == "reference" {
 			return errField(CodeInvalidRequest, "fault",
@@ -515,6 +536,14 @@ func (d *DesignSpec) normalize(cat *tech.Catalog) *APIError {
 	return nil
 }
 
+// Fidelity values EvalRequest.Fidelity accepts after normalization.
+const (
+	// FidelityExact replays the boundary stream (the default).
+	FidelityExact = "exact"
+	// FidelityAnalytic answers from the profile's reuse sketch.
+	FidelityAnalytic = "analytic"
+)
+
 // cacheKeyRequest is the canonical tuple hashed into the result-cache key.
 // Metrics are deliberately excluded: the underlying evaluation is identical
 // regardless of which metrics the caller asked to see.
@@ -526,6 +555,17 @@ type cacheKeyRequest struct {
 	Iters         int        `json:"iters"`
 	Dilution      int        `json:"dilution"`
 	Fault         *FaultSpec `json:"fault"`
+	// Fidelity is empty for exact requests (keeping their key material —
+	// and therefore persisted results — byte-identical to pre-fidelity
+	// servers) and "analytic" otherwise, so the two paths' answers for
+	// one design never share a cache entry.
+	Fidelity string `json:"fidelity,omitempty"`
+	// SketchSchema is reuse.SketchVersion for analytic requests (zero,
+	// omitted, for exact): a sketch-schema change re-keys every analytic
+	// result, the same staleness guard CatalogHash provides for
+	// technology edits. The sketch content itself needs no key component
+	// — it is a pure function of the profile tuple above.
+	SketchSchema int `json:"sketch_schema,omitempty"`
 	// CatalogHash is the effective catalog's content hash. Because
 	// TechOverrides fold into the effective catalog before hashing, this
 	// one field covers both a server launched with an edited catalog file
@@ -541,6 +581,10 @@ type cacheKeyRequest struct {
 // hash to the same key regardless of spelling (path vs. object design,
 // omitted vs. explicit defaults, aliased vs. canonical tech names).
 func (r *EvalRequest) Key() string {
+	fidelity, schema := "", 0
+	if r.Fidelity == FidelityAnalytic {
+		fidelity, schema = FidelityAnalytic, reuse.SketchVersion
+	}
 	b, err := json.Marshal(cacheKeyRequest{
 		Design:        r.Design,
 		Workload:      r.Workload,
@@ -549,6 +593,8 @@ func (r *EvalRequest) Key() string {
 		Iters:         r.Iters,
 		Dilution:      r.Dilution,
 		Fault:         r.Fault,
+		Fidelity:      fidelity,
+		SketchSchema:  schema,
 		CatalogHash:   r.CatalogHash(),
 	})
 	if err != nil {

@@ -9,8 +9,15 @@
 // production hygiene a design-space exploration service needs:
 //
 //   - an LRU result cache keyed by a canonical SHA-256 hash of the
-//     (design, workload, parameters) tuple, with singleflight-style
-//     deduplication so concurrent identical requests trigger one replay;
+//     (design, workload, parameters, fidelity) tuple, with
+//     singleflight-style deduplication so concurrent identical requests
+//     trigger one replay;
+//   - a two-fidelity evaluation path: requests with fidelity "analytic"
+//     answer from the workload profile's reuse sketch (package analytic)
+//     in microseconds with zero replay, under their own "analytic"
+//     latency-histogram outcome, with typed 400s (CodeNoSketch,
+//     CodeAnalyticUnsupported) when the sketch or model cannot serve the
+//     design;
 //   - request validation with typed JSON error responses (APIError);
 //   - per-request timeouts and cancellation that genuinely abort in-flight
 //     replays (exp.EvaluateCtx's chunked replay);
@@ -263,7 +270,7 @@ func New(cfg Config) *Server {
 		storeDropped:     obs.NewCounter("memsimd.store_dropped_writes"),
 
 		latency: obs.NewLatencyHistogramVec("memsimd.request_seconds",
-			"Evaluate-request latency by outcome (hit, miss, dedup, invalid, timeout, ...).",
+			"Evaluate-request latency by outcome (hit, miss, analytic, dedup, invalid, timeout, ...).",
 			"outcome"),
 	}
 	s.estimate = s.estimateServiceTime
@@ -629,7 +636,15 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 			s.storePut(key, res)
 			stopWrite()
 		}
-		respond(http.StatusOK, "miss", func() { s.writeResult(w, &req, res, "miss") })
+		// Analytic-fidelity computations get their own latency-histogram
+		// outcome: they are orders of magnitude cheaper than a replay
+		// miss, and folding them into "miss" would poison the
+		// deadline-shedding service-time estimate.
+		outcome := "miss"
+		if req.Fidelity == FidelityAnalytic {
+			outcome = "analytic"
+		}
+		respond(http.StatusOK, outcome, func() { s.writeResult(w, &req, res, outcome) })
 		return
 	}
 	// Follower of a deduplicated flight: the leader replayed once and
